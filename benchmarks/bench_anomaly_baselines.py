@@ -1,0 +1,48 @@
+"""EXP-ANOM — §2 related-work baselines.
+
+The paper positions its supervised approach against the literature's
+unsupervised and semi-supervised detectors.  This bench reproduces the
+two orderings it cites:
+
+- Studiawan & Sohel [20] / Zope et al. [24]: supervised > PCA >
+  isolation forest (message level),
+- Du et al. [7]: DeepLog > PCA / isolation forest (session level,
+  where sequence structure is the signal).
+"""
+
+from conftest import BENCH_SEED, emit
+
+from repro.experiments.anomalyexp import run_message_level, run_session_level
+from repro.experiments.common import format_table
+
+
+def test_anomaly_baselines(benchmark):
+    msg_rows, sess_rows = benchmark.pedantic(
+        lambda: (
+            run_message_level(scale=0.02, seed=BENCH_SEED),
+            run_session_level(seed=BENCH_SEED),
+        ),
+        rounds=1, iterations=1,
+    )
+
+    emit(
+        "§2 related-work baselines (ROC-AUC)",
+        format_table(
+            ["Detector", "task", "AUC"],
+            [[r.detector, r.task, r.auc] for r in msg_rows + sess_rows],
+        ),
+    )
+
+    msg = {r.detector.split(" (")[0]: r.auc for r in msg_rows}
+    sess = {r.detector.split(" (")[0]: r.auc for r in sess_rows}
+
+    # message level: supervised > PCA > isolation forest; PCA is the
+    # best unsupervised model (Zope et al.)
+    assert msg["Logistic Regression"] > msg["PCA"] > msg["Isolation Forest"]
+    assert msg["Logistic Regression"] > 0.99
+    assert msg["PCA"] > 0.9
+
+    # session level: DeepLog beats both point detectors (Du et al.)
+    assert sess["DeepLog"] > sess["PCA"]
+    assert sess["DeepLog"] > sess["Isolation Forest"]
+    assert sess["DeepLog"] > 0.95

@@ -1,0 +1,88 @@
+"""EXP-FW — §7 future work: where LLMs *do* fit on a test-bed.
+
+The paper's closing argument: generative models are too expensive for
+per-message classification but suit "low frequency tasks" —
+summarizing system status, explaining a node's messages, drafting
+admin replies.  This bench prices both usage patterns on the paper's
+inference node and asserts the orders-of-magnitude gap.
+"""
+
+from conftest import BENCH_SEED, emit
+
+from repro.core.taxonomy import Category
+from repro.datagen.workload import Incident, generate_stream
+from repro.experiments.common import format_table
+from repro.llm.assistant import AdminAssistant
+from repro.llm.models import model_spec
+from repro.stream.tivan import TivanCluster
+
+
+def build_store():
+    events = generate_stream(
+        duration_s=600.0, background_rate=5.0, seed=BENCH_SEED,
+        incidents=[Incident(
+            "door", Category.THERMAL, start=200.0, duration=60.0,
+            hostnames=("cn001", "cn002", "cn003"), peak_rate=2.0,
+        )],
+    )
+    cluster = TivanCluster()
+    cluster.load_events(events)
+    cluster.run(660.0)
+    # label documents with ground truth so the assistant has categories
+    truth = {e.message.text: e.label for e in events}
+    for i in range(len(cluster.store)):
+        doc = cluster.store.get(i)
+        cat = truth.get(doc.message.text)
+        if cat is not None:
+            cluster.store.set_category(i, cat)
+    return cluster.store
+
+
+def test_assistant_economics(benchmark):
+    store = build_store()
+    assistant = AdminAssistant(spec=model_spec("Llama-2-70b-chat-hf"))
+
+    def run_tasks():
+        return (
+            assistant.summarize_status(store),
+            assistant.explain_node(store, "cn001"),
+            assistant.draft_admin_reply(
+                "Users report slow jobs on cn001 — anything wrong?", store, "cn001"
+            ),
+        )
+
+    summary, explain, reply = benchmark.pedantic(run_tasks, rounds=1, iterations=1)
+
+    # daily workloads priced in node-seconds of the 4×A100 machine
+    per_msg = assistant.cost_model.generation_timing(
+        assistant.spec, prompt_tokens=250, gen_tokens=20
+    ).total_s
+    daily_messages = 24_000_000  # §1: >1M messages/hour
+    classify_cost = per_msg * daily_messages
+    assist_cost = 10 * (
+        summary.timing.total_s + explain.timing.total_s + reply.timing.total_s
+    )
+
+    emit(
+        "§7 — LLM usage economics (node-seconds per day, llama2-70b)",
+        format_table(
+            ["Usage pattern", "calls/day", "node-seconds/day", "node-days/day"],
+            [
+                ["per-message classification", daily_messages,
+                 f"{classify_cost:,.0f}", f"{classify_cost / 86400:,.1f}"],
+                ["assistant (summaries + explanations + replies)", 30,
+                 f"{assist_cost:,.0f}", f"{assist_cost / 86400:.5f}"],
+            ],
+        )
+        + "\n\nsummary excerpt: " + summary.text[:160]
+        + "\nexplain excerpt: " + explain.text[:160],
+    )
+
+    # the assistant's grounded statements hold
+    assert "Thermal Issue" in explain.text
+    assert "cn001" in explain.text
+    assert "indexed messages" in summary.text
+    # §7's economics: four-plus orders of magnitude apart
+    assert classify_cost > assist_cost * 10_000
+    # low-frequency usage fits in well under an hour of node time
+    assert assist_cost < 3600

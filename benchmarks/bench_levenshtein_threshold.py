@@ -1,0 +1,53 @@
+"""Ablation — the Levenshtein bucketing threshold (paper uses 7).
+
+Sweeps the edit-distance threshold of the legacy bucketing classifier
+and reports the administrator's labelling burden (number of buckets)
+against bucket label purity.  The trade-off the paper navigated: a low
+threshold multiplies buckets (more admin work); a high threshold merges
+distinct issues into one bucket (label errors).
+"""
+
+import numpy as np
+from conftest import BENCH_SEED, emit
+
+from repro.buckets.bucketer import LevenshteinBucketClassifier
+from repro.datagen.generator import CorpusGenerator
+from repro.experiments.common import format_table
+
+
+def sweep(texts, labels, thresholds):
+    rows = []
+    for thr in thresholds:
+        clf = LevenshteinBucketClassifier(threshold=thr)
+        clf.fit(texts, labels)
+        preds = clf.predict(texts)
+        matched = [(p, t) for p, t in zip(preds, labels) if p is not None]
+        purity = float(np.mean([p == t for p, t in matched])) if matched else 0.0
+        rows.append((thr, clf.n_buckets, purity))
+    return rows
+
+
+def test_levenshtein_threshold_sweep(benchmark):
+    corpus = CorpusGenerator(scale=0.01, seed=BENCH_SEED).generate()
+    texts, labels = corpus.texts, list(corpus.labels)
+
+    rows = benchmark.pedantic(
+        lambda: sweep(texts, labels, (0, 3, 7, 15, 30)), rounds=1, iterations=1
+    )
+
+    emit(
+        "Bucketing threshold sweep (paper operates at 7)",
+        format_table(
+            ["threshold", "buckets (admin labels)", "self-label purity"],
+            [list(r) for r in rows],
+        ),
+    )
+
+    by = {thr: (buckets, purity) for thr, buckets, purity in rows}
+    # lower thresholds mean more buckets to label
+    assert by[0][0] > by[7][0] > by[30][0]
+    # very high thresholds merge distinct issues: purity degrades
+    assert by[30][1] <= by[7][1]
+    # the paper's operating point: large collapse with high purity
+    assert by[7][0] < len(texts) / 5
+    assert by[7][1] > 0.95

@@ -1,0 +1,46 @@
+"""EXP-RETRAIN — §7: adapting to a new vendor joining the test-bed.
+
+The §7 question — "how well this particular classification/
+pre-processing technique combination holds up to changes in our
+cluster's environment" — answered with the drift-triggered retraining
+loop on the newcomer-vendor scenario.
+"""
+
+from conftest import BENCH_SEED, emit
+
+from repro.experiments.common import format_table
+from repro.experiments.retrainexp import run_retrain_experiment
+
+
+def test_retrain_adaptation(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_retrain_experiment(seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+
+    emit(
+        "§7 — newcomer-vendor adaptation",
+        format_table(
+            ["metric", "value"],
+            [
+                ["static pipeline, newcomer accuracy", res.static_newcomer_accuracy],
+                ["adaptive pipeline, newcomer accuracy", res.adaptive_newcomer_accuracy],
+                ["adaptive pipeline, established accuracy", res.adaptive_base_accuracy],
+                ["retrain events", res.retrain_events],
+                ["labels requested (admin effort)", res.labels_requested],
+                ["drift detected after (messages)", res.detection_window],
+                ["bucketing: new buckets queued", res.bucketing_new_buckets],
+            ],
+        ),
+    )
+
+    # the newcomer wrecks the static pipeline...
+    assert res.static_newcomer_accuracy < 0.85
+    # ...drift is detected promptly and retraining recovers most of it
+    assert res.retrain_events >= 1
+    assert res.detection_window is not None and res.detection_window <= 500
+    assert res.adaptive_newcomer_accuracy > res.static_newcomer_accuracy + 0.1
+    # without hurting the established vendors
+    assert res.adaptive_base_accuracy > 0.97
+    # and the admin effort stays bounded by the budget
+    assert res.labels_requested <= 60 * res.retrain_events

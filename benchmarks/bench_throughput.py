@@ -1,0 +1,62 @@
+"""EXP-THRU — §1/§6: can classification keep up with the stream?
+
+Runs the full Tivan discrete-event pipeline at a sweep of arrival rates
+with classifier stages at Table 3's LLM service times and the measured
+traditional pipeline, reporting backlog growth.  The paper's
+conclusion: LLM classification "will not be able to keep up with the
+continuous flow of messages"; the traditional pipeline must.
+"""
+
+from conftest import BENCH_SEED, emit
+
+from repro.experiments.common import format_table
+from repro.experiments.throughput import find_crossover_rate, run_throughput_sweep
+
+
+def test_throughput_keep_up(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_throughput_sweep(
+            rates_hz=(1.0, 5.0, 20.0), duration_s=120.0, seed=BENCH_SEED
+        ),
+        rounds=1, iterations=1,
+    )
+
+    emit(
+        "Throughput — classifier service time vs arrival rate",
+        format_table(
+            ["Classifier", "svc s/msg", "rate msg/s", "produced",
+             "classified", "backlog", "keeps up"],
+            [[r.classifier.split("/")[-1], f"{r.service_time_s:.4g}",
+              r.arrival_rate_hz, r.produced, r.classified,
+              r.final_backlog, "yes" if r.keeping_up else "NO"]
+             for r in rows],
+        ),
+    )
+
+    by = {(r.classifier, r.arrival_rate_hz): r for r in rows}
+    trad = "tfidf+complement-nb (measured)"
+    # the traditional pipeline keeps up at every rate
+    for rate in (1.0, 5.0, 20.0):
+        assert by[(trad, rate)].keeping_up
+    # generative LLMs drown as soon as the rate exceeds their service rate
+    assert not by[("tiiuae/falcon-40b", 5.0)].keeping_up
+    assert not by[("tiiuae/falcon-40b", 20.0)].keeping_up
+    assert not by[("tiiuae/falcon-7b", 20.0)].keeping_up
+    # backlog grows with rate for a fixed service time
+    assert (
+        by[("tiiuae/falcon-40b", 20.0)].final_backlog
+        > by[("tiiuae/falcon-40b", 5.0)].final_backlog
+        > by[("tiiuae/falcon-40b", 1.0)].final_backlog
+    )
+
+    # the crossover sits where queueing theory predicts (1/service time):
+    # falcon-7b keeps up below ~1.45 msg/s and drowns above it
+    svc = by[("tiiuae/falcon-7b", 1.0)].service_time_s
+    predicted, below_ok, above_ok = find_crossover_rate(svc, seed=BENCH_SEED)
+    emit(
+        "Crossover — falcon-7b saturation point",
+        f"predicted 1/service = {predicted:.2f} msg/s; "
+        f"keeps up at {predicted / 1.5:.2f} msg/s: {below_ok}; "
+        f"keeps up at {predicted * 1.5:.2f} msg/s: {above_ok}",
+    )
+    assert below_ok and not above_ok

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper artifact and prints it in the paper's
+format (run with ``-s`` to see the tables; they are also summarized in
+EXPERIMENTS.md).  ``REPRO_BENCH_SCALE`` scales the corpus (default
+0.05 ≈ 9.8k unique messages; the paper's full dataset is scale 1.0 ≈
+196k and takes correspondingly longer).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentData
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_data() -> ExperimentData:
+    """The shared corpus/split every classifier bench reuses."""
+    return ExperimentData(scale=BENCH_SCALE, seed=BENCH_SEED).prepare()
+
+
+@pytest.fixture(scope="session")
+def bench_data_no_unimportant() -> ExperimentData:
+    """The §5.1 ablation split (Unimportant removed)."""
+    return ExperimentData(
+        scale=BENCH_SCALE, seed=BENCH_SEED, drop_unimportant=True
+    ).prepare()
+
+
+def emit(title: str, body: str) -> None:
+    """Print one reproduced artifact with a recognizable banner."""
+    line = "=" * max(len(title) + 4, 40)
+    print(f"\n{line}\n  {title}\n{line}\n{body}\n")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Firmware drift vs the two classification approaches (§3 motivation).
+
+Shows why the paper moved away from edit-distance bucketing: each
+firmware generation rewrites message syntax, bucket coverage collapses
+(every miss is a bucket the administrator must label), while the
+TF-IDF + ML classifier's F1 barely moves.
+
+Run:  python examples/drift_retraining.py
+"""
+
+from repro.experiments import run_drift_experiment
+from repro.experiments.common import format_table
+
+
+def main() -> None:
+    rows = run_drift_experiment(scale=0.01, seed=1, generations=(0, 1, 2, 3))
+    print("Trained once at firmware generation 0; evaluated as firmware drifts:\n")
+    print(
+        format_table(
+            [
+                "fw gen",
+                "bucket coverage",
+                "new buckets",
+                "Drain coverage",
+                "new templates",
+                "ML weighted F1",
+            ],
+            [
+                [
+                    r.generation,
+                    r.bucket_coverage,
+                    r.new_buckets,
+                    r.drain_coverage,
+                    r.new_templates,
+                    r.ml_weighted_f1,
+                ]
+                for r in rows
+            ],
+        )
+    )
+    base, last = rows[0], rows[-1]
+    print(
+        f"\nBucket coverage fell {base.bucket_coverage:.0%} -> "
+        f"{last.bucket_coverage:.0%} (and Drain template coverage "
+        f"{base.drain_coverage:.0%} -> {last.drain_coverage:.0%} — the "
+        f"treadmill afflicts every template-grouping approach), while "
+        f"the ML classifier held {last.ml_weighted_f1:.3f} weighted F1 "
+        f"with zero retraining."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: classify heterogeneous syslog messages three ways.
+
+Reproduces the paper's Figure 1 interaction (a generative LLM
+classifying a thermal warning, with an explanation) and contrasts it
+with the production-grade traditional pipeline and the legacy
+bucketing approach.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Category, ClassificationPipeline
+from repro.buckets import LevenshteinBucketClassifier
+from repro.datagen import CorpusGenerator
+from repro.llm import (
+    CorpusEmbeddings,
+    SimulatedGenerativeLLM,
+    model_spec,
+)
+from repro.ml import ComplementNB
+
+FIGURE1_MESSAGE = "Warning: Socket 2 - CPU 23 throttling"
+
+
+def main() -> None:
+    print("Generating a small labelled corpus (Table 2 shape)...")
+    corpus = CorpusGenerator(scale=0.01, seed=7).generate()
+    print(f"  {len(corpus)} unique messages across {len(corpus.counts())} categories\n")
+
+    # 1. The traditional TF-IDF + ML pipeline (the paper's recommendation)
+    pipeline = ClassificationPipeline(classifier=ComplementNB())
+    pipeline.fit(corpus.texts, corpus.labels)
+    result = pipeline.classify(FIGURE1_MESSAGE)
+    print("[traditional pipeline]")
+    print(f"  message : {FIGURE1_MESSAGE!r}")
+    print(f"  category: {result.category.value}")
+    print(f"  throughput: ~{pipeline.messages_per_hour():,.0f} messages/hour\n")
+
+    # 2. The legacy Levenshtein bucketing baseline (§3)
+    bucketer = LevenshteinBucketClassifier(threshold=7)
+    bucketer.fit(corpus.texts, list(corpus.labels))
+    verdict = bucketer.predict_one(FIGURE1_MESSAGE)
+    print("[legacy bucketing]")
+    print(f"  buckets built: {bucketer.n_buckets} "
+          f"(each needed one human label, §4.4.1)")
+    print(f"  category: {verdict.value if verdict else 'UNCLASSIFIED — new bucket for the admin queue'}\n")
+
+    # 3. A (simulated) generative LLM, Figure 1 style
+    embeddings = CorpusEmbeddings(dim=64).fit(corpus.texts)
+    llm = SimulatedGenerativeLLM(
+        spec=model_spec("meta-llama/Llama-2-70b-chat-hf"),
+        embeddings=embeddings,
+        max_new_tokens=120,
+    )
+    print("[generative LLM — figure 1]")
+    print(f"  model: {llm.spec.name}")
+    print(f"  {llm.explain(FIGURE1_MESSAGE)}")
+    gen = llm.classify(FIGURE1_MESSAGE)
+    print(f"  parsed category: {gen.category.value if gen.category else gen.parsed.outcome.value}")
+    print(f"  simulated latency on the paper's 4xA100 node: {gen.timing.total_s:.2f}s "
+          f"(~{gen.timing.messages_per_hour:,.0f} messages/hour)")
+    print("\nThe traditional pipeline is ~3 orders of magnitude faster — "
+          "the paper's Table 3 conclusion.")
+
+
+if __name__ == "__main__":
+    main()

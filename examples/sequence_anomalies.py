@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Sequence anomaly detection on job-lifecycle sessions (§2 related work).
+
+The paper's related work ranks detectors: supervised > DeepLog >
+PCA > isolation forest.  This example walks the DeepLog workflow on
+simulated batch-job sessions — train on normal lifecycles only, then
+triage sessions with injected errors, crashes, and workflow-order
+violations — and compares against the point detectors.
+
+Run:  python examples/sequence_anomalies.py
+"""
+
+import numpy as np
+
+from repro.datagen.sessions import SessionGenerator, SessionKind
+from repro.ml import DeepLogDetector, IsolationForest, PCAAnomalyDetector, roc_auc_score
+from repro.textproc import TfidfVectorizer
+
+
+def main() -> None:
+    print("Training DeepLog on 300 normal job-lifecycle sessions...")
+    train_gen = SessionGenerator(seed=0)
+    train = [train_gen.normal().messages for _ in range(300)]
+    deeplog = DeepLogDetector(order=2, top_g=3).fit(train)
+    print(f"  learned {len(deeplog.key_of_)} log keys (message templates)\n")
+
+    test = SessionGenerator(seed=1).generate(100, 60)
+    truth = np.asarray([s.is_anomalous for s in test])
+
+    print("Per-kind anomaly rates (fraction of session steps flagged):")
+    for kind in SessionKind:
+        rates = [deeplog.anomaly_rate(s.messages) for s in test if s.kind is kind]
+        if rates:
+            print(f"  {kind.value:15s} mean={np.mean(rates):.3f}")
+    scores = np.asarray([deeplog.anomaly_rate(s.messages) for s in test])
+    print(f"\nDeepLog session-level ROC-AUC: {roc_auc_score(truth, scores):.3f}")
+
+    # point detectors on the same data (no order information)
+    flat = [m for s in train for m in s]
+    vec = TfidfVectorizer(max_features=400)
+    X = vec.fit_transform(flat)
+    for name, det in (
+        ("PCA reconstruction error", PCAAnomalyDetector(n_components=8).fit(X)),
+        ("Isolation forest", IsolationForest(n_estimators=50, seed=0).fit(X)),
+    ):
+        s = np.asarray([
+            float(det.score(vec.transform(list(sess.messages))).max())
+            for sess in test
+        ])
+        print(f"{name:26s} ROC-AUC: {roc_auc_score(truth, s):.3f}")
+
+    print(
+        "\nThe sequence model wins because two of the three anomaly kinds "
+        "(crashes, shuffles) are invisible at the message level — every "
+        "individual message is normal; only the *order* is wrong.\n"
+    )
+
+    print("DeepLog's false-positive feedback loop (Du et al. §4):")
+    novel = ["maintenance window opened by operator"] * 3
+    print(f"  novel maintenance sequence flagged: {any(deeplog.detect(novel))}")
+    for _ in range(3):
+        deeplog.observe_normal(novel)
+    print(f"  after operator confirms it normal : {any(deeplog.detect(novel))}")
+
+
+if __name__ == "__main__":
+    main()

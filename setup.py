@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools predates bundled bdist_wheel
+(legacy editable installs need a setup.py).
+"""
+
+from setuptools import setup
+
+setup()

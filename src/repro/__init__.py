@@ -1,0 +1,34 @@
+"""repro — reproduction of "Heterogeneous Syslog Analysis: There Is Hope".
+
+A library for classifying syslog messages from heterogeneous test-bed
+clusters into actionable issue categories, comparing the legacy
+edit-distance bucketing approach, traditional TF-IDF + ML classifiers,
+and (simulated) large-language-model classifiers, on top of a
+discrete-event simulation of the paper's log-collection infrastructure.
+
+Subpackages
+-----------
+``repro.core``
+    Taxonomy, message model, classification pipeline, alerting, drift.
+``repro.textproc``
+    Tokenization, masking normalization, lemmatization, TF-IDF,
+    edit distances.
+``repro.ml``
+    From-scratch sparse-aware classifiers and metrics.
+``repro.buckets``
+    The legacy Levenshtein bucketing classifier.
+``repro.llm``
+    Simulated generative LLMs, zero-shot classification, cost model.
+``repro.datagen``
+    Synthetic heterogeneous syslog corpus and stream generation.
+``repro.stream``
+    Discrete-event simulation of the Tivan collection pipeline.
+``repro.monitor``
+    Frequency, positional, and per-architecture analyses.
+``repro.experiments``
+    Runners reproducing each table/figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,86 @@
+"""Low-threshold edit-distance blacklist pre-filter (§5.1).
+
+The paper's traditional classifiers confuse "Unimportant" with real
+categories, and suggest "a preprocessing step that is able to filter
+out this category of messages prior to classification ... with the
+previously utilized minimum-edit distance techniques using a lower
+value for the categorization threshold.  This could allow system
+administrators to 'blacklist' specific kinds of messages while allowing
+the remaining messages ... to use the more general classifier."
+
+:class:`BlacklistFilter` implements exactly that: a
+:class:`~repro.buckets.bucketer.BucketStore` of known-noise exemplars
+matched with a *tighter* threshold than the general bucketing (default
+3 vs 7), so only messages nearly identical to known noise are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buckets.bucketer import BucketStore
+from repro.textproc.normalize import MaskingNormalizer
+
+__all__ = ["BlacklistFilter"]
+
+
+@dataclass
+class BlacklistFilter:
+    """Pre-classification filter for administrator-blacklisted noise.
+
+    Parameters
+    ----------
+    threshold:
+        Edit-distance threshold for a blacklist hit; deliberately lower
+        than the general bucketing threshold so the filter stays
+        conservative (a false drop hides a real issue).
+    premask:
+        Mask volatile fields before matching.
+    """
+
+    threshold: int = 3
+    premask: bool = True
+
+    store: BucketStore = field(init=False, repr=False)
+    n_filtered: int = field(default=0, init=False)
+    n_passed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.store = BucketStore(self.threshold)
+        self._normalizer = MaskingNormalizer() if self.premask else None
+
+    def _prep(self, text: str) -> str:
+        return self._normalizer.normalize(text) if self._normalizer else text
+
+    def blacklist(self, exemplar: str) -> None:
+        """Add one known-noise exemplar."""
+        self.store.add(self._prep(exemplar))
+
+    def blacklist_many(self, exemplars) -> None:
+        """Add many exemplars (e.g. all masked shapes labelled Unimportant)."""
+        seen: set[str] = set()
+        for e in exemplars:
+            key = self._prep(e)
+            if key not in seen:
+                seen.add(key)
+                self.store.add(key)
+
+    def matches(self, text: str) -> bool:
+        """True when ``text`` matches a blacklisted shape (no counters)."""
+        return self.store.find(self._prep(text)) is not None
+
+    def is_noise(self, text: str) -> bool:
+        """Like :meth:`matches`, but updates the filter counters."""
+        hit = self.matches(text)
+        if hit:
+            self.n_filtered += 1
+        else:
+            self.n_passed += 1
+        return hit
+
+    def split(self, texts) -> tuple[list[int], list[int]]:
+        """Partition indices of ``texts`` into (passed, filtered)."""
+        passed, filtered = [], []
+        for i, t in enumerate(texts):
+            (filtered if self.is_noise(t) else passed).append(i)
+        return passed, filtered

@@ -1,0 +1,80 @@
+"""Template-based classification via Drain mining.
+
+A modern drop-in for the §3 bucketing workflow: instead of Levenshtein
+buckets, messages group under Drain-mined templates, each labelled once
+by an administrator.  It shares bucketing's *operational* model (label
+a group, inherit the label) and therefore — as the drift experiment
+shows — also shares its failure mode: firmware updates mint new
+templates that queue for labels, whereas the TF-IDF+ML pipeline rides
+out the same drift untouched.  Faster grouping does not fix the
+re-labelling treadmill; that is the paper's underlying point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.taxonomy import Category
+from repro.textproc.drain import DrainTemplateMiner
+
+__all__ = ["DrainTemplateClassifier"]
+
+
+@dataclass
+class DrainTemplateClassifier:
+    """Classify messages by the label of their Drain template.
+
+    Parameters
+    ----------
+    similarity_threshold, depth:
+        Passed through to the miner.
+    """
+
+    similarity_threshold: float = 0.5
+    depth: int = 3
+
+    miner: DrainTemplateMiner = field(init=False, repr=False)
+    labels_: dict[int, Category] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self.miner = DrainTemplateMiner(
+            depth=self.depth, similarity_threshold=self.similarity_threshold
+        )
+
+    def fit(self, texts, labels) -> "DrainTemplateClassifier":
+        """Mine templates and label each with its first member's label."""
+        if len(texts) != len(labels):
+            raise ValueError(
+                f"texts and labels lengths differ: {len(texts)} vs {len(labels)}"
+            )
+        for text, label in zip(texts, labels):
+            tpl = self.miner.add(text)
+            self.labels_.setdefault(tpl.template_id, label)
+        return self
+
+    def predict_one(self, text: str) -> Category | None:
+        """Label of the matching template, or None (unmatched = one unit
+        of administrator labelling backlog)."""
+        tpl = self.miner.match(text)
+        if tpl is None:
+            return None
+        return self.labels_.get(tpl.template_id)
+
+    def predict(self, texts) -> list[Category | None]:
+        """Batch classification."""
+        return [self.predict_one(t) for t in texts]
+
+    @property
+    def n_templates(self) -> int:
+        return self.miner.n_templates
+
+    def observe(self, text: str) -> tuple[Category | None, bool]:
+        """Streaming form: (label or None, was a new template created?).
+
+        New templates join the unlabelled queue exactly like new
+        Levenshtein buckets do.
+        """
+        before = self.miner.n_templates
+        tpl = self.miner.add(text)
+        is_new = self.miner.n_templates > before
+        return self.labels_.get(tpl.template_id), is_new

@@ -1,0 +1,359 @@
+"""Command-line interface.
+
+The deployment surface of §7: generate corpora, train and persist
+classification pipelines, classify message streams, evaluate, and
+regenerate the paper's tables — all from the shell.
+
+Subcommands
+-----------
+``generate``   write a labelled synthetic corpus as JSONL
+``train``      fit a pipeline on a JSONL corpus and save it
+``classify``   classify messages (file or stdin) with a saved pipeline
+``evaluate``   train/test evaluation report on a JSONL corpus
+``tables``     regenerate paper artifacts (table1|table2|table3|fig3)
+
+Example
+-------
+::
+
+    repro-syslog generate --scale 0.01 --out corpus.jsonl
+    repro-syslog train --corpus corpus.jsonl --model-dir model/ --classifier cnb
+    echo "Warning: Socket 2 - CPU 23 throttling" | repro-syslog classify --model-dir model/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+_CLASSIFIERS = {
+    "logreg": lambda: _ml().LogisticRegression(max_iter=200),
+    "ridge": lambda: _ml().RidgeClassifier(),
+    "knn": lambda: _ml().KNeighborsClassifier(),
+    "forest": lambda: _ml().RandomForestClassifier(n_estimators=40, max_depth=25),
+    "svc": lambda: _ml().LinearSVC(),
+    "sgd": lambda: _ml().SGDClassifier(),
+    "centroid": lambda: _ml().NearestCentroid(),
+    "cnb": lambda: _ml().ComplementNB(),
+}
+
+
+def _ml():
+    import repro.ml as ml
+
+    return ml
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-syslog",
+        description="Heterogeneous syslog analysis (SC'23 SYSPROS reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a labelled synthetic corpus (JSONL)")
+    p.add_argument("--scale", type=float, default=0.01,
+                   help="fraction of the paper's 196k-message dataset")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=Path, required=True, help="output JSONL path")
+
+    p = sub.add_parser("train", help="fit and persist a classification pipeline")
+    p.add_argument("--corpus", type=Path, required=True, help="JSONL corpus")
+    p.add_argument("--model-dir", type=Path, required=True)
+    p.add_argument("--classifier", choices=sorted(_CLASSIFIERS), default="cnb")
+    p.add_argument("--max-features", type=int, default=2000)
+    p.add_argument("--blacklist", action="store_true",
+                   help="attach the §5.1 noise blacklist pre-filter")
+
+    p = sub.add_parser("classify", help="classify messages with a saved pipeline")
+    p.add_argument("--model-dir", type=Path, required=True)
+    p.add_argument("--input", type=Path, default=None,
+                   help="file of messages, one per line (default: stdin)")
+
+    p = sub.add_parser("evaluate", help="train/test evaluation on a corpus")
+    p.add_argument("--corpus", type=Path, required=True)
+    p.add_argument("--classifier", choices=sorted(_CLASSIFIERS), default="cnb")
+    p.add_argument("--test-size", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-features", type=int, default=2000)
+
+    p = sub.add_parser("tables", help="regenerate a paper artifact")
+    p.add_argument("artifact", choices=["table1", "table2", "table3", "fig3"])
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "simulate",
+        help="run the Tivan stream simulation with a saved pipeline",
+    )
+    p.add_argument("--model-dir", type=Path, required=True)
+    p.add_argument("--duration", type=float, default=600.0,
+                   help="simulated seconds of stream")
+    p.add_argument("--rate", type=float, default=5.0,
+                   help="background messages per second")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--incident", action="store_true",
+                   help="inject a cold-aisle thermal incident mid-run")
+
+    p = sub.add_parser(
+        "report",
+        help="run every experiment and write a paper-vs-measured report",
+    )
+    p.add_argument("--out", type=Path, required=True, help="markdown output path")
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "assist",
+        help="run a §7 assistant task over a simulated collection window",
+    )
+    p.add_argument("task", choices=["summary", "explain", "reply"])
+    p.add_argument("--model-dir", type=Path, required=True,
+                   help="saved classification pipeline for labelling")
+    p.add_argument("--host", default="cn001", help="node for explain/reply")
+    p.add_argument("--question", default="Is the cluster healthy?",
+                   help="admin question for the reply task")
+    p.add_argument("--llm", default="Llama-2-70b-chat-hf")
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _read_corpus(path: Path):
+    from repro.core.taxonomy import Category
+
+    texts: list[str] = []
+    labels: list = []
+    with path.open() as fh:
+        for i, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                texts.append(row["text"])
+                labels.append(Category.from_name(row["label"]))
+            except (json.JSONDecodeError, KeyError) as e:
+                raise SystemExit(f"{path}:{i + 1}: bad corpus row: {e}")
+    if not texts:
+        raise SystemExit(f"{path}: empty corpus")
+    return texts, labels
+
+
+def _cmd_generate(args) -> int:
+    from repro.datagen.generator import CorpusGenerator
+
+    corpus = CorpusGenerator(scale=args.scale, seed=args.seed).generate()
+    with args.out.open("w") as fh:
+        for msg, label in zip(corpus.messages, corpus.labels):
+            fh.write(json.dumps({
+                "text": msg.text,
+                "label": label.value,
+                "hostname": msg.hostname,
+                "app": msg.app,
+                "timestamp": msg.timestamp,
+            }) + "\n")
+    counts = ", ".join(f"{c.name}={n}" for c, n in corpus.counts().items())
+    print(f"wrote {len(corpus)} messages to {args.out} ({counts})")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.buckets.blacklist import BlacklistFilter
+    from repro.core.pipeline import ClassificationPipeline
+    from repro.core.serialize import save_pipeline
+    from repro.textproc.tfidf import TfidfVectorizer
+
+    texts, labels = _read_corpus(args.corpus)
+    pipe = ClassificationPipeline(
+        vectorizer=TfidfVectorizer(max_features=args.max_features),
+        classifier=_CLASSIFIERS[args.classifier](),
+        blacklist=BlacklistFilter(threshold=3) if args.blacklist else None,
+    )
+    pipe.fit(texts, labels)
+    save_pipeline(pipe, args.model_dir)
+    print(f"trained {args.classifier} on {len(texts)} messages "
+          f"-> {args.model_dir}")
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from repro.core.serialize import load_pipeline
+
+    pipe = load_pipeline(args.model_dir)
+    stream = args.input.open() if args.input else sys.stdin
+    try:
+        for line in stream:
+            text = line.rstrip("\n")
+            if not text:
+                continue
+            result = pipe.classify(text)
+            conf = f" ({result.confidence:.2f})" if result.confidence is not None else ""
+            flag = " [blacklisted]" if result.filtered else ""
+            print(f"{result.category.value}{conf}{flag}\t{text}")
+    finally:
+        if args.input:
+            stream.close()
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    import numpy as np
+
+    from repro.ml import classification_report, train_test_split, weighted_f1_score
+    from repro.textproc.tfidf import TfidfVectorizer
+
+    texts, labels = _read_corpus(args.corpus)
+    y = np.asarray([lab.value for lab in labels])
+    tr_txt, te_txt, y_tr, y_te = train_test_split(
+        texts, y, test_size=args.test_size, seed=args.seed
+    )
+    vec = TfidfVectorizer(max_features=args.max_features)
+    clf = _CLASSIFIERS[args.classifier]()
+    clf.fit(vec.fit_transform(list(tr_txt)), y_tr)
+    pred = clf.predict(vec.transform(list(te_txt)))
+    print(classification_report(y_te, pred))
+    print(f"\nweighted F1: {weighted_f1_score(y_te, pred):.4f}")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.experiments.common import format_table
+
+    if args.artifact == "table1":
+        from repro.experiments.table1 import run_table1
+
+        tops = run_table1(scale=args.scale, seed=args.seed)
+        print(format_table(
+            ["Category", "Top Tokens"],
+            [[c, ", ".join(t)] for c, t in sorted(tops.items())],
+        ))
+    elif args.artifact == "table2":
+        from repro.experiments.table2 import run_table2
+
+        res = run_table2(scale=args.scale, seed=args.seed)
+        print(format_table(
+            ["Category", "generated", "paper"],
+            [[c.value, res.generated.get(c, 0), res.paper[c]]
+             for c in res.paper],
+        ))
+    elif args.artifact == "table3":
+        from repro.experiments.table3 import PAPER_TABLE3, run_table3
+
+        rows = run_table3()
+        print(format_table(
+            ["Model", "time s", "paper s", "msgs/h"],
+            [[r.model, r.inference_time_s, PAPER_TABLE3[r.model][0],
+              int(r.messages_per_hour)] for r in rows],
+        ))
+    else:  # fig3
+        from repro.experiments.classifiers import run_classifier_comparison
+        from repro.experiments.common import ExperimentData
+
+        data = ExperimentData(scale=args.scale, seed=args.seed)
+        rows = run_classifier_comparison(data)
+        print(format_table(
+            ["Classifier", "weighted F1", "train s", "test s"],
+            [[r.name, r.weighted_f1, r.train_s, r.test_s] for r in rows],
+        ))
+    return 0
+
+
+def _run_simulation(args):
+    """Shared stream-simulation setup for simulate/assist."""
+    from repro.core.serialize import load_pipeline
+    from repro.core.taxonomy import Category
+    from repro.datagen.workload import Incident, generate_stream
+    from repro.stream.tivan import ClassifierStage, TivanCluster
+
+    pipe = load_pipeline(args.model_dir)
+    incidents = []
+    if getattr(args, "incident", True):
+        incidents.append(Incident(
+            "cold-aisle-door-open", Category.THERMAL,
+            start=args.duration * 0.4 if hasattr(args, "duration") else 240.0,
+            duration=60.0,
+            hostnames=tuple(f"cn{i:03d}" for i in range(8)),
+            peak_rate=2.0,
+        ))
+    duration = getattr(args, "duration", 600.0)
+    rate = getattr(args, "rate", 5.0)
+    events = generate_stream(
+        duration_s=duration, background_rate=rate,
+        incidents=incidents, seed=args.seed,
+    )
+    cluster = TivanCluster()
+    cluster.load_events(events)
+    cluster.attach_classifier(ClassifierStage(
+        service_time_s=max(pipe.mean_service_time, 1e-4),
+        classify=lambda text: pipe.classify(text).category,
+    ))
+    report = cluster.run(duration + 30.0)
+    return cluster, report
+
+
+def _cmd_simulate(args) -> int:
+    from repro.monitor.dashboard import render_overview
+
+    cluster, report = _run_simulation(args)
+    print(
+        f"produced={report.produced} indexed={report.indexed} "
+        f"classified={report.classified} backlog={report.final_backlog} "
+        f"keeping_up={report.keeping_up}"
+    )
+    print()
+    print(render_overview(cluster.store, interval_s=max(args.duration / 12, 1.0)))
+    return 0
+
+
+def _cmd_assist(args) -> int:
+    from repro.llm.assistant import AdminAssistant
+    from repro.llm.models import model_spec
+
+    args.duration, args.rate, args.incident = 600.0, 5.0, True
+    cluster, _report = _run_simulation(args)
+    assistant = AdminAssistant(spec=model_spec(args.llm))
+    if args.task == "summary":
+        reply = assistant.summarize_status(cluster.store)
+    elif args.task == "explain":
+        reply = assistant.explain_node(cluster.store, args.host)
+    else:
+        reply = assistant.draft_admin_reply(args.question, cluster.store, args.host)
+    print(reply.text)
+    print(f"\n[simulated inference cost: {reply.timing.total_s:.1f}s "
+          f"on {reply.timing.n_gpus} GPU(s)]")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import write_report
+
+    path = write_report(args.out, scale=args.scale, seed=args.seed)
+    print(f"wrote experiment report to {path}")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "classify": _cmd_classify,
+    "evaluate": _cmd_evaluate,
+    "tables": _cmd_tables,
+    "simulate": _cmd_simulate,
+    "assist": _cmd_assist,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

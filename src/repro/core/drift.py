@@ -1,0 +1,153 @@
+"""Distribution-drift monitoring.
+
+The paper's core operational pain (§3) is silent drift: firmware
+updates change message syntax, the old buckets stop matching, and the
+administrator only notices via a growing unclassified queue.
+:class:`DriftMonitor` makes drift *observable* for any classifier by
+tracking, over tumbling windows of the incoming stream:
+
+- **OOV rate** — fraction of tokens outside the training vocabulary
+  (rising OOV = new message shapes),
+- **confidence** — mean top-class probability when available,
+- **category mix** — predicted-category distribution, compared to the
+  training mix by Jensen–Shannon divergence.
+
+A window is flagged when any metric crosses its threshold; the
+recommended response is retraining (cheap for TF-IDF+ML, which is the
+paper's argument for the approach).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.taxonomy import Category
+from repro.textproc.tfidf import TfidfVectorizer
+
+__all__ = ["DriftMonitor", "DriftReport"]
+
+
+def _js_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Jensen–Shannon divergence (base-2, in [0, 1]) of two histograms."""
+    p = p / p.sum() if p.sum() else np.full_like(p, 1.0 / len(p))
+    q = q / q.sum() if q.sum() else np.full_like(q, 1.0 / len(q))
+    m = 0.5 * (p + q)
+
+    def kl(a, b):
+        mask = a > 0
+        return float((a[mask] * np.log2(a[mask] / b[mask])).sum())
+
+    return 0.5 * kl(p, m) + 0.5 * kl(q, m)
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Metrics for one monitoring window."""
+
+    window_index: int
+    n_messages: int
+    oov_rate: float
+    mean_confidence: float | None
+    category_js: float
+    drifted: bool
+    reasons: tuple[str, ...]
+
+
+@dataclass
+class DriftMonitor:
+    """Windowed drift detector over a classification stream.
+
+    Parameters
+    ----------
+    vectorizer:
+        The *fitted* vectorizer whose vocabulary defines OOV.
+    baseline_mix:
+        Training-time category distribution to compare against.
+    window:
+        Messages per tumbling window.
+    oov_threshold, js_threshold, confidence_threshold:
+        Flagging thresholds (OOV above / JS above / confidence below).
+    """
+
+    vectorizer: TfidfVectorizer
+    baseline_mix: dict[Category, float]
+    window: int = 500
+    oov_threshold: float = 0.25
+    js_threshold: float = 0.15
+    confidence_threshold: float = 0.6
+
+    reports: list[DriftReport] = field(default_factory=list, init=False)
+    _buf_oov: list[float] = field(default_factory=list, init=False, repr=False)
+    _buf_conf: list[float] = field(default_factory=list, init=False, repr=False)
+    _buf_cats: Counter = field(default_factory=Counter, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vectorizer.vocabulary is None:
+            raise ValueError("DriftMonitor requires a fitted vectorizer")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        total = sum(self.baseline_mix.values())
+        if total <= 0:
+            raise ValueError("baseline_mix must have positive total")
+        self._baseline = np.asarray(
+            [self.baseline_mix.get(c, 0.0) / total for c in Category]
+        )
+
+    def observe(
+        self,
+        text: str,
+        predicted: Category,
+        confidence: float | None = None,
+    ) -> DriftReport | None:
+        """Feed one classified message; returns a report at window ends."""
+        tokens = self.vectorizer.analyze(text)
+        vocab = self.vectorizer.vocabulary
+        if tokens:
+            oov = sum(1 for t in tokens if t not in vocab) / len(tokens)
+        else:
+            oov = 0.0
+        self._buf_oov.append(oov)
+        if confidence is not None:
+            self._buf_conf.append(confidence)
+        self._buf_cats[predicted] += 1
+        if len(self._buf_oov) >= self.window:
+            return self._close_window()
+        return None
+
+    def flush(self) -> DriftReport | None:
+        """Close a partial window (end of stream)."""
+        if not self._buf_oov:
+            return None
+        return self._close_window()
+
+    def _close_window(self) -> DriftReport:
+        n = len(self._buf_oov)
+        oov_rate = float(np.mean(self._buf_oov))
+        mean_conf = float(np.mean(self._buf_conf)) if self._buf_conf else None
+        mix = np.asarray([self._buf_cats.get(c, 0) for c in Category], dtype=np.float64)
+        js = _js_divergence(mix, self._baseline.copy())
+        reasons = []
+        if oov_rate > self.oov_threshold:
+            reasons.append(f"oov_rate {oov_rate:.3f} > {self.oov_threshold}")
+        if js > self.js_threshold:
+            reasons.append(f"category_js {js:.3f} > {self.js_threshold}")
+        if mean_conf is not None and mean_conf < self.confidence_threshold:
+            reasons.append(f"confidence {mean_conf:.3f} < {self.confidence_threshold}")
+        report = DriftReport(
+            window_index=len(self.reports),
+            n_messages=n,
+            oov_rate=oov_rate,
+            mean_confidence=mean_conf,
+            category_js=js,
+            drifted=bool(reasons),
+            reasons=tuple(reasons),
+        )
+        self.reports.append(report)
+        self._buf_oov.clear()
+        self._buf_conf.clear()
+        self._buf_cats.clear()
+        return report

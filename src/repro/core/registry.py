@@ -1,0 +1,104 @@
+"""Model registry.
+
+§7's first goal is "deploying our trained models on the new data we
+stored in our collection system".  The registry gives deployments a
+place to version fitted pipelines, record their evaluation metrics, and
+atomically promote one to "active" — so the stream simulator (and a
+real deployment) always has exactly one serving model while candidates
+are evaluated offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ModelRegistry", "ModelRecord"]
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One registered model version."""
+
+    name: str
+    version: int
+    model: object
+    metrics: dict
+    tags: tuple[str, ...] = ()
+
+
+class ModelRegistry:
+    """Versioned store of fitted models with a single active pointer."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, list[ModelRecord]] = {}
+        self._active: dict[str, int] = {}
+
+    def register(
+        self,
+        name: str,
+        model: object,
+        *,
+        metrics: dict | None = None,
+        tags: tuple[str, ...] = (),
+    ) -> ModelRecord:
+        """Add a new version of ``name``; returns the record."""
+        versions = self._versions.setdefault(name, [])
+        record = ModelRecord(
+            name=name,
+            version=len(versions) + 1,
+            model=model,
+            metrics=dict(metrics or {}),
+            tags=tags,
+        )
+        versions.append(record)
+        return record
+
+    def promote(self, name: str, version: int) -> None:
+        """Make ``version`` of ``name`` the active model.
+
+        Raises
+        ------
+        KeyError
+            Unknown model name or version.
+        """
+        versions = self._versions.get(name)
+        if not versions or not 1 <= version <= len(versions):
+            raise KeyError(f"no version {version} of model {name!r}")
+        self._active[name] = version
+
+    def active(self, name: str) -> ModelRecord:
+        """The active record for ``name`` (latest if never promoted).
+
+        Raises
+        ------
+        KeyError
+            No versions registered under ``name``.
+        """
+        versions = self._versions.get(name)
+        if not versions:
+            raise KeyError(f"no model registered as {name!r}")
+        version = self._active.get(name, len(versions))
+        return versions[version - 1]
+
+    def history(self, name: str) -> tuple[ModelRecord, ...]:
+        """All versions of ``name``, oldest first."""
+        return tuple(self._versions.get(name, ()))
+
+    def names(self) -> tuple[str, ...]:
+        """Registered model names."""
+        return tuple(sorted(self._versions))
+
+    def best(self, name: str, metric: str, higher_is_better: bool = True) -> ModelRecord:
+        """Version of ``name`` with the best recorded ``metric``.
+
+        Raises
+        ------
+        KeyError
+            If no version records that metric.
+        """
+        candidates = [r for r in self.history(name) if metric in r.metrics]
+        if not candidates:
+            raise KeyError(f"no version of {name!r} records metric {metric!r}")
+        return (max if higher_is_better else min)(
+            candidates, key=lambda r: r.metrics[metric]
+        )

@@ -1,0 +1,169 @@
+"""Adaptive retraining: close the loop the paper leaves open (§7).
+
+§7: "We will specifically be interested in how well this particular
+classification/pre-processing technique combination holds up to changes
+in our cluster's environment."  The legacy bucketing approach answered
+environmental change with a continuously growing hand-labelling queue
+(§3); :class:`RetrainController` gives the ML pipeline a bounded
+alternative:
+
+1. classify the stream with the active pipeline while the
+   :class:`~repro.core.drift.DriftMonitor` watches each window's OOV
+   rate / confidence / category mix;
+2. when a window is flagged, request labels for a *capped sample* of
+   that window (the administrator-effort budget — the quantity the
+   drift experiments compare against bucketing's per-shape labelling);
+3. retrain on original data plus everything labelled so far, register
+   the new version in the :class:`~repro.core.registry.ModelRegistry`,
+   and promote it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.drift import DriftMonitor, DriftReport
+from repro.core.pipeline import ClassificationPipeline
+from repro.core.registry import ModelRegistry
+from repro.core.taxonomy import Category
+
+__all__ = ["RetrainController", "RetrainEvent"]
+
+
+@dataclass(frozen=True)
+class RetrainEvent:
+    """One retraining action."""
+
+    at_message: int
+    trigger: DriftReport
+    labels_requested: int
+    model_version: int
+
+
+@dataclass
+class RetrainController:
+    """Drift-triggered retraining around a classification pipeline.
+
+    Parameters
+    ----------
+    pipeline_factory:
+        Builds a fresh (unfitted) pipeline for each retrain.
+    base_texts, base_labels:
+        The original training corpus.
+    labeler:
+        Oracle for administrator labels: ``texts -> labels``.  In
+        production this is a human queue; experiments pass ground
+        truth and *count the calls* as admin effort.
+    window:
+        Drift-monitor window (messages).
+    label_budget:
+        Maximum labels requested per retrain.
+    cooldown_windows:
+        Windows to wait after a retrain before the next may trigger
+        (retraining mid-drift twice in a row wastes labels).
+    """
+
+    pipeline_factory: Callable[[], ClassificationPipeline]
+    base_texts: Sequence[str]
+    base_labels: Sequence[Category]
+    labeler: Callable[[Sequence[str]], Sequence[Category]]
+    window: int = 300
+    label_budget: int = 60
+    cooldown_windows: int = 1
+    oov_threshold: float = 0.25
+
+    registry: ModelRegistry = field(default_factory=ModelRegistry, init=False)
+    events: list[RetrainEvent] = field(default_factory=list, init=False)
+    n_processed: int = field(default=0, init=False)
+
+    _pipeline: ClassificationPipeline = field(default=None, init=False, repr=False)
+    _monitor: DriftMonitor = field(default=None, init=False, repr=False)
+    _window_buf: list[str] = field(default_factory=list, init=False, repr=False)
+    _extra_texts: list[str] = field(default_factory=list, init=False, repr=False)
+    _extra_labels: list[Category] = field(default_factory=list, init=False, repr=False)
+    _cooldown: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.base_texts) != len(self.base_labels):
+            raise ValueError("base_texts and base_labels lengths differ")
+        self._fit_active()
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _baseline_mix(self) -> dict[Category, float]:
+        mix: dict[Category, float] = {c: 0.0 for c in Category}
+        labels = list(self.base_labels) + self._extra_labels
+        for lab in labels:
+            mix[lab] += 1.0
+        return mix
+
+    def _fit_active(self) -> int:
+        pipe = self.pipeline_factory()
+        pipe.fit(
+            list(self.base_texts) + self._extra_texts,
+            list(self.base_labels) + self._extra_labels,
+        )
+        record = self.registry.register(
+            "syslog-pipeline", pipe,
+            metrics={"n_train": len(self.base_texts) + len(self._extra_texts)},
+        )
+        self.registry.promote("syslog-pipeline", record.version)
+        self._pipeline = pipe
+        self._monitor = DriftMonitor(
+            vectorizer=pipe.vectorizer,
+            baseline_mix=self._baseline_mix(),
+            window=self.window,
+            oov_threshold=self.oov_threshold,
+        )
+        return record.version
+
+    @property
+    def active_pipeline(self) -> ClassificationPipeline:
+        return self._pipeline
+
+    @property
+    def model_version(self) -> int:
+        return self.registry.active("syslog-pipeline").version
+
+    # -- stream interface ------------------------------------------------------
+
+    def classify(self, text: str) -> Category:
+        """Classify one message, watching for drift along the way."""
+        result = self._pipeline.classify(text)
+        self._window_buf.append(text)
+        report = self._monitor.observe(text, result.category, result.confidence)
+        self.n_processed += 1
+        if report is not None:
+            self._on_window(report)
+        return result.category
+
+    def _on_window(self, report: DriftReport) -> None:
+        window_texts = self._window_buf
+        self._window_buf = []
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if not report.drifted:
+            return
+        sample = window_texts[: self.label_budget]
+        labels = list(self.labeler(sample))
+        if len(labels) != len(sample):
+            raise RuntimeError(
+                f"labeler returned {len(labels)} labels for {len(sample)} texts"
+            )
+        self._extra_texts.extend(sample)
+        self._extra_labels.extend(labels)
+        version = self._fit_active()
+        self._cooldown = self.cooldown_windows
+        self.events.append(RetrainEvent(
+            at_message=self.n_processed,
+            trigger=report,
+            labels_requested=len(sample),
+            model_version=version,
+        ))
+
+    @property
+    def total_labels_requested(self) -> int:
+        """Cumulative administrator-labelling effort."""
+        return sum(e.labels_requested for e in self.events)

@@ -1,0 +1,150 @@
+"""The actionable issue taxonomy (§4.1).
+
+The paper deliberately classifies at a coarse, *actionable* level — the
+level at which a system administrator can take a next step (run memory
+diagnostics, check the cold aisle, inspect an SSH session) — rather
+than at root-cause specificity.  The eight categories below are the
+paper's initial classification scheme verbatim; each carries a human
+description (used by the zero-shot classifier as its entailment
+hypothesis and by prompt construction) and a suggested action.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Category", "CategorySpec", "TAXONOMY", "CATEGORIES", "ACTIONABLE_CATEGORIES"]
+
+
+class Category(str, enum.Enum):
+    """The eight syslog issue categories of §4.1."""
+
+    HARDWARE = "Hardware Issue"
+    INTRUSION = "Intrusion Detection"
+    MEMORY = "Memory Issue"
+    SSH = "SSH-Connection"
+    SLURM = "Slurm Issues"
+    THERMAL = "Thermal Issue"
+    USB = "USB-Device"
+    UNIMPORTANT = "Unimportant"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "Category":
+        """Resolve a category from its display name (case-insensitive).
+
+        Raises
+        ------
+        KeyError
+            If ``name`` matches no category — the caller decides whether
+            that is an invented-category alignment failure (§5.2) or a
+            configuration error.
+        """
+        folded = name.strip().lower()
+        for cat in cls:
+            if cat.value.lower() == folded or cat.name.lower() == folded:
+                return cat
+        # tolerate minor morphological variants ("thermal issues",
+        # "memory", "ssh connection")
+        squashed = folded.replace("-", " ").rstrip("s")
+        for cat in cls:
+            cv = cat.value.lower().replace("-", " ").rstrip("s")
+            if cv == squashed or cv.split()[0] == squashed:
+                return cat
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """Metadata for one taxonomy category.
+
+    Attributes
+    ----------
+    category:
+        The category enum member.
+    description:
+        One-sentence definition, phrased so it can serve as a zero-shot
+        entailment hypothesis ("This message is about ...").
+    action:
+        The administrator's actionable next step (§4.1's rationale for
+        the coarse granularity).
+    alert_default:
+        Whether a new message in this category should raise a
+        notification by default (everything except Unimportant).
+    """
+
+    category: Category
+    description: str
+    action: str
+    alert_default: bool = True
+
+
+TAXONOMY: dict[Category, CategorySpec] = {
+    Category.HARDWARE: CategorySpec(
+        Category.HARDWARE,
+        "a hardware fault or degradation that is not memory, thermal, or "
+        "USB specific: clock/timestamp sync faults, power supply, fan, "
+        "PCIe, disk, or sensor failures",
+        "schedule hardware diagnostics on the affected node and check "
+        "vendor error counters",
+    ),
+    Category.INTRUSION: CategorySpec(
+        Category.INTRUSION,
+        "an event useful for intrusion detection: privilege escalation, "
+        "new root sessions, unexpected logins, audit events",
+        "review the session against access-control records and notify "
+        "security if unexplained",
+    ),
+    Category.MEMORY: CategorySpec(
+        Category.MEMORY,
+        "a memory problem: ECC/correctable errors, allocation failures, "
+        "out-of-memory kills, DIMM faults, low real memory",
+        "run memory diagnostics and consider replacing the DIMM",
+    ),
+    Category.SSH: CategorySpec(
+        Category.SSH,
+        "SSH connection activity: connections opened or closed, preauth "
+        "disconnects, failed or accepted authentication on a port",
+        "correlate with expected user activity; repeated failures may "
+        "feed intrusion detection",
+    ),
+    Category.SLURM: CategorySpec(
+        Category.SLURM,
+        "a Slurm workload-manager issue: node registration, version "
+        "mismatches, scheduler errors, job cancellations by the system",
+        "check slurmctld/slurmd state and node registration for the "
+        "affected node",
+    ),
+    Category.THERMAL: CategorySpec(
+        Category.THERMAL,
+        "a thermal problem: CPU or sensor temperature above threshold, "
+        "thermal throttling, overheating shutdowns",
+        "check rack cooling / cold-aisle containment and the node's fan "
+        "and sensor readings",
+    ),
+    Category.USB: CategorySpec(
+        Category.USB,
+        "USB device activity: a device or hub attached, enumerated, or "
+        "disconnected",
+        "verify the device plug-in was expected (data-center access "
+        "logs); unexpected devices are a security concern",
+    ),
+    Category.UNIMPORTANT: CategorySpec(
+        Category.UNIMPORTANT,
+        "unimportant noise or routine application-specific information "
+        "with no administrative action required",
+        "no action; retain for audit only",
+        alert_default=False,
+    ),
+}
+
+#: Categories in canonical (enum-definition) order.
+CATEGORIES: tuple[Category, ...] = tuple(Category)
+
+#: Categories an administrator acts on — everything but noise.
+ACTIONABLE_CATEGORIES: tuple[Category, ...] = tuple(
+    c for c in Category if c is not Category.UNIMPORTANT
+)

@@ -1,0 +1,128 @@
+"""A held-out "newcomer" vendor for adaptation experiments.
+
+§1 names the second driver of heterogeneity: message formats change
+"over time as software and firmware components are upgraded" and as
+"new systems would be added to the test-bed and old systems were
+retired" (§3).  Firmware drift is modelled by
+:mod:`repro.datagen.firmware`; this module models the harder case — a
+brand-new vendor whose messages use *different vocabulary* for the same
+issues, so a classifier trained before its arrival has never seen the
+discriminative tokens.
+
+The newcomer ("fujitsu", A64FX-style nodes) is deliberately excluded
+from :data:`repro.datagen.vendors.VENDORS`, and its templates avoid the
+established vendors' key tokens where a real vendor plausibly would
+(terse alarm codes instead of prose).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.message import Severity, SyslogMessage
+from repro.core.taxonomy import Category
+from repro.datagen.templates import MessageTemplate, fill_slots
+from repro.datagen.vendors import VendorProfile
+
+__all__ = ["NEWCOMER_VENDOR", "NEWCOMER_TEMPLATES", "generate_newcomer_messages"]
+
+NEWCOMER_VENDOR = VendorProfile(
+    "fujitsu", "aarch64-a64fx", "fx", rfc5424=True, kv_style=True
+)
+
+_T = MessageTemplate
+_S = Severity
+
+#: Newcomer message shapes — same eight categories, different surface
+#: vocabulary (alarm codes, kanji-adjacent terseness transliterated to
+#: codes, kv style).
+NEWCOMER_TEMPLATES: tuple[MessageTemplate, ...] = (
+    # Thermal
+    _T(Category.THERMAL, "fefsmond", _S.WARNING,
+       "TEMPALM code=T{socket}{cpu} pkg{socket} tj {temp}degC dvfs engaged lvl {pct}",
+       vendors=("fujitsu",), weight=2.0),
+    _T(Category.THERMAL, "fefsmond", _S.CRITICAL,
+       "TEMPALM code=TX{socket} cmg{socket} over tjmax, freq floor applied",
+       vendors=("fujitsu",), weight=1.0),
+    # Memory
+    _T(Category.MEMORY, "fefsmond", _S.ERROR,
+       "MEMALM code=M{bus} hbm{socket} cexx count={count} scrub pass initiated",
+       vendors=("fujitsu",), weight=2.0),
+    _T(Category.MEMORY, "kernel", _S.CRITICAL,
+       "oom-reaper: victim pid={pid} anon-rss={mem_mb}kB constraint=NONE",
+       vendors=("fujitsu",), weight=1.0),
+    # SSH
+    _T(Category.SSH, "sshd", _S.INFO,
+       "sshd[{pid}]: kex_exchange_identification: banner exchange with {ip}:{port} done",
+       vendors=("fujitsu",), weight=2.0),
+    # Intrusion
+    _T(Category.INTRUSION, "auditd", _S.WARNING,
+       "AUDALM code=A{socket} privileged shell acquired uid={uid} tty={tty}",
+       vendors=("fujitsu",), weight=1.5),
+    # Slurm
+    _T(Category.SLURM, "slurmd", _S.ERROR,
+       "SCHEDALM code=S{socket} rpc vers skew ctl={slurmver} nd={slurmver} on fx{devnum}",
+       vendors=("fujitsu",), weight=1.0),
+    # USB
+    _T(Category.USB, "kernel", _S.INFO,
+       "xhci-hcd xhci-hcd.{socket}.auto: plug evt slot={devnum} vid={vendorid} pid={prodid}",
+       vendors=("fujitsu",), weight=1.5),
+    # Hardware
+    _T(Category.HARDWARE, "fefsmond", _S.ERROR,
+       "HWALM code=H{bus} tofu link {socket} degraded lanes {pct} pct retrain",
+       vendors=("fujitsu",), weight=1.5),
+    _T(Category.HARDWARE, "chronyd", _S.WARNING,
+       "CLKALM code=C{socket} src {ip} unreachable, holdover {offset_s}",
+       vendors=("fujitsu",), weight=1.0),
+    # Unimportant
+    _T(Category.UNIMPORTANT, "fefsmond", _S.INFO,
+       "HLTHRPT code=OK{socket} node fx{devnum} sweep {count} all nominal",
+       vendors=("fujitsu",), weight=3.0),
+    _T(Category.UNIMPORTANT, "app", _S.INFO,
+       "a64fx-blas: dgemm tile {count} done gflops {delay_ms}",
+       vendors=("fujitsu",), weight=2.0),
+)
+
+
+def generate_newcomer_messages(
+    n: int, *, seed: int = 0, mix: dict[Category, float] | None = None
+) -> tuple[list[SyslogMessage], list[Category]]:
+    """Generate ``n`` labelled messages from the newcomer vendor.
+
+    Parameters
+    ----------
+    mix:
+        Category mix; defaults to a Table 2-like imbalance.
+    """
+    rng = np.random.default_rng(seed)
+    mix = mix or {
+        Category.UNIMPORTANT: 0.5,
+        Category.THERMAL: 0.25,
+        Category.MEMORY: 0.08,
+        Category.SSH: 0.05,
+        Category.HARDWARE: 0.05,
+        Category.INTRUSION: 0.03,
+        Category.USB: 0.02,
+        Category.SLURM: 0.02,
+    }
+    cats = list(mix)
+    probs = np.asarray([mix[c] for c in cats])
+    probs = probs / probs.sum()
+    by_cat = {
+        c: [t for t in NEWCOMER_TEMPLATES if t.category is c] for c in cats
+    }
+    messages: list[SyslogMessage] = []
+    labels: list[Category] = []
+    for _ in range(n):
+        cat = cats[int(rng.choice(len(cats), p=probs))]
+        pool = by_cat[cat]
+        tpl = pool[int(rng.integers(0, len(pool)))]
+        messages.append(SyslogMessage(
+            timestamp=float(rng.uniform(0, 86400)),
+            hostname=NEWCOMER_VENDOR.node_name(int(rng.integers(0, 16))),
+            app=tpl.app,
+            text=fill_slots(tpl, rng),
+            severity=tpl.severity,
+        ))
+        labels.append(cat)
+    return messages, labels

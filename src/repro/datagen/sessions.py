@@ -1,0 +1,164 @@
+"""Workflow-session generation for sequence-model evaluation.
+
+DeepLog [7] (and the LSTM/CNN detectors of the related work) operate on
+*sessions* — ordered message sequences produced by a workflow, like an
+HDFS block lifecycle or, on a test-bed, a batch job's lifecycle.  This
+module generates such sessions:
+
+- **normal sessions** follow the job lifecycle grammar
+  (submit → prolog → launch → N×(compute-step | barrier) →
+  checkpoint → epilog → complete), with slot-level variation,
+- **anomalous sessions** deviate structurally: an injected hardware/
+  memory/thermal error mid-run, a crash (missing epilog/complete), or
+  a shuffled step order.
+
+Ground truth is structural, so sequence detectors (which model order)
+can be compared fairly against point detectors (which cannot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.taxonomy import Category
+from repro.datagen.templates import MessageTemplate, fill_slots, templates_for
+from repro.core.message import Severity
+
+__all__ = ["SessionKind", "LabeledSession", "SessionGenerator"]
+
+_T = MessageTemplate
+_S = Severity
+
+# The job-lifecycle grammar: each stage is a small template pool.
+_STAGES: dict[str, tuple[MessageTemplate, ...]] = {
+    "submit": (
+        _T(Category.UNIMPORTANT, "slurmctld", _S.INFO,
+           "_submit: Allocate JobId={job} NodeCnt={nodecount} user {user}"),
+    ),
+    "prolog": (
+        _T(Category.UNIMPORTANT, "slurmd", _S.INFO,
+           "_prolog: running prolog for job {job} on cn{devnum}"),
+    ),
+    "launch": (
+        _T(Category.UNIMPORTANT, "slurmd", _S.INFO,
+           "launch task StepId={job}.{socket} request from UID:{uid} job_argument count {count}"),
+    ),
+    "compute": (
+        _T(Category.UNIMPORTANT, "app", _S.INFO,
+           "lpi_hbm_nn: iteration {count} residual {delay_ms}e-07 error tolerance ok job_argument {job}"),
+        _T(Category.UNIMPORTANT, "app", _S.INFO,
+           "MPI rank {cpu} of {nodecount}: barrier reached at step {count}, elapsed {delay_ms} s"),
+    ),
+    "checkpoint": (
+        _T(Category.UNIMPORTANT, "app", _S.INFO,
+           "lpi_hbm_nn: checkpoint {count} written in {delay_ms} ms no error detected"),
+    ),
+    "epilog": (
+        _T(Category.UNIMPORTANT, "slurmd", _S.INFO,
+           "_epilog: job {job} epilog complete on cn{devnum} status {exitcode}"),
+    ),
+    "complete": (
+        _T(Category.UNIMPORTANT, "slurmctld", _S.INFO,
+           "_complete: job {job} COMPLETED exit_code {exitcode} wall {sec} s"),
+    ),
+}
+
+
+class SessionKind(Enum):
+    """Ground-truth label of a generated session."""
+
+    NORMAL = "normal"
+    ERROR_INJECTED = "error_injected"  # real issue messages mid-run
+    CRASH = "crash"  # lifecycle truncated before epilog/complete
+    SHUFFLED = "shuffled"  # stages out of order (workflow violation)
+
+
+@dataclass(frozen=True)
+class LabeledSession:
+    """One generated session."""
+
+    messages: tuple[str, ...]
+    kind: SessionKind
+
+    @property
+    def is_anomalous(self) -> bool:
+        return self.kind is not SessionKind.NORMAL
+
+
+@dataclass
+class SessionGenerator:
+    """Generates labelled job-lifecycle sessions.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed.
+    compute_steps:
+        (min, max) compute-stage repetitions per session.
+    """
+
+    seed: int = 0
+    compute_steps: tuple[int, int] = (3, 10)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        lo, hi = self.compute_steps
+        if lo < 1 or hi < lo:
+            raise ValueError(f"invalid compute_steps range {self.compute_steps}")
+
+    def _stage(self, name: str) -> str:
+        pool = _STAGES[name]
+        tpl = pool[int(self._rng.integers(0, len(pool)))]
+        return fill_slots(tpl, self._rng)
+
+    def normal(self) -> LabeledSession:
+        """One normal lifecycle session."""
+        msgs = [self._stage("submit"), self._stage("prolog"), self._stage("launch")]
+        lo, hi = self.compute_steps
+        for _ in range(int(self._rng.integers(lo, hi + 1))):
+            msgs.append(self._stage("compute"))
+        msgs += [self._stage("checkpoint"), self._stage("epilog"),
+                 self._stage("complete")]
+        return LabeledSession(tuple(msgs), SessionKind.NORMAL)
+
+    def error_injected(self) -> LabeledSession:
+        """A session with real issue messages appearing mid-run."""
+        base = list(self.normal().messages)
+        category = [Category.THERMAL, Category.MEMORY, Category.HARDWARE][
+            int(self._rng.integers(0, 3))
+        ]
+        tpls = templates_for(category)
+        n_inject = int(self._rng.integers(1, 4))
+        for _ in range(n_inject):
+            tpl = tpls[int(self._rng.integers(0, len(tpls)))]
+            pos = int(self._rng.integers(3, len(base) - 2))
+            base.insert(pos, fill_slots(tpl, self._rng))
+        return LabeledSession(tuple(base), SessionKind.ERROR_INJECTED)
+
+    def crash(self) -> LabeledSession:
+        """A session that dies mid-compute (no checkpoint/epilog/complete)."""
+        base = list(self.normal().messages)
+        cut = int(self._rng.integers(4, max(5, len(base) - 3)))
+        return LabeledSession(tuple(base[:cut]), SessionKind.CRASH)
+
+    def shuffled(self) -> LabeledSession:
+        """A workflow-order violation (lifecycle stages permuted)."""
+        base = list(self.normal().messages)
+        perm = self._rng.permutation(len(base))
+        return LabeledSession(tuple(base[i] for i in perm), SessionKind.SHUFFLED)
+
+    def generate(
+        self, n_normal: int, n_anomalous: int
+    ) -> list[LabeledSession]:
+        """A shuffled mix of normal and anomalous sessions.
+
+        Anomalous sessions cycle through the three anomaly kinds.
+        """
+        out = [self.normal() for _ in range(n_normal)]
+        makers = (self.error_injected, self.crash, self.shuffled)
+        out += [makers[i % 3]() for i in range(n_anomalous)]
+        order = self._rng.permutation(len(out))
+        return [out[i] for i in order]

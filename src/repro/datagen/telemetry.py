@@ -1,0 +1,173 @@
+"""IPMI-style sensor telemetry simulation (§4.5.3).
+
+The per-architecture analysis is motivated by sensor data: "Fans or
+thermal sensors will occasionally report through IPMI that they are not
+functioning or the reading for those sensors are unusually high or low,
+however when comparing readings from other nodes from the same
+architecture the readings are exactly the same."
+
+:class:`TelemetryGenerator` produces periodic sensor sweeps over the
+test-bed with three injectable phenomena:
+
+- a **faulty sensor** on one node (stuck at an extreme value, or
+  dropping to zero) — the node-level anomaly an admin should see;
+- **rack heating** (the cold-aisle scenario) lifting the inlet
+  temperatures of every node in a rack — a positional incident;
+- a **family quirk**: every node of one architecture reports the same
+  nonsense value through IPMI — the false indication §4.5.3 says the
+  per-architecture comparison must suppress.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "TelemetrySample",
+    "FaultySensor",
+    "RackHeat",
+    "FamilyQuirk",
+    "TelemetryGenerator",
+]
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One sensor reading."""
+
+    timestamp: float
+    hostname: str
+    sensor: str
+    value: float
+
+
+@dataclass(frozen=True)
+class FaultySensor:
+    """One node's sensor misbehaving from ``start`` onward."""
+
+    hostname: str
+    sensor: str
+    start: float
+    mode: str = "stuck_high"  # stuck_high | stuck_zero
+    stuck_value: float = 120.0
+
+
+@dataclass(frozen=True)
+class RackHeat:
+    """Every listed node's inlet temperature rises by ``delta``."""
+
+    hostnames: tuple[str, ...]
+    start: float
+    duration: float
+    delta: float = 15.0
+    sensor: str = "Inlet_Temp"
+
+
+@dataclass(frozen=True)
+class FamilyQuirk:
+    """Every node of ``arch`` reports ``value`` on ``sensor`` (IPMI bug)."""
+
+    arch: str
+    sensor: str
+    value: float
+    start: float = 0.0
+
+
+#: per-sensor (baseline mean, stddev); architectures get a deterministic
+#: per-arch offset so families differ (as real hardware does).
+_SENSOR_BASELINES: dict[str, tuple[float, float]] = {
+    "Inlet_Temp": (24.0, 0.6),
+    "CPU_Temp": (55.0, 2.0),
+    "FAN1": (6000.0, 150.0),
+}
+
+
+@dataclass
+class TelemetryGenerator:
+    """Periodic sensor sweeps for a set of nodes.
+
+    Parameters
+    ----------
+    arch_of:
+        hostname → architecture mapping (defines peer families).
+    interval_s:
+        Sweep period.
+    seed:
+        RNG seed.
+    sensors:
+        Sensor names to sweep (defaults to the built-in trio).
+    """
+
+    arch_of: Mapping[str, str]
+    interval_s: float = 60.0
+    seed: int = 0
+    sensors: tuple[str, ...] = tuple(_SENSOR_BASELINES)
+
+    faulty: list[FaultySensor] = field(default_factory=list)
+    rack_heat: list[RackHeat] = field(default_factory=list)
+    quirks: list[FamilyQuirk] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {self.interval_s}")
+        unknown = [s for s in self.sensors if s not in _SENSOR_BASELINES]
+        if unknown:
+            raise ValueError(f"unknown sensors: {unknown}")
+
+    def _arch_offset(self, arch: str, sensor: str) -> float:
+        # deterministic per-(arch, sensor) offset: families run at
+        # different operating points (crc32, not hash(): the builtin is
+        # randomized per process)
+        import zlib
+
+        h = zlib.crc32(f"{arch}/{sensor}".encode()) % 1000 / 1000.0
+        base, std = _SENSOR_BASELINES[sensor]
+        return (h - 0.5) * 4.0 * std
+
+    def generate(self, duration_s: float) -> list[TelemetrySample]:
+        """Sweep all nodes every ``interval_s`` for ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        rng = np.random.default_rng(self.seed)
+        out: list[TelemetrySample] = []
+        t = 0.0
+        hosts = sorted(self.arch_of)
+        while t < duration_s:
+            for host in hosts:
+                arch = self.arch_of[host]
+                for sensor in self.sensors:
+                    out.append(TelemetrySample(
+                        timestamp=t,
+                        hostname=host,
+                        sensor=sensor,
+                        value=self._value(host, arch, sensor, t, rng),
+                    ))
+            t += self.interval_s
+        return out
+
+    def _value(
+        self, host: str, arch: str, sensor: str, t: float,
+        rng: np.random.Generator,
+    ) -> float:
+        for q in self.quirks:
+            if q.arch == arch and q.sensor == sensor and t >= q.start:
+                return q.value
+        for f in self.faulty:
+            if f.hostname == host and f.sensor == sensor and t >= f.start:
+                return 0.0 if f.mode == "stuck_zero" else f.stuck_value
+        base, std = _SENSOR_BASELINES[sensor]
+        value = base + self._arch_offset(arch, sensor)
+        # slow diurnal swing shared by the whole room
+        value += 0.5 * std * np.sin(2 * np.pi * t / 86400.0)
+        value += float(rng.normal(0.0, std * 0.5))
+        for rh in self.rack_heat:
+            if (
+                sensor == rh.sensor
+                and host in rh.hostnames
+                and rh.start <= t < rh.start + rh.duration
+            ):
+                value += rh.delta
+        return value

@@ -1,0 +1,443 @@
+"""Per-vendor syslog message templates for each taxonomy category.
+
+Each template is a format string with named slots; the generator fills
+slots from a seeded RNG, which yields the uniqueness and volume of real
+logs while the fixed scaffolding carries the category-discriminative
+vocabulary.  Template wording is modelled after public loghub-style
+corpora (Linux kernel, sshd, slurm) and the example messages quoted in
+the paper, and deliberately seeds the Table 1 tokens per category
+("throttled"/"temperature"/"sensor" for Thermal, "preauth"/"closed"/
+"port" for SSH, "real_memory" for Memory, ...), so that the TF-IDF
+top-token experiment reproduces the table's *content* and not just its
+format.
+
+Different vendors phrase the same issue differently — compare the two
+thermal phrasings quoted in §4.3.1 ("CPU temperature above threshold,
+cpu clock throttled." vs "CPU 1 Temperature Above Non-Recoverable -
+Asserted...") — which is exactly the heterogeneity that defeats
+edit-distance bucketing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+import string
+
+import numpy as np
+
+from repro.core.message import Severity
+from repro.core.taxonomy import Category
+
+__all__ = ["MessageTemplate", "TEMPLATES", "templates_for", "fill_slots", "SLOT_FILLERS"]
+
+
+def _num(lo: int, hi: int) -> Callable[[np.random.Generator], str]:
+    def fill(rng: np.random.Generator) -> str:
+        return str(int(rng.integers(lo, hi + 1)))
+    return fill
+
+
+def _fnum(lo: float, hi: float, prec: int = 1) -> Callable[[np.random.Generator], str]:
+    def fill(rng: np.random.Generator) -> str:
+        return f"{rng.uniform(lo, hi):.{prec}f}"
+    return fill
+
+
+def _choice(*options: str) -> Callable[[np.random.Generator], str]:
+    def fill(rng: np.random.Generator) -> str:
+        return options[int(rng.integers(0, len(options)))]
+    return fill
+
+
+def _hexid(n: int) -> Callable[[np.random.Generator], str]:
+    def fill(rng: np.random.Generator) -> str:
+        return "".join(rng.choice(list("0123456789abcdef"), size=n))
+    return fill
+
+
+def _ip(rng: np.random.Generator) -> str:
+    return ".".join(str(int(x)) for x in rng.integers(1, 255, size=4))
+
+
+def _user(rng: np.random.Generator) -> str:
+    users = ("jdoe", "asmith", "kchen", "mlopez", "rpatel", "tnguyen",
+             "build", "ops", "svc-mon", "root")
+    return users[int(rng.integers(0, len(users)))]
+
+
+def _word(rng: np.random.Generator) -> str:
+    letters = list(string.ascii_lowercase)
+    n = int(rng.integers(4, 9))
+    return "".join(rng.choice(letters, size=n))
+
+
+#: Slot name → filler function.
+SLOT_FILLERS: Mapping[str, Callable[[np.random.Generator], str]] = {
+    "cpu": _num(0, 127),
+    "socket": _num(0, 3),
+    "core": _num(0, 63),
+    "temp": _num(70, 105),
+    "mtemp": _num(35, 60),
+    "watts": _num(120, 700),
+    "rpm": _num(1800, 14000),
+    "port": _num(1024, 65535),
+    "sshport": _choice("22", "22", "22", "2222"),
+    "pid": _num(100, 99999),
+    "uid": _num(0, 65534),
+    "job": _num(100000, 9999999),
+    "nodecount": _num(1, 64),
+    "mem_mb": _num(1024, 1048576),
+    "addr": _hexid(12),
+    "hex8": _hexid(8),
+    "hex16": _hexid(16),
+    "ip": _ip,
+    "user": _user,
+    "dimm": _choice("A0", "A1", "B0", "B1", "C0", "C1", "D0", "D1"),
+    "bus": _num(1, 8),
+    "devnum": _num(1, 127),
+    "usbver": _choice("1.1", "2.0", "3.0", "3.1"),
+    "usbprod": _choice("Mass Storage", "Keyboard", "Optical Mouse",
+                       "Flash Disk", "Hub", "Serial Console"),
+    "vendorid": _hexid(4),
+    "prodid": _hexid(4),
+    "sensor": _choice("CPU1_Temp", "CPU2_Temp", "Inlet_Temp", "Exhaust_Temp",
+                      "VRM_Temp", "GPU_Temp", "PCH_Temp", "DIMM_Temp"),
+    "fan": _choice("FAN1", "FAN2", "FAN3", "FAN4", "SYS_FAN", "CPU_FAN"),
+    "disk": _choice("sda", "sdb", "sdc", "nvme0n1", "nvme1n1"),
+    "iface": _choice("eth0", "eth1", "ib0", "ib1", "eno1", "enp65s0"),
+    "slurmver": _choice("20.11.9", "21.08.8", "22.05.3", "23.02.1"),
+    "kernver": _choice("4.18.0-372", "5.14.0-162", "5.15.0-76", "4.14.0-115"),
+    "service": _choice("chronyd", "ntpd", "systemd", "irqbalance", "lldpad",
+                       "rasdaemon", "tuned"),
+    "delay_ms": _fnum(0.01, 900.0, 3),
+    "offset_s": _fnum(-2.0, 2.0, 6),
+    "pct": _num(1, 100),
+    "count": _num(1, 100000),
+    "sec": _num(1, 86400),
+    "word": _word,
+    "gpu": _num(0, 7),
+    "exitcode": _num(0, 255),
+    "inode": _num(1000, 99999999),
+    "tty": _choice("pts/0", "pts/1", "pts/2", "tty1", "ttyS0"),
+}
+
+
+@dataclass(frozen=True)
+class MessageTemplate:
+    """One parameterized syslog message shape.
+
+    Attributes
+    ----------
+    category:
+        Ground-truth taxonomy label for messages from this template.
+    app:
+        Emitting application/tag.
+    severity:
+        Syslog severity of emitted messages.
+    text:
+        Format string with ``{slot}`` placeholders (see
+        :data:`SLOT_FILLERS`).
+    vendors:
+        Vendor keys that emit this shape; ``None`` means all vendors.
+    weight:
+        Relative frequency among the category's templates.
+    """
+
+    category: Category
+    app: str
+    severity: Severity
+    text: str
+    vendors: tuple[str, ...] | None = None
+    weight: float = 1.0
+
+    def slots(self) -> tuple[str, ...]:
+        """Slot names referenced by :attr:`text`, in order."""
+        return tuple(
+            fname
+            for _lit, fname, _spec, _conv in string.Formatter().parse(self.text)
+            if fname
+        )
+
+
+def fill_slots(template: MessageTemplate, rng: np.random.Generator) -> str:
+    """Instantiate ``template`` with RNG-drawn slot values.
+
+    Raises
+    ------
+    KeyError
+        If the template references an unknown slot.
+    """
+    # sorted: set iteration order is hash-seed dependent, and each slot
+    # consumes RNG draws — unsorted iteration would make corpora differ
+    # across processes despite fixed seeds
+    values = {name: SLOT_FILLERS[name](rng) for name in sorted(set(template.slots()))}
+    return template.text.format(**values)
+
+
+_T = MessageTemplate
+_S = Severity
+
+TEMPLATES: tuple[MessageTemplate, ...] = (
+    # ------------------------------------------------------------------
+    # Thermal Issue — Table 1 tokens: processor, throttled, sensor, cpu,
+    # temperature
+    _T(Category.THERMAL, "kernel", _S.WARNING,
+       "CPU{cpu} temperature above threshold, cpu clock throttled (total events = {count})",
+       vendors=("dell", "supermicro"), weight=3.0),
+    _T(Category.THERMAL, "kernel", _S.NOTICE,
+       "CPU{cpu} temperature/speed normal, cpu clock unthrottled",
+       vendors=("dell", "supermicro"), weight=2.0),
+    _T(Category.THERMAL, "ipmi-sel", _S.CRITICAL,
+       "CPU {cpu} Temperature Above Non-Recoverable - Asserted. Current temperature: {temp}C",
+       vendors=("hpe",), weight=2.0),
+    _T(Category.THERMAL, "ipmi-sel", _S.WARNING,
+       "sensor {sensor} reading {temp} C exceeds upper critical threshold",
+       vendors=("hpe", "arm"), weight=1.5),
+    _T(Category.THERMAL, "kernel", _S.WARNING,
+       "Warning: Socket {socket} - CPU {cpu} throttling",
+       vendors=("nvidia",), weight=1.5),
+    _T(Category.THERMAL, "thermald", _S.WARNING,
+       "processor package temp {temp}C above passive trip point, engaging throttling",
+       vendors=("ibm", "arm"), weight=1.0),
+    _T(Category.THERMAL, "kernel", _S.CRITICAL,
+       "thermal thermal_zone{socket}: critical temperature reached ({temp} C), shutting down",
+       weight=0.5),
+    _T(Category.THERMAL, "ipmi-sel", _S.WARNING,
+       "Fan {fan} speed {rpm} RPM below lower threshold, temperature rising on sensor {sensor}",
+       vendors=("dell", "supermicro"), weight=1.0),
+    _T(Category.THERMAL, "nvidia-smi", _S.WARNING,
+       "GPU {gpu}: slowdown temperature threshold reached, clocks throttled to {pct} percent",
+       vendors=("nvidia",), weight=1.0),
+    _T(Category.THERMAL, "kernel", _S.WARNING,
+       "Core {core} thermal event: temperature {temp}C, package throttle asserted",
+       vendors=("arm", "ibm"), weight=1.0),
+
+    # ------------------------------------------------------------------
+    # Memory Issue — Table 1 tokens: size, real_memory, low, cn, node
+    _T(Category.MEMORY, "slurmd", _S.ERROR,
+       "error: Node configuration differs from hardware: RealMemory="
+       "{mem_mb} real_memory size low on node cn{devnum}",
+       vendors=("dell", "supermicro"), weight=2.0),
+    _T(Category.MEMORY, "kernel", _S.ERROR,
+       "EDAC MC{socket}: {count} CE memory read error on DIMM {dimm} (channel:{socket} slot:{bus})",
+       weight=2.5),
+    _T(Category.MEMORY, "kernel", _S.CRITICAL,
+       "Out of memory: Killed process {pid} ({word}) total-vm:{mem_mb}kB, anon-rss:{mem_mb}kB",
+       weight=2.0),
+    _T(Category.MEMORY, "kernel", _S.ERROR,
+       "mce: [Hardware Error]: Machine check events logged, memory controller bank {bus} address 0x{hex16}",
+       vendors=("dell", "hpe", "supermicro"), weight=1.5),
+    _T(Category.MEMORY, "rasdaemon", _S.WARNING,
+       "rasdaemon: mc_event store: DIMM {dimm} corrected memory errors count {count} size {mem_mb}",
+       vendors=("hpe", "ibm"), weight=1.0),
+    _T(Category.MEMORY, "kernel", _S.WARNING,
+       "page allocation failure: order:{socket}, mode:0x{hex8}, size {mem_mb}kB low memory on node",
+       weight=1.0),
+    _T(Category.MEMORY, "ipmi-sel", _S.ERROR,
+       "Memory Device {dimm} Uncorrectable ECC error asserted, node cn{devnum} real_memory degraded",
+       vendors=("dell",), weight=1.0),
+    _T(Category.MEMORY, "kernel", _S.WARNING,
+       "Memory failure: page {inode}: recovery action for dirty page: Recovered, size {mem_mb}kB",
+       vendors=("ibm", "arm", "nvidia"), weight=1.0),
+
+    # ------------------------------------------------------------------
+    # SSH-Connection — Table 1 tokens: closed, preauth, connection, port,
+    # user
+    _T(Category.SSH, "sshd", _S.INFO,
+       "Connection closed by {ip} port {port} [preauth]", weight=3.0),
+    _T(Category.SSH, "sshd", _S.INFO,
+       "Accepted publickey for {user} from {ip} port {port} ssh2: RSA SHA256:{hex16}",
+       weight=2.0),
+    _T(Category.SSH, "sshd", _S.INFO,
+       "Disconnected from user {user} {ip} port {port}", weight=1.5),
+    _T(Category.SSH, "sshd", _S.WARNING,
+       "error: maximum authentication attempts exceeded for user {user} from {ip} port {port} ssh2 [preauth]",
+       weight=1.0),
+    _T(Category.SSH, "sshd", _S.INFO,
+       "Received disconnect from {ip} port {port}:11: disconnected by user",
+       weight=1.5),
+    _T(Category.SSH, "sshd", _S.INFO,
+       "Failed password for invalid user {user} from {ip} port {port} ssh2",
+       weight=1.0),
+    _T(Category.SSH, "sshd", _S.INFO,
+       "Connection reset by authenticating user {user} {ip} port {port} [preauth]",
+       weight=1.0),
+
+    # ------------------------------------------------------------------
+    # Intrusion Detection — Table 1 tokens: root, session, user, started,
+    # boot
+    _T(Category.INTRUSION, "systemd-logind", _S.INFO,
+       "New session {count} of user root started on {tty}", weight=2.0),
+    _T(Category.INTRUSION, "sudo", _S.NOTICE,
+       "{user} : TTY={tty} ; PWD=/home/{user} ; USER=root ; COMMAND=/usr/bin/{word}",
+       weight=2.0),
+    _T(Category.INTRUSION, "su", _S.NOTICE,
+       "session opened for user root by {user}(uid={uid})", weight=1.5),
+    _T(Category.INTRUSION, "audit", _S.WARNING,
+       "ANOM_LOGIN acct=root uid={uid} ses={count} boot id {hex8} unexpected privileged session started",
+       vendors=("hpe", "nvidia"), weight=1.0),
+    _T(Category.INTRUSION, "pam_unix", _S.WARNING,
+       "authentication failure; logname= uid={uid} euid=0 tty={tty} user=root",
+       weight=1.5),
+    _T(Category.INTRUSION, "systemd-logind", _S.INFO,
+       "Session {count} of user {user} logged out. Waiting for processes to exit, boot session root audit",
+       weight=1.0),
+    _T(Category.INTRUSION, "kernel", _S.NOTICE,
+       "audit: type=1006 audit({sec}.{count}:{count}): pid={pid} uid=0 old-auid={uid} auid=0 "
+       "ses={count} res=1 root session started after boot",
+       weight=1.0),
+
+    # ------------------------------------------------------------------
+    # Slurm Issues — Table 1 tokens: version, update, slurm, please, node
+    _T(Category.SLURM, "slurmctld", _S.ERROR,
+       "error: slurmd version {slurmver} on node cn{devnum} does not match controller, please update slurm",
+       weight=2.0),
+    _T(Category.SLURM, "slurmctld", _S.WARNING,
+       "Node cn{devnum} not responding, slurm node state set DOWN, please investigate",
+       weight=1.5),
+    _T(Category.SLURM, "slurmd", _S.ERROR,
+       "error: slurm_receive_msg: Zero Bytes were transmitted or received on node update",
+       weight=1.0),
+    _T(Category.SLURM, "slurmctld", _S.ERROR,
+       "Invalid RPC version {slurmver} from slurmd on node tx{devnum}, update required please",
+       weight=1.0),
+
+    # ------------------------------------------------------------------
+    # USB-Device — Table 1 tokens: usb, device, hub, number, new
+    _T(Category.USB, "kernel", _S.INFO,
+       "usb {bus}-{socket}: new high-speed USB device number {devnum} using xhci_hcd",
+       weight=3.0),
+    _T(Category.USB, "kernel", _S.INFO,
+       "usb {bus}-{socket}: New USB device found, idVendor={vendorid}, idProduct={prodid}, bcdDevice={usbver}",
+       weight=2.0),
+    _T(Category.USB, "kernel", _S.INFO,
+       "usb {bus}-{socket}: Product: {usbprod}", weight=1.0),
+    _T(Category.USB, "kernel", _S.INFO,
+       "hub {bus}-0:1.0: USB hub found with {socket} ports", weight=1.5),
+    _T(Category.USB, "kernel", _S.INFO,
+       "usb {bus}-{socket}: USB disconnect, device number {devnum}", weight=2.0),
+    _T(Category.USB, "kernel", _S.WARNING,
+       "usb {bus}-{socket}: device descriptor read/64, error -{exitcode}; new device enumeration failed on hub",
+       weight=1.0),
+
+    # ------------------------------------------------------------------
+    # Hardware Issue — Table 1 tokens: timestamp, sync, clock, system,
+    # event
+    _T(Category.HARDWARE, "chronyd", _S.WARNING,
+       "System clock wrong by {offset_s} seconds, timestamp sync lost with source {ip}",
+       weight=2.0),
+    _T(Category.HARDWARE, "kernel", _S.WARNING,
+       "clocksource: timekeeping watchdog: Marking clocksource tsc as unstable, system timestamp sync event",
+       weight=1.5),
+    _T(Category.HARDWARE, "ntpd", _S.WARNING,
+       "time reset {offset_s} s: clock sync lost, system event logged at timestamp {sec}",
+       vendors=("ibm", "supermicro"), weight=1.0),
+    _T(Category.HARDWARE, "kernel", _S.ERROR,
+       "pcieport 0000:{hex8}: AER: Corrected error received: id=00{devnum}, system hardware event",
+       weight=1.5),
+    _T(Category.HARDWARE, "ipmi-sel", _S.ERROR,
+       "Power Supply {socket} failure detected - Asserted, system event at timestamp {sec}",
+       vendors=("dell", "hpe", "supermicro"), weight=1.5),
+    _T(Category.HARDWARE, "kernel", _S.ERROR,
+       "{disk}: I/O error, dev {disk}, sector {inode} op 0x0:(READ) flags 0x{hex8} system event",
+       weight=1.5),
+    _T(Category.HARDWARE, "kernel", _S.WARNING,
+       "{iface}: NIC Link is Down - transmit timestamp sync lost, check cable / switch clock",
+       weight=1.0),
+    _T(Category.HARDWARE, "smartd", _S.WARNING,
+       "Device: /dev/{disk}, SMART Prefailure Attribute: {count} Raw_Read_Error_Rate changed, system event",
+       vendors=("dell", "supermicro", "ibm"), weight=1.0),
+
+    # ------------------------------------------------------------------
+    # Unimportant — Table 1 tokens: error, lpi_hbm_nn, job_argument,
+    # slurm_rpc_node_registration (application noise that *looks* scary:
+    # it deliberately reuses words like "error" so that the confusion
+    # the paper observed along this category is reproduced)
+    _T(Category.UNIMPORTANT, "app", _S.INFO,
+       "lpi_hbm_nn: iteration {count} residual {delay_ms}e-07 error tolerance ok job_argument {job}",
+       weight=3.0),
+    _T(Category.UNIMPORTANT, "slurmd", _S.INFO,
+       "slurm_rpc_node_registration complete for cn{devnum} usec={count}",
+       weight=3.0),
+    _T(Category.UNIMPORTANT, "app", _S.INFO,
+       "job_argument parse ok: --input /scratch/{user}/run{count} --tol {delay_ms} error bound accepted",
+       weight=2.0),
+    _T(Category.UNIMPORTANT, "systemd", _S.INFO,
+       "Started Session {count} of user {user}.", weight=2.0),
+    _T(Category.UNIMPORTANT, "systemd", _S.INFO,
+       "{service}.service: Succeeded.", weight=2.0),
+    _T(Category.UNIMPORTANT, "crond", _S.INFO,
+       "({user}) CMD (/usr/lib64/sa/sa1 1 1)", weight=1.5),
+    _T(Category.UNIMPORTANT, "app", _S.INFO,
+       "lpi_hbm_nn: checkpoint {count} written in {delay_ms} ms no error detected",
+       weight=2.0),
+    _T(Category.UNIMPORTANT, "slurmd", _S.INFO,
+       "launch task StepId={job}.{socket} request from UID:{uid} job_argument count {count}",
+       weight=2.0),
+    _T(Category.UNIMPORTANT, "kernel", _S.INFO,
+       "perf: interrupt took too long ({count} > {count}), lowering kernel.perf_event_max_sample_rate",
+       weight=1.0),
+    _T(Category.UNIMPORTANT, "app", _S.INFO,
+       "solver {word} converged after {count} iterations, error norm {delay_ms}e-09",
+       weight=2.0),
+    _T(Category.UNIMPORTANT, "dbus-daemon", _S.INFO,
+       "[system] Activating service name='org.freedesktop.{word}' requested by ':{socket}.{count}'",
+       weight=1.0),
+    _T(Category.UNIMPORTANT, "app", _S.INFO,
+       "MPI rank {cpu} of {nodecount}: barrier reached at step {count}, elapsed {delay_ms} s",
+       weight=2.0),
+    # "Confusable" noise — §5.1 attributes the confusion along the
+    # Unimportant category to "messages that use significant words from
+    # other categories, but that aren't actually an interesting issue".
+    # These templates reuse category vocabulary in benign contexts.
+    _T(Category.UNIMPORTANT, "healthcheck", _S.INFO,
+       "periodic probe: cpu temperature {mtemp}C within normal range, no throttling active",
+       weight=1.2),
+    _T(Category.UNIMPORTANT, "healthcheck", _S.INFO,
+       "memory usage {pct} percent, real_memory size nominal on node cn{devnum}",
+       weight=1.2),
+    _T(Category.UNIMPORTANT, "app", _S.INFO,
+       "watchdog: connection to scheduler ok, port {port} responsive, session healthy",
+       weight=1.0),
+    _T(Category.UNIMPORTANT, "healthcheck", _S.INFO,
+       "sensor sweep complete: {count} sensors read, all temperature readings below threshold",
+       weight=1.0),
+    _T(Category.UNIMPORTANT, "app", _S.INFO,
+       "benchmark harness: simulated hardware failure injection {count} handled, system event counter reset",
+       weight=0.8),
+    _T(Category.UNIMPORTANT, "backup", _S.INFO,
+       "nightly sync of user home started, clock skew {delay_ms} ms acceptable",
+       weight=1.0),
+    _T(Category.UNIMPORTANT, "app", _S.INFO,
+       "allocator stats: pool size {mem_mb}kB, low watermark not reached, no memory pressure",
+       weight=1.0),
+    _T(Category.UNIMPORTANT, "usbmuxd", _S.INFO,
+       "device inventory unchanged: {count} usb devices enumerated, hub topology stable",
+       weight=0.8),
+    # Near-duplicates of real issue bodies in benign wrappers — these
+    # are the hardest cases and drive the residual confusion.
+    _T(Category.UNIMPORTANT, "selftest", _S.INFO,
+       "selftest replay: CPU{cpu} temperature above threshold, cpu clock throttled (expected during burn-in)",
+       weight=0.5),
+    _T(Category.UNIMPORTANT, "selftest", _S.INFO,
+       "drill: Connection closed by {ip} port {port} [preauth] (scanner canary, ignore)",
+       weight=0.5),
+    _T(Category.UNIMPORTANT, "selftest", _S.INFO,
+       "EDAC sweep: {count} CE memory read error threshold check passed on DIMM {dimm}",
+       weight=0.5),
+)
+
+
+def templates_for(
+    category: Category, vendor: str | None = None
+) -> tuple[MessageTemplate, ...]:
+    """Templates of ``category``, optionally restricted to ``vendor``."""
+    out = []
+    for t in TEMPLATES:
+        if t.category is not category:
+            continue
+        if vendor is not None and t.vendors is not None and vendor not in t.vendors:
+            continue
+        out.append(t)
+    return tuple(out)

@@ -1,0 +1,220 @@
+"""Arrival processes and incident injection for the streaming substrate.
+
+§1 motivates the problem by volume: "In just an hour over a million
+messages can be produced in a small scale test-bed like Darwin."  The
+streaming and monitoring experiments need timestamped message streams
+with that character: a Poisson background of mostly-Unimportant noise,
+punctuated by *incidents* — e.g. a cold-aisle door left open causing a
+burst of thermal messages from every node in a rack (§4.5.1) — which
+the frequency/positional/per-architecture analyses must detect.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.message import SyslogMessage
+from repro.core.taxonomy import Category
+from repro.datagen.templates import fill_slots, templates_for
+from repro.datagen.vendors import VENDORS, VendorProfile
+
+__all__ = [
+    "StreamEvent",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "Incident",
+    "generate_stream",
+]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One timestamped labelled message in a stream."""
+
+    message: SyslogMessage
+    label: Category
+    incident: str | None = None  # name of the injected incident, if any
+
+
+class ArrivalProcess:
+    """Yields arrival timestamps within ``[t0, t1)``."""
+
+    def times(self, t0: float, t1: float, rng: np.random.Generator) -> np.ndarray:
+        """Arrival timestamps in ``[t0, t1)``, sorted ascending."""
+        raise NotImplementedError
+
+
+@dataclass
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` per second."""
+
+    rate: float
+
+    def times(self, t0: float, t1: float, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly scattered arrivals at the Poisson count."""
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if t1 <= t0 or self.rate == 0:
+            return np.empty(0)
+        n = rng.poisson(self.rate * (t1 - t0))
+        return np.sort(rng.uniform(t0, t1, size=n))
+
+
+@dataclass
+class BurstArrivals(ArrivalProcess):
+    """A burst: exponentially decaying rate from ``peak_rate`` at ``t0``."""
+
+    peak_rate: float
+    decay_s: float
+
+    def times(self, t0: float, t1: float, rng: np.random.Generator) -> np.ndarray:
+        """Thinned inhomogeneous-Poisson arrivals with decaying rate."""
+        if self.peak_rate <= 0 or self.decay_s <= 0:
+            raise ValueError("peak_rate and decay_s must be positive")
+        # Thinning of an inhomogeneous Poisson process with
+        # rate(t) = peak_rate * exp(-(t - t0)/decay_s).
+        out: list[float] = []
+        t = t0
+        while t < t1:
+            t += rng.exponential(1.0 / self.peak_rate)
+            if t >= t1:
+                break
+            if rng.random() < np.exp(-(t - t0) / self.decay_s):
+                out.append(t)
+        return np.asarray(out)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """An injected incident: a burst of one category from specific nodes.
+
+    Attributes
+    ----------
+    name:
+        Identifier recorded on the emitted events (ground truth for the
+        monitoring experiments).
+    category:
+        Message category the incident emits.
+    start, duration:
+        Window of elevated emission (seconds).
+    hostnames:
+        Affected nodes (e.g. every node in a rack for a cold-aisle
+        incident).
+    peak_rate:
+        Per-node peak message rate at incident start.
+    """
+
+    name: str
+    category: Category
+    start: float
+    duration: float
+    hostnames: tuple[str, ...]
+    peak_rate: float = 2.0
+
+
+def generate_stream(
+    *,
+    duration_s: float,
+    background_rate: float,
+    incidents: Sequence[Incident] = (),
+    seed: int = 0,
+    nodes_per_vendor: int = 10,
+    background_mix: dict[Category, float] | None = None,
+) -> list[StreamEvent]:
+    """Generate a timestamped labelled message stream.
+
+    Parameters
+    ----------
+    duration_s:
+        Stream length in seconds.
+    background_rate:
+        Total background messages/second across the test-bed.
+    incidents:
+        Bursts injected on top of the background.
+    background_mix:
+        Category mix of the background; defaults to a realistic
+        noise-dominated mix (93% Unimportant, the rest spread thinly).
+
+    Returns
+    -------
+    list[StreamEvent]
+        Events sorted by timestamp.
+    """
+    rng = np.random.default_rng(seed)
+    mix = background_mix or {
+        Category.UNIMPORTANT: 0.93,
+        Category.SSH: 0.03,
+        Category.THERMAL: 0.015,
+        Category.MEMORY: 0.01,
+        Category.HARDWARE: 0.007,
+        Category.INTRUSION: 0.004,
+        Category.USB: 0.003,
+        Category.SLURM: 0.001,
+    }
+    cats = list(mix)
+    probs = np.asarray([mix[c] for c in cats], dtype=np.float64)
+    if probs.sum() <= 0:
+        raise ValueError("background_mix must have positive total weight")
+    probs = probs / probs.sum()
+
+    events: list[StreamEvent] = []
+    times = PoissonArrivals(background_rate).times(0.0, duration_s, rng)
+    choices = rng.choice(len(cats), size=len(times), p=probs)
+    for t, ci in zip(times, choices):
+        cat = cats[ci]
+        vendor = VENDORS[int(rng.integers(0, len(VENDORS)))]
+        events.append(
+            StreamEvent(
+                message=_emit(cat, vendor, None, float(t), rng, nodes_per_vendor),
+                label=cat,
+            )
+        )
+
+    for inc in incidents:
+        burst = BurstArrivals(peak_rate=inc.peak_rate, decay_s=max(inc.duration / 3.0, 1.0))
+        for host in inc.hostnames:
+            vendor = _vendor_of(host)
+            for t in burst.times(inc.start, inc.start + inc.duration, rng):
+                events.append(
+                    StreamEvent(
+                        message=_emit(inc.category, vendor, host, float(t), rng, nodes_per_vendor),
+                        label=inc.category,
+                        incident=inc.name,
+                    )
+                )
+    events.sort(key=lambda e: e.message.timestamp)
+    return events
+
+
+def _vendor_of(hostname: str) -> VendorProfile:
+    for v in VENDORS:
+        if hostname.startswith(v.node_prefix):
+            return v
+    return VENDORS[0]
+
+
+def _emit(
+    cat: Category,
+    vendor: VendorProfile,
+    hostname: str | None,
+    t: float,
+    rng: np.random.Generator,
+    nodes_per_vendor: int,
+) -> SyslogMessage:
+    tpls = templates_for(cat, vendor.name)
+    if not tpls:
+        tpls = templates_for(cat)
+    w = np.asarray([tp.weight for tp in tpls])
+    tpl = tpls[int(rng.choice(len(tpls), p=w / w.sum()))]
+    return SyslogMessage(
+        timestamp=t,
+        hostname=hostname or vendor.node_name(int(rng.integers(0, nodes_per_vendor))),
+        app=tpl.app,
+        text=fill_slots(tpl, rng),
+        severity=tpl.severity,
+        pid=int(rng.integers(100, 99999)),
+    )

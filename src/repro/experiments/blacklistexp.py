@@ -1,0 +1,100 @@
+"""EXP-BLKLST: the §5.1 blacklist pre-filter suggestion.
+
+Compares three pipeline configurations on the same split:
+
+1. the plain classifier over all eight categories (Figure 3 setup),
+2. the classifier with the low-threshold edit-distance **blacklist**
+   filtering known-Unimportant shapes before classification,
+3. the §5.1 ablation that simply drops Unimportant from the data.
+
+The paper hypothesises (2) recovers most of (3)'s accuracy gain while
+still handling noise (instead of pretending it doesn't exist), and
+additionally cuts classifier load because most traffic is noise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.buckets.blacklist import BlacklistFilter
+from repro.core.pipeline import ClassificationPipeline
+from repro.core.taxonomy import Category
+from repro.experiments.common import ExperimentData
+from repro.ml import LogisticRegression, weighted_f1_score
+from repro.textproc.tfidf import TfidfVectorizer
+
+__all__ = ["BlacklistResult", "run_blacklist_experiment"]
+
+
+@dataclass(frozen=True)
+class BlacklistResult:
+    """One configuration's outcome."""
+
+    name: str
+    weighted_f1: float
+    classify_s: float
+    messages_to_model: int  # classifier load after filtering
+    filtered: int
+
+
+def run_blacklist_experiment(
+    *, scale: float = 0.02, seed: int = 0
+) -> list[BlacklistResult]:
+    """Run the three configurations on one shared split."""
+    data = ExperimentData(scale=scale, seed=seed).prepare()
+    results: list[BlacklistResult] = []
+
+    def evaluate(name: str, pipe: ClassificationPipeline, texts, y_true) -> None:
+        t0 = time.perf_counter()
+        out = pipe.classify_batch(list(texts))
+        dt = time.perf_counter() - t0
+        y_pred = np.asarray([r.category.value for r in out])
+        filtered = sum(1 for r in out if r.filtered)
+        results.append(
+            BlacklistResult(
+                name=name,
+                weighted_f1=weighted_f1_score(y_true, y_pred),
+                classify_s=dt,
+                messages_to_model=len(out) - filtered,
+                filtered=filtered,
+            )
+        )
+
+    labels_tr = [Category.from_name(v) for v in data.y_train]
+
+    plain = ClassificationPipeline(
+        vectorizer=TfidfVectorizer(max_features=data.max_features),
+        classifier=LogisticRegression(max_iter=200),
+    )
+    plain.fit(data.train_texts, labels_tr)
+    evaluate("plain (8 categories)", plain, data.test_texts, data.y_test)
+
+    filtered_pipe = ClassificationPipeline(
+        vectorizer=TfidfVectorizer(max_features=data.max_features),
+        classifier=LogisticRegression(max_iter=200),
+        blacklist=BlacklistFilter(threshold=3),
+    )
+    filtered_pipe.fit(data.train_texts, labels_tr)
+    evaluate("blacklist pre-filter", filtered_pipe, data.test_texts, data.y_test)
+
+    # §5.1 ablation: drop Unimportant entirely (train and test).
+    keep_tr = [i for i, v in enumerate(data.y_train) if v != Category.UNIMPORTANT.value]
+    keep_te = [i for i, v in enumerate(data.y_test) if v != Category.UNIMPORTANT.value]
+    dropped = ClassificationPipeline(
+        vectorizer=TfidfVectorizer(max_features=data.max_features),
+        classifier=LogisticRegression(max_iter=200),
+    )
+    dropped.fit(
+        [data.train_texts[i] for i in keep_tr],
+        [labels_tr[i] for i in keep_tr],
+    )
+    evaluate(
+        "drop Unimportant (ablation)",
+        dropped,
+        [data.test_texts[i] for i in keep_te],
+        data.y_test[keep_te],
+    )
+    return results

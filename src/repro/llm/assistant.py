@@ -1,0 +1,172 @@
+"""Low-frequency LLM assistant tasks (§7, Future Work).
+
+The paper concludes LLMs are too expensive for per-message
+classification but "there still might be use-cases for these tools in
+the context of a test-bed cluster.  Some examples could be summarizing
+the system status, explanation of groups of syslog messages within a
+given node, generating recommended responses to admin emails ... These
+models excel in tasks that involve unstructured text."
+
+:class:`AdminAssistant` implements those three tasks over the simulated
+LLM stack.  The content is *grounded*: every statement is derived from
+log-store aggregations or the taxonomy, then rendered through the
+generative simulator's voice, with the cost model accounting for each
+call — so the economics bench can show that a handful of daily
+assistant calls cost a negligible fraction of per-message
+classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.taxonomy import TAXONOMY, Category
+from repro.llm.costmodel import GenerationTiming, InferenceCostModel, ModelSpec
+from repro.llm.tokenizer import count_tokens
+from repro.monitor.frequency import BurstDetector
+from repro.stream.opensearch import LogStore
+
+__all__ = ["AssistantReply", "AdminAssistant"]
+
+
+@dataclass(frozen=True)
+class AssistantReply:
+    """One assistant response plus its simulated cost."""
+
+    text: str
+    timing: GenerationTiming
+
+
+@dataclass
+class AdminAssistant:
+    """Grounded LLM assistant for test-bed administration.
+
+    Parameters
+    ----------
+    spec:
+        The generative model used (cost and verbosity).
+    cost_model:
+        Latency model (defaults to the paper's node).
+    interval_s:
+        Histogram interval for status summaries.
+    """
+
+    spec: ModelSpec
+    cost_model: InferenceCostModel = None  # type: ignore[assignment]
+    interval_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.spec.architecture != "causal":
+            raise ValueError(f"{self.spec.name} is not a generative model")
+        if self.cost_model is None:
+            self.cost_model = InferenceCostModel()
+
+    def _cost(self, prompt: str, response: str) -> GenerationTiming:
+        return self.cost_model.generation_timing(
+            self.spec,
+            prompt_tokens=count_tokens(prompt),
+            gen_tokens=count_tokens(response),
+        )
+
+    # -- task 1: system status summary ----------------------------------
+
+    def summarize_status(self, store: LogStore) -> AssistantReply:
+        """Natural-language cluster status from store aggregations."""
+        n = len(store)
+        if n == 0:
+            text = "The log store is empty; no activity to summarize."
+            return AssistantReply(text, self._cost("summarize", text))
+        cats = store.terms_aggregation("category", top=8)
+        hosts = store.terms_aggregation("hostname", top=3)
+        apps = store.terms_aggregation("app", top=3)
+        bursts = BurstDetector(z_threshold=4.0).detect_in_store(
+            store, interval_s=self.interval_s
+        )
+        lines = [f"Cluster status summary over {n} indexed messages."]
+        if cats:
+            actionable = [(c, k) for c, k in cats if c != Category.UNIMPORTANT.value]
+            noise = dict(cats).get(Category.UNIMPORTANT.value, 0)
+            lines.append(
+                f"Noise accounts for {noise} messages"
+                + (
+                    "; the leading actionable categories are "
+                    + ", ".join(f"{c} ({k})" for c, k in actionable[:3]) + "."
+                    if actionable
+                    else "; no actionable categories were recorded."
+                )
+            )
+        if bursts:
+            b = max(bursts, key=lambda b: b.peak_z)
+            lines.append(
+                f"A message surge peaked at t={b.start:.0f}s "
+                f"(z={b.peak_z:.1f}, {b.total_messages} messages); "
+                "correlate with facility events around that time."
+            )
+        else:
+            lines.append("Message rates were stable; no surges detected.")
+        lines.append(
+            "The noisiest hosts were "
+            + ", ".join(f"{h} ({k})" for h, k in hosts)
+            + "; the busiest services were "
+            + ", ".join(f"{a} ({k})" for a, k in apps)
+            + "."
+        )
+        text = " ".join(lines)
+        prompt = f"Summarize the system status of the test-bed from {n} syslog records."
+        return AssistantReply(text, self._cost(prompt, text))
+
+    # -- task 2: per-node explanation ------------------------------------------
+
+    def explain_node(self, store: LogStore, hostname: str) -> AssistantReply:
+        """Explain the groups of messages a node has been emitting."""
+        docs = store.term_query(hostname).docs
+        prompt = f"Explain the recent syslog activity of node {hostname}."
+        if not docs:
+            text = f"Node {hostname} has emitted no indexed messages."
+            return AssistantReply(text, self._cost(prompt, text))
+        from collections import Counter
+
+        by_cat: Counter[Category] = Counter(
+            d.category for d in docs if d.category is not None
+        )
+        by_app: Counter[str] = Counter(d.message.app for d in docs)
+        lines = [
+            f"Node {hostname} emitted {len(docs)} messages, mostly via "
+            + ", ".join(f"{a} ({k})" for a, k in by_app.most_common(3)) + "."
+        ]
+        for cat, k in by_cat.most_common(3):
+            if cat is Category.UNIMPORTANT:
+                continue
+            spec = TAXONOMY[cat]
+            example = next(
+                d.message.text for d in docs if d.category is cat
+            )
+            lines.append(
+                f"{k} messages indicate {cat.value}: for example "
+                f'"{example}". This suggests {spec.description}; '
+                f"recommended action: {spec.action}."
+            )
+        if len(lines) == 1:
+            lines.append("All of it is routine noise; no action is required.")
+        text = " ".join(lines)
+        return AssistantReply(text, self._cost(prompt, text))
+
+    # -- task 3: admin email reply ---------------------------------------------
+
+    def draft_admin_reply(
+        self, question: str, store: LogStore, hostname: str | None = None
+    ) -> AssistantReply:
+        """Draft a reply to an administrator/user email, grounded in logs."""
+        prompt = f"Draft a reply to: {question}"
+        context = (
+            self.explain_node(store, hostname).text
+            if hostname
+            else self.summarize_status(store).text
+        )
+        text = (
+            f"Hello,\n\nThanks for reaching out. Regarding your question "
+            f'("{question.strip()}"): {context} '
+            "Please let us know if the behaviour persists after the "
+            "suggested action.\n\nBest regards,\nTest-bed operations"
+        )
+        return AssistantReply(text, self._cost(prompt + context, text))

@@ -1,0 +1,285 @@
+"""The simulated generative LLM classifier.
+
+What the simulator must get right (because the paper's §5.2 findings
+rest on it):
+
+1. **Latent classification quality** scales with model capability and
+   with prompt quality.  The latent decision is made by a real
+   mechanism — entailment scoring over corpus embeddings, plus overlap
+   with the per-category TF-IDF hint words when the prompt includes
+   them — perturbed by capability-scaled noise.  No ground-truth labels
+   are consulted.
+2. **Alignment failure modes**:
+   - *invented categories* (a plausible new label instead of one of the
+     given choices), less frequent with a format spec and an example,
+   - *excessive generation* (unsolicited justification), which the
+     paper observed "despite the inclusion of instructions" — only the
+     ``max_new_tokens`` cap fixes its cost,
+   - *role-play continuation* (the §5.2 anecdote: the model invents a
+     system-administrator character and a new artificial syslog
+     message to classify).
+3. **Latency** comes from the roofline cost model, so capping
+   ``max_new_tokens`` visibly buys back throughput (Table 3 shape).
+
+All randomness is derived deterministically from (model, message), so
+classifying the same message with the same model always yields the
+same behaviour — like greedy decoding does in practice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.taxonomy import TAXONOMY, Category
+from repro.llm.costmodel import GenerationTiming, InferenceCostModel, ModelSpec
+from repro.llm.embeddings import CorpusEmbeddings
+from repro.llm.parse import ParsedClassification, parse_classification
+from repro.llm.prompts import PromptConfig, build_prompt
+from repro.llm.tokenizer import count_tokens, tokenize_subwords
+from repro.llm.zeroshot import ZeroShotClassifier
+from repro.textproc.tokenize import tokenize as _word_tokenize
+
+__all__ = ["SimulatedGenerativeLLM", "GenerationResult"]
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Everything one generative classification call produced."""
+
+    prompt: str
+    response: str
+    parsed: ParsedClassification
+    timing: GenerationTiming
+    truncated: bool
+    #: the category the model latently decided on (before any
+    #: alignment failure garbled the surface form)
+    latent_category: Category
+
+    @property
+    def category(self) -> Category | None:
+        return self.parsed.category
+
+
+# Surface vocabulary for invented labels, keyed by the latent category
+# the model had in mind (invented labels "make sense in the context of
+# the message provided", §5.2).
+_INVENTED_LABELS: dict[Category, tuple[str, ...]] = {
+    Category.THERMAL: ("CPU Overheating", "Cooling Failure", "Thermal Throttling Event"),
+    Category.MEMORY: ("DIMM Failure", "Memory Corruption", "Out-Of-Memory Condition"),
+    Category.SSH: ("Remote Access", "Login Activity", "Authentication Event"),
+    Category.INTRUSION: ("Security Breach", "Privilege Escalation", "Suspicious Activity"),
+    Category.SLURM: ("Scheduler Error", "Job Failure", "Workload Manager Issue"),
+    Category.USB: ("Peripheral Attach", "Removable Media", "Device Hotplug"),
+    Category.HARDWARE: ("Component Degradation", "Power Anomaly", "System Fault"),
+    Category.UNIMPORTANT: ("Routine Operation", "Informational", "Application Noise"),
+}
+
+_ROLEPLAY = (
+    "\n\nNow consider the following scenario. You are Alex, a seasoned "
+    "system administrator at a national laboratory. A new syslog "
+    'message arrives: "kernel: watchdog: BUG: soft lockup - CPU#12 '
+    'stuck for 22s!". Alex, please classify this message into one of '
+    "the categories above and explain your reasoning step by step."
+)
+
+
+@dataclass
+class SimulatedGenerativeLLM:
+    """A behaviourally-faithful stand-in for a generative LLM.
+
+    Parameters
+    ----------
+    spec:
+        Model size/capability (drives latency and quality).
+    embeddings:
+        Corpus embeddings the latent classifier reads with.
+    cost_model:
+        Latency model (defaults to the paper's 4×A100 node).
+    max_new_tokens:
+        Generation cap; ``None`` reproduces the paper's initial
+        uncapped runs (excessive generation at full cost).
+    noise_scale:
+        Base scale of the capability noise on latent scores.
+    """
+
+    spec: ModelSpec
+    embeddings: CorpusEmbeddings
+    cost_model: InferenceCostModel = field(default_factory=InferenceCostModel)
+    max_new_tokens: int | None = None
+    noise_scale: float = 0.35
+
+    _zeroshot: ZeroShotClassifier = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.spec.architecture != "causal":
+            raise ValueError(f"{self.spec.name} is not a generative model")
+        self._zeroshot = ZeroShotClassifier(self.embeddings)
+
+    # -- deterministic per-call randomness --------------------------------
+
+    def _rng(self, message: str) -> np.random.Generator:
+        digest = hashlib.sha256(
+            (self.spec.name + "\x00" + message).encode()
+        ).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    # -- latent decision ---------------------------------------------------
+
+    def _latent_scores(
+        self,
+        message: str,
+        categories: Sequence[Category],
+        config: PromptConfig,
+        hints: Mapping[Category, Sequence[str]] | None,
+        rng: np.random.Generator,
+    ) -> dict[Category, float]:
+        scores = self._zeroshot.scores(message)
+        out = {c: scores.get(c, 0.0) for c in categories}
+        if config.tfidf_hints and hints:
+            words = set(_word_tokenize(message))
+            for c in categories:
+                hint_words = set(hints.get(c, ()))
+                if hint_words:
+                    overlap = len(words & hint_words) / len(hint_words)
+                    out[c] = out[c] + 0.35 * overlap
+        sigma = self.noise_scale * (1.0 - self.spec.capability)
+        if not config.intro:
+            sigma *= 1.3  # no task framing: noisier reading
+        for c in categories:
+            out[c] += float(rng.normal(0.0, sigma))
+        return out
+
+    # -- response surface ---------------------------------------------------
+
+    def _failure_probs(self, config: PromptConfig) -> tuple[float, float, float]:
+        """(p_invent, p_excessive, p_roleplay) for this prompt shape."""
+        bad = 1.0 - self.spec.capability
+        p_invent = bad * 0.45
+        if config.format_spec:
+            p_invent *= 0.45
+        if config.one_shot_example:
+            p_invent *= 0.55
+        # Excessive generation "persisted ... despite the inclusion of
+        # instructions that stated to only respond with one of the
+        # categories given" — instructions barely dent it.
+        p_excessive = 0.35 + 0.4 * bad
+        if config.format_spec:
+            p_excessive *= 0.9
+        p_roleplay = 0.12 * bad
+        return p_invent, p_excessive, p_roleplay
+
+    def _justification(self, message: str, cat: Category) -> str:
+        spec = TAXONOMY[cat]
+        salient = [w for w in _word_tokenize(message) if len(w) > 3][:3]
+        cue = f" The phrase \"{' '.join(salient)}\" is the key indicator." if salient else ""
+        return (
+            f' The message "{message}" would fall under the category of '
+            f'"{cat.value}". This is because it describes {spec.description}.'
+            f"{cue} A reasonable next step would be to "
+            f"{spec.action}."
+        )
+
+    def classify(
+        self,
+        message: str,
+        *,
+        config: PromptConfig = PromptConfig.full(),
+        categories: Sequence[Category] = tuple(Category),
+        hints: Mapping[Category, Sequence[str]] | None = None,
+    ) -> GenerationResult:
+        """Run one simulated generative classification call.
+
+        When no ``hints`` mapping is supplied, the TF-IDF-hints prompt
+        element is silently dropped from ``config`` (there is nothing
+        to render).
+        """
+        if config.tfidf_hints and hints is None:
+            config = PromptConfig(
+                intro=config.intro,
+                category_list=config.category_list,
+                tfidf_hints=False,
+                format_spec=config.format_spec,
+                one_shot_example=config.one_shot_example,
+            )
+        prompt = build_prompt(
+            message, config=config, categories=categories, hints=hints
+        )
+        rng = self._rng(message)
+        scores = self._latent_scores(message, categories, config, hints, rng)
+        latent = max(scores, key=scores.get)
+        p_invent, p_excessive, p_roleplay = self._failure_probs(config)
+
+        if rng.random() < p_invent:
+            options = _INVENTED_LABELS[latent]
+            label = options[int(rng.integers(0, len(options)))]
+        else:
+            label = latent.value
+
+        response = f"Category: {label}"
+        if not config.format_spec and rng.random() < 0.5:
+            # without a format spec the model often answers in prose
+            response = f'The category is "{label}".'
+        if rng.random() < p_excessive:
+            response += "\n" + self._justification(message, latent)
+            if rng.random() < p_roleplay / max(p_excessive, 1e-9):
+                response += _ROLEPLAY
+
+        response, truncated = self._truncate(response)
+        gen_tokens = count_tokens(response)
+        timing = self.cost_model.generation_timing(
+            self.spec,
+            prompt_tokens=count_tokens(prompt),
+            gen_tokens=gen_tokens,
+        )
+        return GenerationResult(
+            prompt=prompt,
+            response=response,
+            parsed=parse_classification(response),
+            timing=timing,
+            truncated=truncated,
+            latent_category=latent,
+        )
+
+    def _truncate(self, response: str) -> tuple[str, bool]:
+        if self.max_new_tokens is None:
+            return response, False
+        if self.max_new_tokens < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
+            )
+        pieces = tokenize_subwords(response)
+        if len(pieces) <= self.max_new_tokens:
+            return response, False
+        # Cut the string at the character position where the cap lands.
+        import re
+
+        spans = [
+            m.span() for m in re.finditer(r"[A-Za-z]+|\d+|[^\sA-Za-z\d]", response)
+        ]
+        count = 0
+        cut = 0
+        for start, end in spans:
+            seg = response[start:end]
+            n = count_tokens(seg)
+            if count + n > self.max_new_tokens:
+                break
+            count += n
+            cut = end
+        return response[:cut], True
+
+    def explain(self, message: str) -> str:
+        """Figure 1-style answer: classification plus an explanation.
+
+        Always includes the justification (the behaviour Figure 1
+        showcases for llama2-70b-chat-hf).
+        """
+        rng = self._rng(message)
+        scores = self._latent_scores(
+            message, tuple(Category), PromptConfig.full(), None, rng
+        )
+        latent = max(scores, key=scores.get)
+        return self._justification(message, latent).strip()

@@ -1,0 +1,92 @@
+"""Inference hardware specifications.
+
+§4.2.1: "Inference timings were collected from a single system
+consisting of four A100 SXM4 Nvidia GPUs each with 40GB of VRAM
+connected via NVLink with two AMD EPYC 7742 Rome processors." —
+modelled here as :data:`PAPER_NODE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "InferenceNode", "A100_SXM4_40GB", "PAPER_NODE"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU's roofline-relevant specs.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    vram_gb:
+        Memory capacity (determines how many GPUs a model needs).
+    hbm_bandwidth_gbs:
+        Peak memory bandwidth in GB/s (bounds decode throughput).
+    fp16_tflops:
+        Peak dense fp16 tensor throughput (bounds prefill).
+    """
+
+    name: str
+    vram_gb: float
+    hbm_bandwidth_gbs: float
+    fp16_tflops: float
+
+
+A100_SXM4_40GB = GPUSpec(
+    name="A100-SXM4-40GB",
+    vram_gb=40.0,
+    hbm_bandwidth_gbs=1555.0,
+    fp16_tflops=312.0,
+)
+
+
+@dataclass(frozen=True)
+class InferenceNode:
+    """A multi-GPU inference server.
+
+    Attributes
+    ----------
+    gpu:
+        The GPU model installed.
+    n_gpus:
+        GPUs available for tensor parallelism.
+    interconnect_gbs:
+        Per-direction NVLink bandwidth between GPUs; lowers the
+        parallel efficiency of small models (communication cost per
+        token does not shrink with model size as fast as compute does).
+    """
+
+    name: str
+    gpu: GPUSpec
+    n_gpus: int
+    interconnect_gbs: float = 300.0
+
+    def gpus_needed(self, model_bytes: float, *, headroom: float = 1.2) -> int:
+        """GPUs required to hold ``model_bytes`` (weights × headroom for
+        KV-cache and activations), capped at the node's GPU count.
+
+        Raises
+        ------
+        ValueError
+            If the model doesn't fit on the node at all.
+        """
+        need_gb = model_bytes * headroom / 1e9
+        n = max(1, int(-(-need_gb // self.gpu.vram_gb)))  # ceil division
+        if n > self.n_gpus:
+            raise ValueError(
+                f"model needs {n} × {self.gpu.name} but node {self.name!r} "
+                f"has only {self.n_gpus}"
+            )
+        return n
+
+
+#: The paper's timing node (§4.2.1).
+PAPER_NODE = InferenceNode(
+    name="tivan-inference",
+    gpu=A100_SXM4_40GB,
+    n_gpus=4,
+    interconnect_gbs=300.0,
+)

@@ -1,0 +1,89 @@
+"""Parsing generated classifications back into taxonomy categories.
+
+§5.2's first observed failure: "we would frequently get a 'generated
+classification' ... where the chosen classification ... was an entirely
+new category that we hadn't previously defined, but that makes sense in
+the context of the message" — which "makes the process of automating
+the parsing of the result more difficult."  The parser distinguishes:
+
+- a clean category hit (possibly after the ``Category:`` marker),
+- an **invented category** — a plausible-looking label outside the
+  taxonomy,
+- unparseable output (role-play continuations, truncated text).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.core.taxonomy import Category
+
+__all__ = ["ParseOutcome", "ParsedClassification", "parse_classification"]
+
+
+class ParseOutcome(enum.Enum):
+    """What the parser found in the model output."""
+
+    OK = "ok"
+    INVENTED_CATEGORY = "invented_category"
+    UNPARSEABLE = "unparseable"
+
+
+@dataclass(frozen=True)
+class ParsedClassification:
+    """Parser result.
+
+    ``category`` is set only for :attr:`ParseOutcome.OK`;
+    ``invented_label`` only for invented categories.
+    """
+
+    outcome: ParseOutcome
+    category: Category | None = None
+    invented_label: str | None = None
+
+
+_MARKER_RE = re.compile(r"category\s*:\s*\"?([^\"\n.]+)", re.IGNORECASE)
+# an invented label looks like a short Title-Case phrase
+_LABELISH_RE = re.compile(r'^"?([A-Z][\w-]*(?:\s[A-Z][\w-]*){0,3})"?[.!]?$')
+
+
+def parse_classification(response: str) -> ParsedClassification:
+    """Extract a category from free-form model output.
+
+    Strategy: prefer the first ``Category: X`` marker line; otherwise
+    scan lines for an exact category name; otherwise, if the first line
+    looks like a short label phrase, report it as an invented category;
+    otherwise unparseable.
+    """
+    text = response.strip()
+    if not text:
+        return ParsedClassification(ParseOutcome.UNPARSEABLE)
+
+    m = _MARKER_RE.search(text)
+    if m:
+        label = m.group(1).strip()
+        try:
+            return ParsedClassification(ParseOutcome.OK, Category.from_name(label))
+        except KeyError:
+            return ParsedClassification(
+                ParseOutcome.INVENTED_CATEGORY, invented_label=label
+            )
+
+    lowered = text.lower()
+    for cat in Category:
+        if cat.value.lower() in lowered:
+            return ParsedClassification(ParseOutcome.OK, cat)
+
+    first_line = text.splitlines()[0].strip()
+    lm = _LABELISH_RE.match(first_line)
+    if lm:
+        label = lm.group(1).strip()
+        try:
+            return ParsedClassification(ParseOutcome.OK, Category.from_name(label))
+        except KeyError:
+            return ParsedClassification(
+                ParseOutcome.INVENTED_CATEGORY, invented_label=label
+            )
+    return ParsedClassification(ParseOutcome.UNPARSEABLE)

@@ -1,0 +1,127 @@
+"""Classification-prompt construction (§5.2).
+
+The paper's most successful prompt "contained the following elements:
+an introduction of the problem, a list of the potential categories, a
+list of the most commonly used words generated via TF-IDF for each
+category, a specification of the output format, and finally ... an
+example syslog message with its corresponding classification in the
+output format expected."  :class:`PromptConfig` switches each element
+independently so the prompt ablation (EXP-PROMPT) can measure what each
+one buys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.taxonomy import Category
+
+__all__ = ["PromptConfig", "build_prompt", "ONE_SHOT_EXAMPLE"]
+
+#: The worked example embedded in one-shot prompts (from Figure 1's
+#: style of message).
+ONE_SHOT_EXAMPLE: tuple[str, Category] = (
+    "Warning: Socket 2 - CPU 23 throttling",
+    Category.THERMAL,
+)
+
+
+@dataclass(frozen=True)
+class PromptConfig:
+    """Which §5.2 prompt elements to include.
+
+    Attributes
+    ----------
+    intro:
+        Problem introduction sentence.
+    category_list:
+        Enumerate the allowed categories.
+    tfidf_hints:
+        Per-category top-token lists (requires ``hints`` at build time).
+    format_spec:
+        Output-format instruction ("respond with exactly one ...").
+    one_shot_example:
+        A worked example message + classification.
+    """
+
+    intro: bool = True
+    category_list: bool = True
+    tfidf_hints: bool = True
+    format_spec: bool = True
+    one_shot_example: bool = True
+
+    @classmethod
+    def minimal(cls) -> "PromptConfig":
+        """Bare prompt: just the question and the categories."""
+        return cls(intro=False, tfidf_hints=False, format_spec=False,
+                   one_shot_example=False)
+
+    @classmethod
+    def full(cls) -> "PromptConfig":
+        """The paper's most successful prompt."""
+        return cls()
+
+
+def build_prompt(
+    message: str,
+    *,
+    config: PromptConfig = PromptConfig.full(),
+    categories: Sequence[Category] = tuple(Category),
+    hints: Mapping[Category, Sequence[str]] | None = None,
+) -> str:
+    """Render the classification prompt for ``message``.
+
+    Parameters
+    ----------
+    message:
+        The syslog message to classify.
+    config:
+        Element switches.
+    categories:
+        Allowed categories, in presentation order.
+    hints:
+        Per-category TF-IDF top tokens (from
+        :func:`repro.textproc.tfidf.category_top_tokens`); required
+        when ``config.tfidf_hints`` is set.
+
+    Raises
+    ------
+    ValueError
+        If TF-IDF hints are requested but not provided.
+    """
+    if config.tfidf_hints and hints is None:
+        raise ValueError("config.tfidf_hints requires the hints mapping")
+    parts: list[str] = []
+    if config.intro:
+        parts.append(
+            "You are monitoring the system log of a heterogeneous HPC "
+            "test-bed cluster. Classify each syslog message into the "
+            "issue category a system administrator should act on."
+        )
+    if config.category_list:
+        cat_names = ", ".join(f'"{c.value}"' for c in categories)
+        parts.append(
+            f"Classify the given syslog message into one of the following "
+            f"categories: {cat_names}."
+        )
+    if config.tfidf_hints:
+        lines = ["Words commonly associated with each category:"]
+        for c in categories:
+            toks = hints.get(c) if hints else None
+            if toks:
+                lines.append(f'- {c.value}: {", ".join(toks)}')
+        parts.append("\n".join(lines))
+    if config.format_spec:
+        parts.append(
+            "Respond with exactly one line of the form "
+            '"Category: <category>" using one of the categories above, '
+            "and nothing else."
+        )
+    if config.one_shot_example:
+        ex_msg, ex_cat = ONE_SHOT_EXAMPLE
+        parts.append(
+            f'Example:\nMessage: "{ex_msg}"\nCategory: {ex_cat.value}'
+        )
+    parts.append(f'Message: "{message}"')
+    return "\n\n".join(parts)

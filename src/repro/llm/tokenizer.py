@@ -1,0 +1,38 @@
+"""Deterministic subword tokenization for cost accounting.
+
+The cost model needs token counts, not a trained vocabulary.  This
+tokenizer mimics BPE statistics deterministically: words split into
+chunks of at most ``_PIECE`` characters (BPE averages ~4 chars/token on
+English; syslog text skews shorter because of identifiers), digits and
+punctuation tokenize per character group — matching the empirical
+~1.3–2 tokens/word of real tokenizers on log text.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize_subwords", "count_tokens"]
+
+_PIECE = 4
+_SPLIT_RE = re.compile(r"[A-Za-z]+|\d+|[^\sA-Za-z\d]")
+
+
+def tokenize_subwords(text: str) -> list[str]:
+    """Split ``text`` into deterministic subword pieces."""
+    pieces: list[str] = []
+    for m in _SPLIT_RE.finditer(text):
+        tok = m.group(0)
+        if tok.isalpha() and len(tok) > _PIECE:
+            pieces.extend(tok[i : i + _PIECE] for i in range(0, len(tok), _PIECE))
+        elif tok.isdigit() and len(tok) > 2:
+            # numbers tokenize digit-pair-wise in most BPE vocabs
+            pieces.extend(tok[i : i + 2] for i in range(0, len(tok), 2))
+        else:
+            pieces.append(tok)
+    return pieces
+
+
+def count_tokens(text: str) -> int:
+    """Number of subword tokens in ``text``."""
+    return len(tokenize_subwords(text))

@@ -1,0 +1,91 @@
+"""Entailment-style zero-shot classification (the BART-MNLI analogue).
+
+Zero-shot text classification (Yin et al. 2019, [23] in the paper)
+scores how well a text entails the hypothesis "This message is about
+<label>." for each candidate label, with no training on those labels.
+Our implementation keeps that contract: the classifier sees only the
+message, the label names/descriptions, and corpus-level lexical
+semantics (:class:`~repro.llm.embeddings.CorpusEmbeddings`) — never the
+ground-truth labels of any message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.taxonomy import TAXONOMY, Category
+from repro.llm.embeddings import CorpusEmbeddings
+
+__all__ = ["ZeroShotClassifier", "ZeroShotResult"]
+
+
+@dataclass(frozen=True)
+class ZeroShotResult:
+    """Scores for one classified message."""
+
+    category: Category
+    scores: dict[Category, float]  # softmax over categories
+
+
+@dataclass
+class ZeroShotClassifier:
+    """Score message-vs-hypothesis similarity over category hypotheses.
+
+    Parameters
+    ----------
+    embeddings:
+        Fitted corpus embeddings.
+    categories:
+        Candidate set (defaults to the full taxonomy).
+    use_descriptions:
+        Build each hypothesis from the category's one-line description
+        as well as its name (richer hypotheses, like giving the NLI
+        model a verbalizer template).
+    temperature:
+        Softmax temperature over cosine scores.
+    """
+
+    embeddings: CorpusEmbeddings
+    categories: tuple[Category, ...] = tuple(Category)
+    use_descriptions: bool = True
+    temperature: float = 0.1
+
+    _hyp_vecs: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def _hypothesis(self, cat: Category) -> str:
+        base = f"This message is about {cat.value}."
+        if self.use_descriptions:
+            base += " " + TAXONOMY[cat].description
+        return base
+
+    def _ensure_hypotheses(self) -> np.ndarray:
+        if self._hyp_vecs is None:
+            self._hyp_vecs = np.stack(
+                [self.embeddings.embed_text(self._hypothesis(c)) for c in self.categories]
+            )
+        return self._hyp_vecs
+
+    def scores(self, text: str) -> dict[Category, float]:
+        """Softmax-normalized entailment scores per category."""
+        if self.temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {self.temperature}")
+        hyp = self._ensure_hypotheses()
+        v = self.embeddings.embed_text(text)
+        sims = hyp @ v
+        z = sims / self.temperature
+        z -= z.max()
+        p = np.exp(z)
+        p /= p.sum()
+        return {c: float(pi) for c, pi in zip(self.categories, p)}
+
+    def classify(self, text: str) -> ZeroShotResult:
+        """Best-scoring category with the full score map."""
+        scores = self.scores(text)
+        best = max(scores, key=scores.get)
+        return ZeroShotResult(category=best, scores=scores)
+
+    def predict(self, texts) -> list[Category]:
+        """Batch classification."""
+        return [self.classify(t).category for t in texts]

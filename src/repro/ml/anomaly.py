@@ -1,0 +1,402 @@
+"""Unsupervised / semi-supervised anomaly detection baselines (§2).
+
+The paper's related work compares the supervised classifiers against
+unsupervised and semi-supervised detectors; the findings this module
+lets us reproduce (see ``benchmarks/bench_anomaly_baselines.py``):
+
+- Studiawan & Sohel [20] and Zope et al. [24]: supervised models
+  outperform isolation forest and PCA; PCA is the best unsupervised
+  model of the two.
+- Du et al. [7], DeepLog: a semi-supervised model trained only on
+  *normal* log-key sequences, flagging keys that fall outside the top-g
+  predictions of a sequence model, outperforms isolation forest and
+  PCA.  We implement the DeepLog workflow with an n-gram (Markov)
+  sequence model over masked message shapes instead of an LSTM — the
+  detection logic (train on normal, predict next key, alarm when the
+  observed key is not among the g most probable) is DeepLog's.
+
+All three detectors share the contract: ``fit`` on (mostly) normal
+data, ``score`` returns higher-is-more-anomalous, ``predict`` returns
+booleans at a threshold chosen on the training data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ml.base import as_float_matrix, check_X
+
+__all__ = ["PCAAnomalyDetector", "IsolationForest", "DeepLogDetector"]
+
+
+@dataclass
+class PCAAnomalyDetector:
+    """Reconstruction-error anomaly detection via truncated PCA.
+
+    Normal traffic spans a low-dimensional subspace of TF-IDF space;
+    a message far from that subspace (large residual after projecting
+    onto the top principal components) is anomalous.
+
+    Parameters
+    ----------
+    n_components:
+        Principal components retained.
+    quantile:
+        Training-score quantile used as the alarm threshold.
+    """
+
+    n_components: int = 16
+    quantile: float = 0.99
+
+    components_: np.ndarray = field(default=None, init=False, repr=False)
+    mean_: np.ndarray = field(default=None, init=False, repr=False)
+    threshold_: float = field(default=0.0, init=False)
+
+    def fit(self, X) -> "PCAAnomalyDetector":
+        """Learn the normal subspace from (mostly normal) ``X``."""
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {self.quantile}")
+        X = as_float_matrix(X)
+        n, d = X.shape
+        k = min(self.n_components, min(n, d) - 1)
+        if k < 1:
+            raise ValueError(f"data too small for PCA: shape {X.shape}")
+        self.mean_ = np.asarray(X.mean(axis=0)).ravel()
+        if sp.issparse(X):
+            # scipy svds on the centered operator without densifying
+            Xc = X - sp.csr_matrix(np.tile(self.mean_, (n, 1)))
+            Xc = np.asarray(Xc.todense()) if n * d <= 5_000_000 else None
+            if Xc is None:
+                import scipy.sparse.linalg as spla
+
+                mu = self.mean_
+
+                def matvec(v):
+                    return X @ v - mu @ v * np.ones(n)
+
+                def rmatvec(v):
+                    return X.T @ v - mu * v.sum()
+
+                op = spla.LinearOperator((n, d), matvec=matvec, rmatvec=rmatvec)
+                _u, _s, vt = spla.svds(op, k=k)
+                self.components_ = vt
+            else:
+                _u, _s, vt = np.linalg.svd(Xc, full_matrices=False)
+                self.components_ = vt[:k]
+        else:
+            Xc = X - self.mean_
+            _u, _s, vt = np.linalg.svd(Xc, full_matrices=False)
+            self.components_ = vt[:k]
+        scores = self.score(X)
+        self.threshold_ = float(np.quantile(scores, self.quantile))
+        return self
+
+    def score(self, X) -> np.ndarray:
+        """Squared reconstruction residual per row (higher = weirder)."""
+        if self.components_ is None:
+            raise RuntimeError("PCAAnomalyDetector used before fit")
+        X = check_X(X, self.mean_.shape[0])
+        Xc = (np.asarray(X.todense()) if sp.issparse(X) else X) - self.mean_
+        proj = Xc @ self.components_.T
+        recon = proj @ self.components_
+        resid = Xc - recon
+        return (resid * resid).sum(axis=1)
+
+    def predict(self, X) -> np.ndarray:
+        """Boolean anomaly flags at the fitted threshold."""
+        return self.score(X) > self.threshold_
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ITreeNode:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_ITreeNode | None" = None
+    right: "_ITreeNode | None" = None
+    size: int = 0  # leaf population
+
+
+def _harmonic(n: float) -> float:
+    return float(np.log(n) + 0.5772156649) if n > 1 else 0.0
+
+
+def _avg_path_length(n: float) -> float:
+    """Expected unsuccessful-search path length in a BST of n points."""
+    if n <= 1:
+        return 0.0
+    return 2.0 * _harmonic(n - 1) - 2.0 * (n - 1) / n
+
+
+@dataclass
+class IsolationForest:
+    """Isolation forest (Liu et al. 2008).
+
+    Anomalies isolate in few random splits; the anomaly score is
+    ``2^(-E[path length]/c(n))`` with the standard normalization.
+
+    Parameters
+    ----------
+    n_estimators:
+        Trees in the ensemble.
+    max_samples:
+        Sub-sample size per tree.
+    quantile:
+        Training-score quantile for the alarm threshold.
+    seed:
+        RNG seed.
+    """
+
+    n_estimators: int = 100
+    max_samples: int = 256
+    quantile: float = 0.99
+    seed: int = 0
+
+    trees_: list = field(default_factory=list, init=False, repr=False)
+    threshold_: float = field(default=0.0, init=False)
+    _n_features: int = field(default=0, init=False, repr=False)
+    _sample_size: int = field(default=0, init=False, repr=False)
+
+    def fit(self, X) -> "IsolationForest":
+        """Build the ensemble on (mostly normal) ``X``."""
+        if self.n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        X = as_float_matrix(X)
+        Xd = np.asarray(X.todense()) if sp.issparse(X) else X
+        n = Xd.shape[0]
+        self._n_features = Xd.shape[1]
+        self._sample_size = min(self.max_samples, n)
+        height_limit = int(np.ceil(np.log2(max(self._sample_size, 2))))
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            idx = rng.choice(n, size=self._sample_size, replace=False)
+            self.trees_.append(self._build(Xd[idx], 0, height_limit, rng))
+        scores = self.score(Xd)
+        self.threshold_ = float(np.quantile(scores, self.quantile))
+        return self
+
+    def _build(self, X: np.ndarray, depth: int, limit: int,
+               rng: np.random.Generator) -> _ITreeNode:
+        n = X.shape[0]
+        if depth >= limit or n <= 1:
+            return _ITreeNode(size=n)
+        # choose a feature with spread; give up after a few tries
+        for _ in range(8):
+            f = int(rng.integers(0, X.shape[1]))
+            lo, hi = X[:, f].min(), X[:, f].max()
+            if hi > lo:
+                break
+        else:
+            return _ITreeNode(size=n)
+        thr = float(rng.uniform(lo, hi))
+        mask = X[:, f] < thr
+        return _ITreeNode(
+            feature=f,
+            threshold=thr,
+            left=self._build(X[mask], depth + 1, limit, rng),
+            right=self._build(X[~mask], depth + 1, limit, rng),
+            size=n,
+        )
+
+    def _path_length(self, x: np.ndarray, node: _ITreeNode, depth: int) -> float:
+        while node.feature != -1:
+            node = node.left if x[node.feature] < node.threshold else node.right
+            depth += 1
+        return depth + _avg_path_length(node.size)
+
+    def score(self, X) -> np.ndarray:
+        """Isolation score in (0, 1); higher = more anomalous."""
+        if not self.trees_:
+            raise RuntimeError("IsolationForest used before fit")
+        X = check_X(X, self._n_features)
+        Xd = np.asarray(X.todense()) if sp.issparse(X) else X
+        c = _avg_path_length(self._sample_size)
+        out = np.empty(Xd.shape[0])
+        for i, row in enumerate(Xd):
+            mean_path = np.mean([
+                self._path_length(row, t, 0) for t in self.trees_
+            ])
+            out[i] = 2.0 ** (-mean_path / max(c, 1e-9))
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        """Boolean anomaly flags at the fitted threshold."""
+        return self.score(X) > self.threshold_
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeepLogDetector:
+    """DeepLog-style semi-supervised log-key anomaly detection.
+
+    Du et al. [7] parse logs into a small set of *log keys* (message
+    templates), train a sequence model on normal executions, and flag a
+    log entry as anomalous when its key is not among the model's top-g
+    predictions given the recent history.  We follow that workflow:
+
+    - log keys = masked message shapes (our template analogue),
+    - sequence model = Katz-style backoff n-gram over key ids,
+    - detection = observed key outside the top-``g`` next-key set,
+    - incremental updates (``observe_normal``) mirror DeepLog's
+      online false-positive feedback loop.
+
+    Parameters
+    ----------
+    order:
+        History length h (DeepLog's window).
+    top_g:
+        Keys tolerated per step (DeepLog's g).
+    """
+
+    order: int = 2
+    top_g: int = 5
+
+    key_of_: dict[str, int] = field(default_factory=dict, init=False, repr=False)
+    _counts: dict[tuple[int, ...], Counter] = field(
+        default_factory=lambda: defaultdict(Counter), init=False, repr=False
+    )
+    _unigram: Counter = field(default_factory=Counter, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError(f"order must be >= 1, got {self.order}")
+        if self.top_g < 1:
+            raise ValueError(f"top_g must be >= 1, got {self.top_g}")
+        from repro.textproc.normalize import MaskingNormalizer
+
+        self._normalizer = MaskingNormalizer()
+
+    # -- key extraction ----------------------------------------------------
+
+    def key(self, text: str, *, create: bool = False) -> int | None:
+        """Log key (template id) of a message; None if unseen."""
+        shape = self._normalizer.normalize(text)
+        kid = self.key_of_.get(shape)
+        if kid is None and create:
+            kid = len(self.key_of_)
+            self.key_of_[shape] = kid
+        return kid
+
+    # -- training ------------------------------------------------------------
+
+    #: sentinel key marking the end of a session; lets the detector
+    #: catch truncated sessions (a crash before the epilog/complete
+    #: stages makes the end-transition improbable)
+    EOS = "<eos>"
+
+    def _eos_key(self) -> int:
+        kid = self.key_of_.get(self.EOS)
+        if kid is None:
+            kid = len(self.key_of_)
+            self.key_of_[self.EOS] = kid
+        return kid
+
+    def fit(self, normal_sequences: Sequence[Sequence[str]]) -> "DeepLogDetector":
+        """Train on sequences of *normal* messages (per node/session)."""
+        for seq in normal_sequences:
+            keys = [self.key(t, create=True) for t in seq]
+            keys.append(self._eos_key())
+            self._train_keys(keys)
+        if not self._unigram:
+            raise ValueError("no training data provided")
+        return self
+
+    def observe_normal(self, sequence: Sequence[str]) -> None:
+        """Incremental update with a confirmed-normal sequence
+        (DeepLog's user-feedback loop)."""
+        keys = [self.key(t, create=True) for t in sequence]
+        keys.append(self._eos_key())
+        self._train_keys(keys)
+
+    def _train_keys(self, keys: Sequence[int]) -> None:
+        for i, k in enumerate(keys):
+            self._unigram[k] += 1
+            for h in range(1, self.order + 1):
+                if i - h < 0:
+                    break
+                ctx = tuple(keys[i - h : i])
+                self._counts[ctx][k] += 1
+
+    # -- detection --------------------------------------------------------------
+
+    def _top_candidates(self, history: tuple[int, ...]) -> list[int]:
+        # longest-context backoff: use the longest history with data
+        for h in range(min(self.order, len(history)), 0, -1):
+            ctx = history[-h:]
+            dist = self._counts.get(ctx)
+            if dist:
+                return [k for k, _c in dist.most_common(self.top_g)]
+        return [k for k, _c in self._unigram.most_common(self.top_g)]
+
+    def detect(self, sequence: Sequence[str]) -> list[bool]:
+        """Per-message anomaly flags for a session's message sequence.
+
+        A message is anomalous when its key is unseen, or not among the
+        top-g predicted keys given the preceding history.  The first
+        message is never flagged (there is no history to condition on —
+        DeepLog starts detection once its window fills).
+        """
+        if not self._unigram:
+            raise RuntimeError("DeepLogDetector used before fit")
+        flags: list[bool] = []
+        history: list[int] = []
+        for text in sequence:
+            kid = self.key(text)
+            if kid is None:
+                flags.append(True)
+                # unseen keys break the history (DeepLog restarts)
+                history.clear()
+                continue
+            if not history:
+                flags.append(False)
+            else:
+                candidates = self._top_candidates(tuple(history))
+                flags.append(kid not in candidates)
+            history.append(kid)
+            if len(history) > self.order:
+                history.pop(0)
+        return flags
+
+    def end_violation(self, sequence: Sequence[str]) -> bool:
+        """True when the session's ending is improbable (crash signature).
+
+        Checks whether the end-of-session sentinel is among the top-g
+        predictions after the final messages — a session cut off
+        mid-workflow fails this check.
+        """
+        if not self._unigram:
+            raise RuntimeError("DeepLogDetector used before fit")
+        history: list[int] = []
+        for text in sequence:
+            kid = self.key(text)
+            if kid is None:
+                history.clear()
+                continue
+            history.append(kid)
+            if len(history) > self.order:
+                history.pop(0)
+        if not history:
+            return True
+        return self._eos_key() not in self._top_candidates(tuple(history))
+
+    def anomaly_rate(self, sequence: Sequence[str]) -> float:
+        """Fraction of anomaly signals over the session.
+
+        Counts the per-message flags plus the end-of-session check, so
+        crashes (whose individual messages all look normal) still score.
+        """
+        flags = self.detect(sequence)
+        if not flags:
+            return 1.0
+        signals = sum(flags) + (1 if self.end_violation(sequence) else 0)
+        return signals / (len(flags) + 1)

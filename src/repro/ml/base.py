@@ -1,0 +1,88 @@
+"""Estimator protocol and shared array plumbing."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Classifier", "check_Xy", "check_X", "as_float_matrix", "safe_dot"]
+
+Matrix = "np.ndarray | sp.spmatrix"
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """The fit/predict contract all classifiers implement.
+
+    ``classes_`` (set during ``fit``) holds the label values in the
+    order used by ``predict_proba``/``decision_function`` columns.
+    """
+
+    classes_: np.ndarray
+
+    def fit(self, X, y) -> "Classifier":
+        """Fit on features ``X`` and labels ``y``; returns self."""
+        ...
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted label per row of ``X``."""
+        ...
+
+
+def as_float_matrix(X):
+    """Coerce ``X`` to CSR float64 (sparse) or 2-D float64 ndarray."""
+    if sp.issparse(X):
+        X = X.tocsr()
+        if X.dtype != np.float64:
+            X = X.astype(np.float64)
+        return X
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    return X
+
+
+def check_X(X, n_features: int | None = None):
+    """Validate a feature matrix, optionally against a feature count."""
+    X = as_float_matrix(X)
+    if n_features is not None and X.shape[1] != n_features:
+        raise ValueError(
+            f"X has {X.shape[1]} features, estimator was fitted with {n_features}"
+        )
+    return X
+
+
+def check_Xy(X, y):
+    """Validate an (X, y) training pair; returns (X, y, classes).
+
+    ``y`` may hold any hashable labels; ``classes`` is their sorted
+    unique array.
+
+    Raises
+    ------
+    ValueError
+        On length mismatch, empty data, or single-class ``y``
+        (classification needs at least two classes).
+    """
+    X = as_float_matrix(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} entries")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on empty data")
+    classes = np.unique(y)
+    if classes.shape[0] < 2:
+        raise ValueError(f"y contains a single class: {classes!r}")
+    return X, y, classes
+
+
+def safe_dot(X, W: np.ndarray) -> np.ndarray:
+    """``X @ W`` that works for both sparse and dense ``X``, dense out."""
+    out = X @ W
+    if sp.issparse(out):  # pragma: no cover - scipy never returns sparse here
+        out = out.toarray()
+    return np.asarray(out)

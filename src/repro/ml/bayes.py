@@ -1,0 +1,138 @@
+"""Naive Bayes variants for text counts.
+
+:class:`ComplementNB` (Rennie et al. 2003) estimates each class's
+weights from the *complement* of the class — all documents NOT in it —
+which corrects multinomial NB's bias toward frequent classes and is the
+standard NB choice for imbalanced text like Table 2's distribution.
+Its near-zero testing time (0.0018 s, the fastest in Figure 3) follows
+from prediction being a single sparse matmul.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ml.base import check_X, check_Xy
+
+__all__ = ["ComplementNB", "MultinomialNB"]
+
+
+def _class_feature_counts(X, yi: np.ndarray, k: int) -> np.ndarray:
+    """Sum of feature values per class, shape (k, d)."""
+    d = X.shape[1]
+    out = np.zeros((k, d))
+    for j in range(k):
+        rows = np.flatnonzero(yi == j)
+        block = X[rows]
+        out[j] = np.asarray(block.sum(axis=0)).ravel()
+    return out
+
+
+@dataclass
+class ComplementNB:
+    """Complement naive Bayes with optional weight normalization.
+
+    Parameters
+    ----------
+    alpha:
+        Additive (Lidstone) smoothing.
+    norm:
+        L1-normalize per-class weight vectors (CNB's "weight
+        normalization" correction).
+    """
+
+    alpha: float = 1.0
+    norm: bool = False
+
+    classes_: np.ndarray = field(default=None, init=False, repr=False)
+    feature_log_prob_: np.ndarray = field(default=None, init=False, repr=False)
+    class_log_prior_: np.ndarray = field(default=None, init=False, repr=False)
+
+    def fit(self, X, y) -> "ComplementNB":
+        """Estimate complement-class feature log-probabilities."""
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        X, y, classes = check_Xy(X, y)
+        if sp.issparse(X):
+            if X.nnz and X.data.min() < 0:
+                raise ValueError("naive Bayes requires non-negative features")
+        elif X.size and X.min() < 0:
+            raise ValueError("naive Bayes requires non-negative features")
+        self.classes_ = classes
+        index = {c: i for i, c in enumerate(classes.tolist())}
+        yi = np.asarray([index[v] for v in y.tolist()])
+        k = len(classes)
+        counts = _class_feature_counts(X, yi, k)  # (k, d)
+        total = counts.sum(axis=0, keepdims=True)  # (1, d)
+        comp = total - counts + self.alpha
+        comp_tot = comp.sum(axis=1, keepdims=True)
+        logw = np.log(comp) - np.log(comp_tot)
+        # CNB scores with the *negated* complement weights: documents
+        # should look UNLIKE the complement of their class.
+        weights = -logw
+        if self.norm:
+            weights = weights / np.abs(weights).sum(axis=1, keepdims=True)
+        self.feature_log_prob_ = weights
+        priors = np.bincount(yi, minlength=k).astype(np.float64)
+        self.class_log_prior_ = np.log(priors / priors.sum())
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Per-class CNB scores, shape (n, k)."""
+        if self.feature_log_prob_ is None:
+            raise RuntimeError("ComplementNB used before fit")
+        X = check_X(X, self.feature_log_prob_.shape[1])
+        return np.asarray(X @ self.feature_log_prob_.T)
+
+    def predict(self, X) -> np.ndarray:
+        """Highest-scoring class."""
+        return self.classes_[self.decision_function(X).argmax(axis=1)]
+
+
+@dataclass
+class MultinomialNB:
+    """Standard multinomial naive Bayes (baseline for CNB comparison)."""
+
+    alpha: float = 1.0
+
+    classes_: np.ndarray = field(default=None, init=False, repr=False)
+    feature_log_prob_: np.ndarray = field(default=None, init=False, repr=False)
+    class_log_prior_: np.ndarray = field(default=None, init=False, repr=False)
+
+    def fit(self, X, y) -> "MultinomialNB":
+        """Estimate per-class feature log-probabilities and priors."""
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        X, y, classes = check_Xy(X, y)
+        self.classes_ = classes
+        index = {c: i for i, c in enumerate(classes.tolist())}
+        yi = np.asarray([index[v] for v in y.tolist()])
+        k = len(classes)
+        counts = _class_feature_counts(X, yi, k) + self.alpha
+        self.feature_log_prob_ = np.log(counts) - np.log(
+            counts.sum(axis=1, keepdims=True)
+        )
+        priors = np.bincount(yi, minlength=k).astype(np.float64)
+        self.class_log_prior_ = np.log(priors / priors.sum())
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Joint log-likelihood per class."""
+        if self.feature_log_prob_ is None:
+            raise RuntimeError("MultinomialNB used before fit")
+        X = check_X(X, self.feature_log_prob_.shape[1])
+        return np.asarray(X @ self.feature_log_prob_.T) + self.class_log_prior_
+
+    def predict(self, X) -> np.ndarray:
+        """Maximum a-posteriori class."""
+        return self.classes_[self.decision_function(X).argmax(axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Posterior class probabilities."""
+        z = self.decision_function(X)
+        z -= z.max(axis=1, keepdims=True)
+        p = np.exp(z)
+        return p / p.sum(axis=1, keepdims=True)

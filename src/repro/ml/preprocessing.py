@@ -1,0 +1,44 @@
+"""Label encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LabelEncoder"]
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integer codes."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+        self._index: dict = {}
+
+    def fit(self, y) -> "LabelEncoder":
+        """Learn the label set (sorted unique order)."""
+        self.classes_ = np.unique(np.asarray(y))
+        self._index = {lab: i for i, lab in enumerate(self.classes_.tolist())}
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        """Encode labels; raises ``ValueError`` on unseen labels."""
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder used before fit")
+        try:
+            return np.asarray([self._index[lab] for lab in np.asarray(y).tolist()],
+                              dtype=np.int64)
+        except KeyError as e:  # re-raise with context
+            raise ValueError(f"unseen label during transform: {e.args[0]!r}") from e
+
+    def fit_transform(self, y) -> np.ndarray:
+        """Fit on ``y`` and return its codes."""
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes) -> np.ndarray:
+        """Decode integer codes back to original labels."""
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder used before fit")
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.classes_)):
+            raise ValueError("code outside fitted range")
+        return self.classes_[codes]

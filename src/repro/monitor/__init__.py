@@ -1,0 +1,50 @@
+"""Monitoring and diagnosis analyses (§4.5).
+
+Four techniques the paper recommends for finding and diagnosing
+test-bed issues, implemented over the :class:`repro.stream.opensearch.
+LogStore`:
+
+- :mod:`repro.monitor.frequency` — frequency/temporal analysis: detect
+  surges of messages (per cluster, node, or service) against a rolling
+  baseline (§4.5.1),
+- :mod:`repro.monitor.positional` — positional analysis: the data-
+  center rack/switch topology (networkx) and localisation of incidents
+  to racks (§4.5.2; the cold-aisle-door scenario),
+- :mod:`repro.monitor.perarch` — per-architecture analysis: cross-
+  check a node's anomalous readings against its architecture peers to
+  filter false sensor indications (§4.5.3),
+- :mod:`repro.monitor.dashboard` — ASCII dashboards standing in for the
+  Grafana front-end.
+"""
+
+from repro.monitor.frequency import BurstDetector, Burst, message_rate_series
+from repro.monitor.positional import RackTopology, RackIncident, localize_bursts
+from repro.monitor.perarch import ArchPeerComparator, PeerVerdict
+from repro.monitor.sensors import SensorSweepAnalyzer, SensorFinding
+from repro.monitor.correlate import EventCorrelator, CorrelationResult, CorrelatedPair
+from repro.monitor.dashboard import (
+    render_rate_panel,
+    render_top_panel,
+    render_overview,
+    render_confusion,
+)
+
+__all__ = [
+    "BurstDetector",
+    "Burst",
+    "message_rate_series",
+    "RackTopology",
+    "RackIncident",
+    "localize_bursts",
+    "ArchPeerComparator",
+    "PeerVerdict",
+    "SensorSweepAnalyzer",
+    "SensorFinding",
+    "EventCorrelator",
+    "CorrelationResult",
+    "CorrelatedPair",
+    "render_rate_panel",
+    "render_top_panel",
+    "render_overview",
+    "render_confusion",
+]

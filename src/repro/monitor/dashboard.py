@@ -1,0 +1,124 @@
+"""ASCII dashboards (the Grafana stand-in).
+
+The paper's Grafana front-end shows message-rate panels, top-N
+groupings, and category overviews; these renderers produce the same
+panels as fixed-width text for terminals, logs, and test assertions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.stream.opensearch import LogStore
+
+__all__ = [
+    "render_rate_panel",
+    "render_top_panel",
+    "render_overview",
+    "render_confusion",
+]
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(counts: Sequence[float]) -> str:
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    hi = arr.max()
+    if hi <= 0:
+        return _BARS[0] * arr.size
+    idx = np.minimum((arr / hi * (len(_BARS) - 1)).astype(int), len(_BARS) - 1)
+    return "".join(_BARS[i] for i in idx)
+
+
+def render_rate_panel(
+    times: Sequence[float],
+    counts: Sequence[int],
+    *,
+    title: str = "messages / interval",
+    width: int = 60,
+) -> str:
+    """Sparkline rate panel with min/max annotations."""
+    counts = list(counts)
+    if len(counts) > width:
+        # down-sample by max within equal chunks (peaks must survive)
+        chunks = np.array_split(np.asarray(counts, dtype=np.float64), width)
+        counts = [float(c.max()) for c in chunks]
+    line = _sparkline(counts)
+    lo = min(counts) if counts else 0
+    hi = max(counts) if counts else 0
+    span = ""
+    if len(times) >= 2:
+        span = f"  t=[{times[0]:.0f}..{times[-1]:.0f}]s"
+    return f"{title}{span}\n[{line}] min={lo:.0f} max={hi:.0f}"
+
+
+def render_top_panel(
+    pairs: Sequence[tuple[str, int]], *, title: str = "top", width: int = 40
+) -> str:
+    """Horizontal bar chart of (name, count) pairs."""
+    lines = [title]
+    if not pairs:
+        return title + "\n(no data)"
+    hi = max(c for _n, c in pairs) or 1
+    name_w = max(len(n) for n, _c in pairs)
+    for name, count in pairs:
+        bar = "#" * max(1, int(count / hi * width))
+        lines.append(f"{name:<{name_w}} {bar} {count}")
+    return "\n".join(lines)
+
+
+def render_confusion(
+    cm, labels: Sequence[str], *, max_label: int = 12
+) -> str:
+    """ASCII heatmap of a confusion matrix (the Figure 2 panel).
+
+    Cells are shaded by their row-normalized value; exact counts are
+    printed for the diagonal and any non-zero off-diagonal cell.
+    """
+    cm = np.asarray(cm)
+    if cm.ndim != 2 or cm.shape[0] != cm.shape[1] or cm.shape[0] != len(labels):
+        raise ValueError(
+            f"confusion matrix shape {cm.shape} does not match {len(labels)} labels"
+        )
+    short = [str(l)[:max_label] for l in labels]
+    w = max(max(len(s) for s in short), 6)
+    header = " " * (w + 1) + " ".join(s.rjust(w) for s in short)
+    lines = [header]
+    row_sums = cm.sum(axis=1, keepdims=True).astype(float)
+    row_sums[row_sums == 0] = 1.0
+    shade = cm / row_sums
+    for i, name in enumerate(short):
+        cells = []
+        for j in range(len(short)):
+            v = cm[i, j]
+            if v == 0:
+                cells.append("·".rjust(w))
+            else:
+                mark = _BARS[min(int(shade[i, j] * (len(_BARS) - 1)), len(_BARS) - 1)]
+                cells.append(f"{v}{mark}".rjust(w))
+        lines.append(name.rjust(w) + " " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_overview(store: LogStore, *, interval_s: float = 60.0) -> str:
+    """Cluster overview: rate panel + top hosts/apps/categories."""
+    buckets = store.date_histogram(interval_s=interval_s)
+    times = [b.start for b in buckets]
+    counts = [b.count for b in buckets]
+    sev = store.severity_histogram()
+    sev_pairs = [(s.name.lower(), n) for s, n in sorted(sev.items())]
+    sections = [
+        f"=== Tivan overview: {len(store)} documents ===",
+        render_rate_panel(times, counts, title=f"rate per {interval_s:.0f}s"),
+        render_top_panel(store.terms_aggregation("hostname", top=5), title="top hosts"),
+        render_top_panel(store.terms_aggregation("app", top=5), title="top services"),
+        render_top_panel(sev_pairs, title="severity"),
+    ]
+    cats = store.terms_aggregation("category", top=8)
+    if cats:
+        sections.append(render_top_panel(cats, title="categories"))
+    return "\n\n".join(sections)

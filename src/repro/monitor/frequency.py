@@ -1,0 +1,153 @@
+"""Frequency and temporal analysis (§4.5.1).
+
+"A sudden influx of a large quantity of new syslog messages can be
+indicative of an issue.  By visualizing syslog data as a graph that
+shows number of messages on one axis, and time in the other axis, you
+can identify points in time where something may have been going wrong."
+
+:class:`BurstDetector` formalizes the eyeball test: message counts per
+interval are compared against a rolling median/MAD baseline; intervals
+whose robust z-score exceeds a threshold open a burst, which closes
+when the rate normalizes.  Grouping by node or service narrows the
+surge to "which machines specifically are suddenly being much more
+noisy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stream.opensearch import LogStore
+
+__all__ = ["Burst", "BurstDetector", "message_rate_series"]
+
+
+def message_rate_series(
+    store: LogStore,
+    *,
+    interval_s: float,
+    term: str | None = None,
+    t0: float | None = None,
+    t1: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(bucket start times, counts) from a date-histogram query.
+
+    ``term`` narrows to one node/service/token (the §4.5.1 grouping).
+    """
+    buckets = store.date_histogram(interval_s=interval_s, term=term, t0=t0, t1=t1)
+    if not buckets:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    times = np.asarray([b.start for b in buckets])
+    counts = np.asarray([b.count for b in buckets], dtype=np.int64)
+    return times, counts
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One detected surge."""
+
+    start: float
+    end: float
+    peak_rate: float  # messages per interval at the peak
+    peak_z: float
+    total_messages: int
+
+
+@dataclass
+class BurstDetector:
+    """Rolling robust-z-score burst detection.
+
+    Parameters
+    ----------
+    z_threshold:
+        Robust z-score that opens a burst.
+    close_threshold:
+        Score below which an open burst closes.
+    baseline_window:
+        Trailing intervals used for the median/MAD baseline.
+    min_rate:
+        Absolute counts floor — tiny fluctuations on a silent stream
+        are never bursts.
+    """
+
+    z_threshold: float = 4.0
+    close_threshold: float = 1.5
+    baseline_window: int = 12
+    min_rate: float = 5.0
+
+    def detect(self, times: np.ndarray, counts: np.ndarray) -> list[Burst]:
+        """Find bursts in an evenly-spaced rate series.
+
+        Raises
+        ------
+        ValueError
+            On mismatched series lengths.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.float64)
+        if times.shape != counts.shape:
+            raise ValueError(
+                f"times and counts lengths differ: {times.shape} vs {counts.shape}"
+            )
+        n = len(times)
+        if n == 0:
+            return []
+        interval = float(times[1] - times[0]) if n > 1 else 1.0
+        bursts: list[Burst] = []
+        open_start: float | None = None
+        peak = peak_z = total = 0.0
+        for i in range(n):
+            lo = max(0, i - self.baseline_window)
+            base = counts[lo:i]
+            if base.size >= 3:
+                med = float(np.median(base))
+                mad = float(np.median(np.abs(base - med)))
+                scale = 1.4826 * mad if mad > 0 else max(np.std(base), 1.0)
+                z = (counts[i] - med) / scale
+            else:
+                z = 0.0
+            surging = z > self.z_threshold and counts[i] >= self.min_rate
+            if open_start is None:
+                if surging:
+                    open_start = float(times[i])
+                    peak, peak_z, total = counts[i], z, counts[i]
+            else:
+                if z > self.close_threshold and counts[i] >= self.min_rate:
+                    total += counts[i]
+                    if counts[i] > peak:
+                        peak, peak_z = counts[i], max(peak_z, z)
+                else:
+                    bursts.append(
+                        Burst(
+                            start=open_start,
+                            end=float(times[i]),
+                            peak_rate=float(peak),
+                            peak_z=float(peak_z),
+                            total_messages=int(total),
+                        )
+                    )
+                    open_start = None
+        if open_start is not None:
+            bursts.append(
+                Burst(
+                    start=open_start,
+                    end=float(times[-1]) + interval,
+                    peak_rate=float(peak),
+                    peak_z=float(peak_z),
+                    total_messages=int(total),
+                )
+            )
+        return bursts
+
+    def detect_in_store(
+        self,
+        store: LogStore,
+        *,
+        interval_s: float,
+        term: str | None = None,
+    ) -> list[Burst]:
+        """Convenience: histogram the store then detect."""
+        times, counts = message_rate_series(store, interval_s=interval_s, term=term)
+        return self.detect(times, counts)

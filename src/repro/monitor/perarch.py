@@ -1,0 +1,125 @@
+"""Per-architecture analysis (§4.5.3).
+
+"Occasionally if a node is experiencing an issue that appears to be
+interesting or relevant it may be a false indication.  It's worth
+checking to see if the same message or data is appearing on other
+compute nodes with the same architecture ... Fans or thermal sensors
+will occasionally report through IPMI that they are not functioning or
+the reading ... [is] unusually high or low, however when comparing
+readings from other nodes from the same architecture the readings are
+exactly the same."
+
+:class:`ArchPeerComparator` implements both checks:
+
+- **message check**: does the same masked message shape appear on most
+  architecture peers?  If so it is a family-wide quirk, not a node
+  anomaly;
+- **reading check**: is a sensor reading an outlier against the peer
+  distribution (robust z-score), or within family norms?
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.textproc.normalize import MaskingNormalizer
+
+__all__ = ["PeerVerdict", "ArchPeerComparator"]
+
+
+class PeerVerdict(enum.Enum):
+    """Outcome of a peer comparison."""
+
+    ANOMALOUS = "anomalous"  # unique to this node → investigate
+    FAMILY_WIDE = "family_wide"  # peers show the same → likely benign quirk
+    NO_PEERS = "no_peers"  # nothing to compare against
+
+
+@dataclass
+class ArchPeerComparator:
+    """Cross-node comparison within architecture families.
+
+    Parameters
+    ----------
+    arch_of:
+        hostname → architecture string (from the vendor profiles).
+    peer_fraction:
+        Fraction of peers that must show a message shape for it to
+        count as family-wide.
+    z_threshold:
+        Robust z-score beyond which a reading is anomalous vs peers.
+    """
+
+    arch_of: Mapping[str, str]
+    peer_fraction: float = 0.5
+    z_threshold: float = 3.5
+
+    _shapes: dict[str, dict[str, set[str]]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(set)),
+        init=False, repr=False,
+    )
+    _readings: dict[tuple[str, str], dict[str, list[float]]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(list)),
+        init=False, repr=False,
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.peer_fraction <= 1.0:
+            raise ValueError(
+                f"peer_fraction must be in (0, 1], got {self.peer_fraction}"
+            )
+        self._normalizer = MaskingNormalizer()
+
+    def _arch(self, hostname: str) -> str:
+        arch = self.arch_of.get(hostname)
+        if arch is None:
+            raise KeyError(f"unknown host {hostname!r} (no architecture mapping)")
+        return arch
+
+    # -- message shapes ----------------------------------------------------
+
+    def observe_message(self, hostname: str, text: str) -> None:
+        """Record that ``hostname`` emitted the (masked) shape of ``text``."""
+        arch = self._arch(hostname)
+        shape = self._normalizer.normalize(text)
+        self._shapes[arch][shape].add(hostname)
+
+    def check_message(self, hostname: str, text: str) -> PeerVerdict:
+        """Is this message shape unique to the node, or family-wide?"""
+        arch = self._arch(hostname)
+        peers = {h for h, a in self.arch_of.items() if a == arch and h != hostname}
+        if not peers:
+            return PeerVerdict.NO_PEERS
+        shape = self._normalizer.normalize(text)
+        reporters = self._shapes[arch].get(shape, set()) - {hostname}
+        if len(reporters) / len(peers) >= self.peer_fraction:
+            return PeerVerdict.FAMILY_WIDE
+        return PeerVerdict.ANOMALOUS
+
+    # -- sensor readings ------------------------------------------------------
+
+    def observe_reading(self, hostname: str, sensor: str, value: float) -> None:
+        """Record one sensor sample (e.g. an IPMI temperature)."""
+        arch = self._arch(hostname)
+        self._readings[(arch, sensor)][hostname].append(float(value))
+
+    def check_reading(self, hostname: str, sensor: str, value: float) -> PeerVerdict:
+        """Compare a reading against same-architecture peers' samples."""
+        arch = self._arch(hostname)
+        per_host = self._readings.get((arch, sensor), {})
+        peer_vals = [
+            v for h, vals in per_host.items() if h != hostname for v in vals
+        ]
+        if len(peer_vals) < 3:
+            return PeerVerdict.NO_PEERS
+        arr = np.asarray(peer_vals)
+        med = float(np.median(arr))
+        mad = float(np.median(np.abs(arr - med)))
+        scale = 1.4826 * mad if mad > 0 else max(float(arr.std()), 1e-9)
+        z = abs(value - med) / scale
+        return PeerVerdict.ANOMALOUS if z > self.z_threshold else PeerVerdict.FAMILY_WIDE

@@ -1,0 +1,168 @@
+"""Positional analysis: rack topology and incident localisation (§4.5.2).
+
+"All nodes within a single rack are typically connected to the same
+edge switch ... Nodes within a rack share a similar micro-climate" —
+so a thermal event hitting many nodes of one rack at once points at the
+rack (cooling, containment door), not at the nodes.
+
+:class:`RackTopology` models the data-center as a networkx graph
+(core switch — edge switch per rack — nodes); :func:`localize_bursts`
+scores racks by how many of their nodes surge simultaneously.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.monitor.frequency import Burst
+
+__all__ = ["RackTopology", "RackIncident", "localize_bursts"]
+
+
+class RackTopology:
+    """Physical placement of compute nodes.
+
+    The graph has a ``core`` switch, one edge switch per rack, and one
+    vertex per node, so network-sharing questions ("same edge switch?")
+    are graph queries.
+    """
+
+    def __init__(self, racks: Mapping[str, Sequence[str]]) -> None:
+        """``racks`` maps rack name → node hostnames.
+
+        Raises
+        ------
+        ValueError
+            If a hostname appears in two racks.
+        """
+        self.graph = nx.Graph()
+        self.graph.add_node("core", kind="switch")
+        self._rack_of: dict[str, str] = {}
+        for rack, hosts in racks.items():
+            switch = f"switch-{rack}"
+            self.graph.add_node(switch, kind="switch")
+            self.graph.add_edge("core", switch)
+            for h in hosts:
+                if h in self._rack_of:
+                    raise ValueError(
+                        f"host {h!r} placed in both {self._rack_of[h]!r} and {rack!r}"
+                    )
+                self._rack_of[h] = rack
+                self.graph.add_node(h, kind="node", rack=rack)
+                self.graph.add_edge(switch, h)
+
+    @classmethod
+    def grid(cls, hostnames: Sequence[str], nodes_per_rack: int = 8) -> "RackTopology":
+        """Pack hostnames into racks of fixed size, in sorted order."""
+        if nodes_per_rack < 1:
+            raise ValueError(f"nodes_per_rack must be >= 1, got {nodes_per_rack}")
+        hosts = sorted(hostnames)
+        racks: dict[str, list[str]] = {}
+        for i, h in enumerate(hosts):
+            racks.setdefault(f"r{i // nodes_per_rack:02d}", []).append(h)
+        return cls(racks)
+
+    def rack_of(self, hostname: str) -> str:
+        """Rack containing ``hostname``.
+
+        Raises
+        ------
+        KeyError
+            Unknown host.
+        """
+        return self._rack_of[hostname]
+
+    def nodes_in(self, rack: str) -> tuple[str, ...]:
+        """Hostnames in ``rack``."""
+        return tuple(sorted(h for h, r in self._rack_of.items() if r == rack))
+
+    def racks(self) -> tuple[str, ...]:
+        """All rack names, sorted."""
+        return tuple(sorted(set(self._rack_of.values())))
+
+    def share_edge_switch(self, a: str, b: str) -> bool:
+        """True when two nodes hang off the same edge switch."""
+        return self.rack_of(a) == self.rack_of(b)
+
+    def network_distance(self, a: str, b: str) -> int:
+        """Hop count between two hosts through the switch fabric."""
+        return nx.shortest_path_length(self.graph, a, b)
+
+
+@dataclass(frozen=True)
+class RackIncident:
+    """A rack-level localisation verdict."""
+
+    rack: str
+    affected_nodes: tuple[str, ...]
+    fraction_affected: float
+    window: tuple[float, float]
+
+
+def localize_bursts(
+    topology: RackTopology,
+    bursts_by_host: Mapping[str, Sequence[Burst]],
+    *,
+    min_fraction: float = 0.5,
+    min_nodes: int = 2,
+) -> list[RackIncident]:
+    """Fold per-node bursts into rack-level incidents.
+
+    A rack is implicated when at least ``min_fraction`` of its nodes
+    (and at least ``min_nodes``) burst with overlapping windows — the
+    signature of a shared micro-climate or shared-switch problem rather
+    than a single bad node.
+    """
+    if not 0.0 < min_fraction <= 1.0:
+        raise ValueError(f"min_fraction must be in (0, 1], got {min_fraction}")
+    per_rack: dict[str, list[tuple[str, Burst]]] = defaultdict(list)
+    for host, bursts in bursts_by_host.items():
+        try:
+            rack = topology.rack_of(host)
+        except KeyError:
+            continue  # host outside the managed topology
+        for b in bursts:
+            per_rack[rack].append((host, b))
+    incidents: list[RackIncident] = []
+    for rack, items in per_rack.items():
+        rack_nodes = topology.nodes_in(rack)
+        # Sweep burst boundaries to find the instant with the most
+        # distinct hosts bursting concurrently (a spurious early burst
+        # on one node must not mask the real rack-wide window).
+        boundaries: list[tuple[float, int, str]] = []
+        for h, b in items:
+            boundaries.append((b.start, +1, h))
+            boundaries.append((b.end, -1, h))
+        boundaries.sort(key=lambda e: (e[0], e[1]))
+        active: dict[str, int] = defaultdict(int)
+        best_hosts: set[str] = set()
+        best_t = None
+        for t, delta, h in boundaries:
+            active[h] += delta
+            if active[h] <= 0:
+                del active[h]
+            if len(active) > len(best_hosts):
+                best_hosts = set(active)
+                best_t = t
+        frac = len(best_hosts) / len(rack_nodes)
+        if len(best_hosts) >= min_nodes and frac >= min_fraction:
+            concurrent = [
+                b for h, b in items
+                if h in best_hosts and b.start <= best_t < b.end
+            ]
+            lo = min(b.start for b in concurrent)
+            hi = max(b.end for b in concurrent)
+            incidents.append(
+                RackIncident(
+                    rack=rack,
+                    affected_nodes=tuple(sorted(best_hosts)),
+                    fraction_affected=frac,
+                    window=(lo, hi),
+                )
+            )
+    incidents.sort(key=lambda i: -i.fraction_affected)
+    return incidents

@@ -1,0 +1,149 @@
+"""Sensor-sweep analysis: per-architecture verification of telemetry.
+
+Turns raw :class:`~repro.datagen.telemetry.TelemetrySample` streams into
+the §4.5.3 triage an administrator needs:
+
+- **node anomalies** — a node whose recent readings are outliers
+  against its architecture peers (real problem, or faulty sensor on
+  that node: either way, someone should look);
+- **suppressed family quirks** — readings that look alarming in
+  absolute terms but are identical across the architecture family
+  ("in reality the system is operating nominally");
+- **rack escalation** — node anomalies concentrated in one rack are
+  folded into a positional incident (the cooling story), not N node
+  tickets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.telemetry import TelemetrySample
+from repro.monitor.positional import RackTopology
+
+__all__ = ["SensorFinding", "SensorSweepAnalyzer"]
+
+
+@dataclass(frozen=True)
+class SensorFinding:
+    """One flagged (host, sensor) pair."""
+
+    hostname: str
+    sensor: str
+    observed: float
+    peer_median: float
+    z: float
+
+
+@dataclass
+class SensorSweepAnalyzer:
+    """Peer-verified telemetry analysis.
+
+    Parameters
+    ----------
+    arch_of:
+        hostname → architecture mapping.
+    z_threshold:
+        Robust z-score against peers above which a node is anomalous.
+    quirk_span:
+        If the peer distribution's own spread (MAD) is below this
+        fraction of the global sensor spread, identical-looking peers
+        are treated as a family-wide quirk and per-node checks are
+        suppressed for that (arch, sensor).
+    """
+
+    arch_of: Mapping[str, str]
+    z_threshold: float = 4.0
+    window_samples: int = 5
+
+    _readings: dict[tuple[str, str], dict[str, list[float]]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(list)),
+        init=False, repr=False,
+    )
+
+    def ingest(self, samples: Iterable[TelemetrySample]) -> None:
+        """Add sweep samples (keeps the trailing window per host/sensor)."""
+        for s in samples:
+            arch = self.arch_of.get(s.hostname)
+            if arch is None:
+                continue  # unmanaged host
+            buf = self._readings[(arch, s.sensor)][s.hostname]
+            buf.append(s.value)
+            if len(buf) > self.window_samples:
+                del buf[: len(buf) - self.window_samples]
+
+    def node_anomalies(self) -> list[SensorFinding]:
+        """Hosts whose recent readings are outliers vs their peers."""
+        findings: list[SensorFinding] = []
+        for (arch, sensor), per_host in self._readings.items():
+            if len(per_host) < 3:
+                continue  # too few peers to judge (§4.5.3 needs a family)
+            medians = {h: float(np.median(v)) for h, v in per_host.items()}
+            # Medians of short windows collapse the sampling noise, so
+            # the peer MAD alone understates normal variation; floor the
+            # scale with the raw per-sample spread of the family.
+            all_samples = np.concatenate([np.asarray(v) for v in per_host.values()])
+            sample_scale = 1.4826 * float(
+                np.median(np.abs(all_samples - np.median(all_samples)))
+            )
+            for host, observed in medians.items():
+                peers = np.asarray([m for h, m in medians.items() if h != host])
+                med = float(np.median(peers))
+                mad = float(np.median(np.abs(peers - med)))
+                scale = 1.4826 * mad if mad > 0 else max(float(peers.std()), 1e-9)
+                scale = max(scale, 0.5 * sample_scale, 1e-9)
+                z = abs(observed - med) / scale
+                if z > self.z_threshold:
+                    findings.append(SensorFinding(
+                        hostname=host, sensor=sensor,
+                        observed=observed, peer_median=med, z=float(z),
+                    ))
+        findings.sort(key=lambda f: -f.z)
+        return findings
+
+    def family_quirks(self, *, alarm_bands: Mapping[str, tuple[float, float]]) -> list[tuple[str, str, float]]:
+        """(arch, sensor, value) families whose *shared* reading is out
+        of the plausible band — alarming in absolute terms, identical
+        across peers, hence a reporting quirk to suppress.
+
+        Parameters
+        ----------
+        alarm_bands:
+            sensor → (low, high) plausible range; a family median
+            outside it with near-zero peer spread is a quirk.
+        """
+        quirks: list[tuple[str, str, float]] = []
+        for (arch, sensor), per_host in self._readings.items():
+            band = alarm_bands.get(sensor)
+            if band is None or len(per_host) < 3:
+                continue
+            medians = np.asarray([float(np.median(v)) for v in per_host.values()])
+            family_median = float(np.median(medians))
+            spread = float(np.median(np.abs(medians - family_median)))
+            lo, hi = band
+            if (family_median < lo or family_median > hi) and spread < 1e-6:
+                quirks.append((arch, sensor, family_median))
+        return quirks
+
+    def rack_incidents(
+        self, topology: RackTopology, *, min_fraction: float = 0.5
+    ) -> list[tuple[str, str, tuple[str, ...]]]:
+        """(rack, sensor, hosts) where anomalies concentrate in one rack."""
+        by_rack_sensor: dict[tuple[str, str], set[str]] = defaultdict(set)
+        for f in self.node_anomalies():
+            try:
+                rack = topology.rack_of(f.hostname)
+            except KeyError:
+                continue
+            by_rack_sensor[(rack, f.sensor)].add(f.hostname)
+        out = []
+        for (rack, sensor), hosts in by_rack_sensor.items():
+            frac = len(hosts) / len(topology.nodes_in(rack))
+            if frac >= min_fraction:
+                out.append((rack, sensor, tuple(sorted(hosts))))
+        out.sort(key=lambda rsh: -len(rsh[2]))
+        return out

@@ -1,0 +1,49 @@
+"""Discrete-event simulation of the Tivan log-collection pipeline (§4.2).
+
+The paper's infrastructure forwards every node's syslog stream to a
+central relay, through Fluentd into an OpenSearch cluster, visualized
+with Grafana.  This package rebuilds that path as a discrete-event
+simulation with real data structures:
+
+- :mod:`repro.stream.events` — the event engine (heap scheduler),
+- :mod:`repro.stream.syslogd` — node daemons and the central relay,
+- :mod:`repro.stream.fluentd` — the forwarder: buffering, batching,
+  flush intervals, retry with backoff, bounded-queue backpressure,
+- :mod:`repro.stream.opensearch` — an indexed document store with a
+  real inverted index: term and phrase queries, time-range filters,
+  date-histogram and terms aggregations, round-robin shards,
+- :mod:`repro.stream.tivan` — the assembled cluster, plus classifier
+  attachment so the throughput experiments (can classification keep up
+  with >1M messages/hour? §5) run end-to-end.
+"""
+
+from repro.stream.events import EventEngine, Event
+from repro.stream.syslogd import SyslogDaemon, SyslogRelay
+from repro.stream.fluentd import FluentdForwarder, ForwarderStats
+from repro.stream.opensearch import (
+    LogStore,
+    LogDocument,
+    QueryResult,
+    DateHistogramBucket,
+)
+from repro.stream.tivan import TivanCluster, IngestReport
+from repro.stream.capacity import CapacityPlanner, CapacityPlan, ClusterSpec, PAPER_CLUSTER
+
+__all__ = [
+    "EventEngine",
+    "Event",
+    "SyslogDaemon",
+    "SyslogRelay",
+    "FluentdForwarder",
+    "ForwarderStats",
+    "LogStore",
+    "LogDocument",
+    "QueryResult",
+    "DateHistogramBucket",
+    "TivanCluster",
+    "IngestReport",
+    "CapacityPlanner",
+    "CapacityPlan",
+    "ClusterSpec",
+    "PAPER_CLUSTER",
+]

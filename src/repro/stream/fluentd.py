@@ -1,0 +1,141 @@
+"""The Fluentd forwarder: buffer, batch, flush, retry, backpressure.
+
+§4.2.2: "Data collection, filtering, and translation is implemented
+using Fluentd running on a dedicated server."  The forwarder models
+Fluentd's buffered output plugin: messages accumulate in a bounded
+buffer; a periodic flush writes a batch to the store; failed flushes
+retry with exponential backoff; a full buffer rejects new messages
+(which the relay counts as drops).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.message import SyslogMessage
+from repro.stream.events import EventEngine
+
+__all__ = ["FluentdForwarder", "ForwarderStats"]
+
+
+@dataclass
+class ForwarderStats:
+    """Cumulative forwarder counters."""
+
+    accepted: int = 0
+    rejected: int = 0
+    flushed_batches: int = 0
+    flushed_messages: int = 0
+    failed_flushes: int = 0
+    max_buffer_seen: int = 0
+
+
+@dataclass
+class FluentdForwarder:
+    """Buffered batch forwarder.
+
+    Parameters
+    ----------
+    engine:
+        The event engine (flushes are scheduled on it).
+    sink:
+        Batch write target; returns True on success.  (Normally
+        :meth:`repro.stream.opensearch.LogStore.bulk_index`.)
+    flush_interval_s:
+        Seconds between scheduled flushes.
+    batch_size:
+        Max messages per flush call.
+    buffer_limit:
+        Max buffered messages before backpressure.
+    retry_base_s, retry_max_s:
+        Exponential-backoff bounds after a failed flush.
+    """
+
+    engine: EventEngine
+    sink: Callable[[Sequence[SyslogMessage]], bool]
+    flush_interval_s: float = 1.0
+    batch_size: int = 500
+    buffer_limit: int = 50_000
+    retry_base_s: float = 0.5
+    retry_max_s: float = 30.0
+
+    stats: ForwarderStats = field(default_factory=ForwarderStats)
+    _buffer: list[SyslogMessage] = field(default_factory=list, init=False, repr=False)
+    _retry_delay: float = field(default=0.0, init=False, repr=False)
+    _started: bool = field(default=False, init=False, repr=False)
+
+    def start(self) -> None:
+        """Begin the periodic flush cycle."""
+        if not self._started:
+            self._started = True
+            self.engine.schedule(self.flush_interval_s, self._flush_tick)
+
+    def offer(self, message: SyslogMessage) -> bool:
+        """Accept a message into the buffer; False when full."""
+        if len(self._buffer) >= self.buffer_limit:
+            self.stats.rejected += 1
+            return False
+        self._buffer.append(message)
+        self.stats.accepted += 1
+        self.stats.max_buffer_seen = max(self.stats.max_buffer_seen, len(self._buffer))
+        return True
+
+    def _flush_tick(self) -> None:
+        self.flush()
+        delay = self._retry_delay if self._retry_delay > 0 else self.flush_interval_s
+        self.engine.schedule(delay, self._flush_tick)
+
+    def flush(self) -> int:
+        """Write up to ``batch_size`` buffered messages; returns count."""
+        if not self._buffer:
+            self._retry_delay = 0.0
+            return 0
+        batch = self._buffer[: self.batch_size]
+        if self.sink(batch):
+            del self._buffer[: len(batch)]
+            self.stats.flushed_batches += 1
+            self.stats.flushed_messages += len(batch)
+            self._retry_delay = 0.0
+            return len(batch)
+        self.stats.failed_flushes += 1
+        self._retry_delay = min(
+            self.retry_base_s * 2 ** min(self.stats.failed_flushes, 10),
+            self.retry_max_s,
+        )
+        return 0
+
+    def drain(
+        self, max_rounds: int = 1_000_000, max_consecutive_failures: int = 50
+    ) -> int:
+        """Flush repeatedly until the buffer empties; returns flushed.
+
+        Transient sink failures are retried; the drain only gives up
+        after ``max_consecutive_failures`` failed flushes in a row.
+
+        Raises
+        ------
+        RuntimeError
+            If the sink keeps failing and the buffer cannot drain.
+        """
+        total = 0
+        consecutive = 0
+        for _ in range(max_rounds):
+            if not self._buffer:
+                return total
+            n = self.flush()
+            if n == 0:
+                consecutive += 1
+                if consecutive >= max_consecutive_failures:
+                    raise RuntimeError(
+                        f"drain stalled with {len(self._buffer)} messages "
+                        f"buffered after {consecutive} consecutive failures"
+                    )
+            else:
+                consecutive = 0
+                total += n
+        raise RuntimeError("drain exceeded max_rounds")
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)

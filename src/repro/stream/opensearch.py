@@ -1,0 +1,327 @@
+"""A miniature OpenSearch: sharded store with a real inverted index.
+
+§4.2: "Database support is provided by an Opensearch service deployed
+across 6 of the Dell servers ... This system has allowed us to store
+and search over thirty million log records a month."  The experiments
+need the *capabilities* — term search, time-range filters, and the
+aggregations Grafana panels are built on — not the distributed systems
+internals, so :class:`LogStore` implements:
+
+- round-robin document sharding (6 shards like the paper's 6 data
+  nodes; per-shard stats let the capacity bench reason about balance),
+- an inverted index token → sorted doc-id postings (masked-normalized
+  tokens, so searches generalize over volatile fields),
+- term / all-terms / phrase queries with time-range filtering,
+- ``date_histogram`` and ``terms`` aggregations — the backbone of the
+  §4.5 frequency and grouping analyses.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.message import Severity, SyslogMessage
+from repro.core.taxonomy import Category
+from repro.textproc.normalize import MaskingNormalizer
+from repro.textproc.tokenize import Tokenizer
+
+__all__ = ["LogDocument", "LogStore", "QueryResult", "DateHistogramBucket"]
+
+
+@dataclass(frozen=True)
+class LogDocument:
+    """One indexed log record."""
+
+    doc_id: int
+    message: SyslogMessage
+    category: Category | None = None  # classifier-assigned, if any
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Documents matching a query, plus timing-free metadata."""
+
+    docs: tuple[LogDocument, ...]
+    total: int
+
+
+@dataclass(frozen=True)
+class DateHistogramBucket:
+    """One time bucket of a date-histogram aggregation."""
+
+    start: float
+    count: int
+
+
+class LogStore:
+    """Sharded, inverted-indexed log document store.
+
+    Parameters
+    ----------
+    n_shards:
+        Shard count (paper deployment: 6 data nodes).
+    """
+
+    def __init__(self, n_shards: int = 6) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self._docs: list[LogDocument] = []
+        self._shard_counts = [0] * n_shards
+        self._postings: dict[str, list[int]] = defaultdict(list)
+        self._times: list[float] = []  # per doc_id, indexing order
+        # Time index, sorted lazily: streams arrive mostly in time
+        # order (append-only), while bulk loads may be shuffled — an
+        # insertion sort per document would be quadratic there, so the
+        # sorted view is rebuilt on demand instead.
+        self._time_order: list[int] = []  # doc ids sorted by timestamp
+        self._time_sorted: list[float] = []
+        self._time_dirty = False
+        self._tokenizer = Tokenizer()
+        self._normalizer = MaskingNormalizer()
+
+    # -- indexing -------------------------------------------------------
+
+    def index(self, message: SyslogMessage, category: Category | None = None) -> int:
+        """Index one message; returns its doc id."""
+        doc_id = len(self._docs)
+        doc = LogDocument(doc_id=doc_id, message=message, category=category)
+        self._docs.append(doc)
+        self._shard_counts[doc_id % self.n_shards] += 1
+        seen: set[str] = set()
+        for tok in self._analyze(message.text):
+            if tok not in seen:
+                seen.add(tok)
+                self._postings[tok].append(doc_id)
+        for extra in (message.hostname, message.app):
+            key = extra.lower()
+            if key not in seen:
+                seen.add(key)
+                self._postings[key].append(doc_id)
+        if self._time_sorted and message.timestamp < self._time_sorted[-1]:
+            self._time_dirty = True
+        self._time_sorted.append(message.timestamp)
+        self._time_order.append(doc_id)
+        self._times.append(message.timestamp)
+        return doc_id
+
+    def _ensure_time_index(self) -> None:
+        if self._time_dirty:
+            order = sorted(range(len(self._times)), key=self._times.__getitem__)
+            self._time_order = order
+            self._time_sorted = [self._times[i] for i in order]
+            self._time_dirty = False
+
+    def bulk_index(self, messages: Sequence[SyslogMessage]) -> bool:
+        """Index a batch (the Fluentd sink contract); always succeeds."""
+        for m in messages:
+            self.index(m)
+        return True
+
+    def set_category(self, doc_id: int, category: Category) -> None:
+        """Attach a classifier verdict to an already-indexed document."""
+        doc = self._docs[doc_id]
+        self._docs[doc_id] = LogDocument(
+            doc_id=doc.doc_id, message=doc.message, category=category
+        )
+
+    def _analyze(self, text: str) -> list[str]:
+        return self._tokenizer.tokenize(self._normalizer.normalize(text))
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def get(self, doc_id: int) -> LogDocument:
+        """Fetch by id (raises IndexError when absent)."""
+        return self._docs[doc_id]
+
+    def term_query(
+        self,
+        term: str,
+        *,
+        t0: float | None = None,
+        t1: float | None = None,
+        limit: int | None = None,
+        max_severity: "Severity | None" = None,
+    ) -> QueryResult:
+        """Documents containing ``term`` (hostname/app/token match).
+
+        ``max_severity`` keeps only documents at that severity or more
+        urgent (syslog severities are lower-is-more-urgent, so this is
+        a numeric upper bound — ``max_severity=Severity.WARNING`` means
+        warnings, errors, criticals, alerts, and emergencies).
+        """
+        ids = self._postings.get(term.lower(), [])
+        return self._finalize(ids, t0, t1, limit, max_severity)
+
+    def all_terms_query(
+        self,
+        terms: Sequence[str],
+        *,
+        t0: float | None = None,
+        t1: float | None = None,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """Documents containing every term (AND of postings)."""
+        if not terms:
+            raise ValueError("all_terms_query requires at least one term")
+        lists = sorted(
+            (self._postings.get(t.lower(), []) for t in terms), key=len
+        )
+        if not lists[0]:
+            return QueryResult(docs=(), total=0)
+        result = set(lists[0])
+        for lst in lists[1:]:
+            result &= set(lst)
+            if not result:
+                break
+        return self._finalize(sorted(result), t0, t1, limit)
+
+    def phrase_query(
+        self,
+        phrase: str,
+        *,
+        t0: float | None = None,
+        t1: float | None = None,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """AND-query on the phrase's tokens, verified by substring match
+        on the masked text (like a match_phrase over a keyword subfield)."""
+        tokens = self._analyze(phrase)
+        if not tokens:
+            raise ValueError(f"phrase {phrase!r} yields no tokens")
+        cand = self.all_terms_query(tokens, t0=t0, t1=t1)
+        needle = " ".join(tokens)
+        hits = [
+            d for d in cand.docs
+            if needle in " ".join(self._analyze(d.message.text))
+        ]
+        if limit is not None:
+            hits = hits[:limit]
+        return QueryResult(docs=tuple(hits), total=len(hits))
+
+    def time_range(self, t0: float, t1: float) -> QueryResult:
+        """All documents with t0 <= timestamp < t1."""
+        self._ensure_time_index()
+        lo = bisect.bisect_left(self._time_sorted, t0)
+        hi = bisect.bisect_left(self._time_sorted, t1)
+        ids = self._time_order[lo:hi]
+        docs = tuple(self._docs[i] for i in ids)
+        return QueryResult(docs=docs, total=len(docs))
+
+    def _finalize(self, ids, t0, t1, limit, max_severity=None) -> QueryResult:
+        docs = (self._docs[i] for i in ids)
+        if t0 is not None or t1 is not None:
+            lo = t0 if t0 is not None else float("-inf")
+            hi = t1 if t1 is not None else float("inf")
+            docs = (d for d in docs if lo <= d.message.timestamp < hi)
+        if max_severity is not None:
+            docs = (d for d in docs if d.message.severity <= max_severity)
+        out = list(docs)
+        total = len(out)
+        if limit is not None:
+            out = out[:limit]
+        return QueryResult(docs=tuple(out), total=total)
+
+    # -- aggregations ------------------------------------------------------
+
+    def date_histogram(
+        self,
+        *,
+        interval_s: float,
+        t0: float | None = None,
+        t1: float | None = None,
+        term: str | None = None,
+    ) -> list[DateHistogramBucket]:
+        """Counts per fixed time interval (Grafana's message-rate panel).
+
+        Empty intermediate buckets are included so plots show gaps.
+        """
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if term is not None:
+            docs = self.term_query(term, t0=t0, t1=t1).docs
+            times = sorted(d.message.timestamp for d in docs)
+        else:
+            self._ensure_time_index()
+            lo = bisect.bisect_left(self._time_sorted, t0) if t0 is not None else 0
+            hi = (
+                bisect.bisect_left(self._time_sorted, t1)
+                if t1 is not None
+                else len(self._time_sorted)
+            )
+            times = self._time_sorted[lo:hi]
+        if not times:
+            return []
+        start = (t0 if t0 is not None else times[0]) // interval_s * interval_s
+        end = times[-1]
+        buckets: list[DateHistogramBucket] = []
+        counts: Counter[int] = Counter(int((t - start) // interval_s) for t in times)
+        n_buckets = int((end - start) // interval_s) + 1
+        for b in range(n_buckets):
+            buckets.append(
+                DateHistogramBucket(start=start + b * interval_s, count=counts.get(b, 0))
+            )
+        return buckets
+
+    def terms_aggregation(
+        self,
+        field_name: str,
+        *,
+        top: int = 10,
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> list[tuple[str, int]]:
+        """Top values of a document field (hostname/app/category).
+
+        Raises
+        ------
+        ValueError
+            Unknown field name.
+        """
+        if field_name not in ("hostname", "app", "category"):
+            raise ValueError(f"cannot aggregate on field {field_name!r}")
+        docs = self.time_range(
+            t0 if t0 is not None else float("-inf"),
+            t1 if t1 is not None else float("inf"),
+        ).docs
+        counter: Counter[str] = Counter()
+        for d in docs:
+            if field_name == "category":
+                if d.category is not None:
+                    counter[d.category.value] += 1
+            else:
+                counter[getattr(d.message, field_name)] += 1
+        return counter.most_common(top)
+
+    def severity_histogram(
+        self, *, t0: float | None = None, t1: float | None = None
+    ) -> dict[Severity, int]:
+        """Document counts per severity level (dashboard panel)."""
+        docs = self.time_range(
+            t0 if t0 is not None else float("-inf"),
+            t1 if t1 is not None else float("inf"),
+        ).docs
+        out: dict[Severity, int] = {}
+        for d in docs:
+            out[d.message.severity] = out.get(d.message.severity, 0) + 1
+        return out
+
+    # -- ops visibility -----------------------------------------------------
+
+    def shard_counts(self) -> list[int]:
+        """Documents per shard (balance check)."""
+        return list(self._shard_counts)
+
+    def index_stats(self) -> dict[str, int]:
+        """Coarse index size statistics."""
+        return {
+            "docs": len(self._docs),
+            "unique_terms": len(self._postings),
+            "postings": sum(len(p) for p in self._postings.values()),
+        }

@@ -1,0 +1,74 @@
+"""Node syslog daemons and the central relay.
+
+§4.2.2: "The syslog data stream is forwarded from all our compute nodes
+to a primary syslog server which then forwards the stream to Fluentd.
+Forwarding is managed by rsyslogd's builtin support."
+
+:class:`SyslogDaemon` replays a node's share of a pre-generated message
+stream into the engine; :class:`SyslogRelay` is the primary syslog
+server — it fans every daemon's output into a downstream consumer
+(normally the Fluentd forwarder) and counts drops when the downstream
+refuses (bounded-buffer backpressure).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.message import SyslogMessage
+from repro.stream.events import EventEngine
+
+__all__ = ["SyslogDaemon", "SyslogRelay"]
+
+
+@dataclass
+class SyslogRelay:
+    """The primary syslog server: fan-in plus forwarding.
+
+    Parameters
+    ----------
+    downstream:
+        Callable accepting a message and returning True when accepted
+        (False = downstream full, message dropped — rsyslog's UDP-style
+        loss under pressure).
+    """
+
+    downstream: Callable[[SyslogMessage], bool]
+    n_received: int = field(default=0, init=False)
+    n_forwarded: int = field(default=0, init=False)
+    n_dropped: int = field(default=0, init=False)
+
+    def receive(self, message: SyslogMessage) -> None:
+        """Accept one message from a node daemon."""
+        self.n_received += 1
+        if self.downstream(message):
+            self.n_forwarded += 1
+        else:
+            self.n_dropped += 1
+
+
+@dataclass
+class SyslogDaemon:
+    """One node's rsyslogd, replaying its share of a message trace."""
+
+    hostname: str
+    relay: SyslogRelay
+    n_emitted: int = field(default=0, init=False)
+
+    def load_trace(
+        self, engine: EventEngine, messages: Sequence[SyslogMessage]
+    ) -> None:
+        """Schedule this node's messages into the engine.
+
+        Only messages whose ``hostname`` matches are scheduled; the
+        timestamps in the trace are absolute sim times.
+        """
+        for msg in messages:
+            if msg.hostname != self.hostname:
+                continue
+            engine.schedule_at(msg.timestamp, lambda m=msg: self._emit(m))
+
+    def _emit(self, message: SyslogMessage) -> None:
+        self.n_emitted += 1
+        self.relay.receive(message)

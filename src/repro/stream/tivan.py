@@ -1,0 +1,180 @@
+"""The assembled Tivan cluster simulation.
+
+Wires the §4.2 path — node daemons → primary syslog relay → Fluentd
+forwarder → the indexed store — and optionally attaches a *classifier
+stage*: a single-server queue that works through indexed documents at a
+given per-message service time (measured from a real pipeline, or taken
+from the LLM cost model).  The stage's backlog over time is the
+quantitative form of the paper's feasibility argument: a classifier
+whose service rate is below the arrival rate "will not be able to keep
+up with the continuous flow of messages" (§6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.message import SyslogMessage
+from repro.core.taxonomy import Category
+from repro.datagen.workload import StreamEvent
+from repro.stream.events import EventEngine
+from repro.stream.fluentd import FluentdForwarder
+from repro.stream.opensearch import LogStore
+from repro.stream.syslogd import SyslogDaemon, SyslogRelay
+
+__all__ = ["TivanCluster", "IngestReport", "ClassifierStage"]
+
+
+@dataclass
+class ClassifierStage:
+    """Single-server classification queue over indexed documents.
+
+    Parameters
+    ----------
+    service_time_s:
+        Simulated seconds to classify one message (e.g. Table 3's
+        per-message LLM latency, or a measured pipeline mean).
+    classify:
+        Maps message text → :class:`Category`; ``None`` records
+        progress without real predictions (pure queueing study).
+    """
+
+    service_time_s: float
+    classify: Callable[[str], Category] | None = None
+
+    n_done: int = field(default=0, init=False)
+    _busy: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.service_time_s <= 0:
+            raise ValueError(
+                f"service_time_s must be positive, got {self.service_time_s}"
+            )
+
+
+@dataclass
+class IngestReport:
+    """Outcome of one simulated run."""
+
+    duration_s: float
+    produced: int
+    relay_received: int
+    relay_dropped: int
+    indexed: int
+    classified: int
+    final_backlog: int
+    #: (sim time, classifier backlog) samples
+    backlog_timeline: list[tuple[float, int]]
+
+    @property
+    def keeping_up(self) -> bool:
+        """True when the classifier's backlog stayed bounded (ends with
+        less than one service-burst of work outstanding)."""
+        if not self.backlog_timeline:
+            return True
+        peak = max(b for _t, b in self.backlog_timeline)
+        return self.final_backlog <= max(10, peak * 0.1)
+
+
+class TivanCluster:
+    """The end-to-end collection pipeline.
+
+    Parameters
+    ----------
+    n_shards:
+        Store shards (paper: 6 OpenSearch data nodes).
+    flush_interval_s, batch_size, buffer_limit:
+        Fluentd forwarder tuning.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_shards: int = 6,
+        flush_interval_s: float = 1.0,
+        batch_size: int = 1000,
+        buffer_limit: int = 100_000,
+    ) -> None:
+        self.engine = EventEngine()
+        self.store = LogStore(n_shards=n_shards)
+        self.forwarder = FluentdForwarder(
+            engine=self.engine,
+            sink=self.store.bulk_index,
+            flush_interval_s=flush_interval_s,
+            batch_size=batch_size,
+            buffer_limit=buffer_limit,
+        )
+        self.relay = SyslogRelay(downstream=self.forwarder.offer)
+        self.daemons: dict[str, SyslogDaemon] = {}
+        self._stage: ClassifierStage | None = None
+        self._backlog_samples: list[tuple[float, int]] = []
+
+    def attach_classifier(self, stage: ClassifierStage) -> None:
+        """Attach the classification stage before :meth:`run`."""
+        self._stage = stage
+
+    def load_events(self, events: Sequence[StreamEvent]) -> None:
+        """Create daemons for every host in the trace and schedule it."""
+        messages = [e.message for e in events]
+        hosts = sorted({m.hostname for m in messages})
+        for h in hosts:
+            self.daemons[h] = SyslogDaemon(hostname=h, relay=self.relay)
+        for h, d in self.daemons.items():
+            d.load_trace(self.engine, messages)
+        self._n_produced = len(messages)
+
+    def run(self, duration_s: float, *, sample_every_s: float = 5.0) -> IngestReport:
+        """Run the simulation and return the report."""
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        self.forwarder.start()
+        if self._stage is not None:
+            self.engine.schedule(0.0, self._classifier_tick)
+        self._schedule_sampler(sample_every_s, duration_s)
+        self.engine.run(until=duration_s)
+        # settle: drain remaining buffered messages into the index
+        if self.forwarder.buffered:
+            self.forwarder.drain()
+        classified = self._stage.n_done if self._stage else 0
+        return IngestReport(
+            duration_s=duration_s,
+            produced=getattr(self, "_n_produced", 0),
+            relay_received=self.relay.n_received,
+            relay_dropped=self.relay.n_dropped,
+            indexed=len(self.store),
+            classified=classified,
+            final_backlog=len(self.store) - classified,
+            backlog_timeline=list(self._backlog_samples),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _schedule_sampler(self, every: float, horizon: float) -> None:
+        if every <= 0:
+            raise ValueError(f"sample_every_s must be positive, got {every}")
+
+        def sample() -> None:
+            done = self._stage.n_done if self._stage else 0
+            self._backlog_samples.append((self.engine.now, len(self.store) - done))
+            if self.engine.now + every <= horizon:
+                self.engine.schedule(every, sample)
+
+        self.engine.schedule(every, sample)
+
+    def _classifier_tick(self) -> None:
+        stage = self._stage
+        assert stage is not None
+        if stage.n_done < len(self.store):
+            doc = self.store.get(stage.n_done)
+            if stage.classify is not None:
+                self.store.set_category(
+                    doc.doc_id, stage.classify(doc.message.text)
+                )
+            stage.n_done += 1
+            self.engine.schedule(stage.service_time_s, self._classifier_tick)
+        else:
+            # idle poll: wake up when new documents may have arrived
+            self.engine.schedule(
+                max(stage.service_time_s, 0.05), self._classifier_tick
+            )

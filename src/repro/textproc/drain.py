@@ -1,0 +1,163 @@
+"""Drain-style online log-template mining.
+
+The legacy bucketing approach (§3) and the masking normalizer both
+approximate what the log-parsing literature calls *template mining* —
+discovering the constant skeleton of each message and wildcarding its
+parameters.  Drain (He et al., ICWS 2017; the core of the LogPAI
+toolkit) is the standard online algorithm: a fixed-depth prefix tree
+routes each message by token count and leading tokens to a small group
+of candidate clusters, the most similar cluster above a threshold
+absorbs the message (wildcarding positions that differ), and otherwise
+a new cluster is born.
+
+Having a real miner lets the repo compare three grouping strategies on
+equal footing (see ``benchmarks/bench_template_mining.py``):
+
+- Levenshtein bucketing (the paper's legacy approach),
+- masking + exact shape matching (what the ML pipeline rides on),
+- Drain template mining (the literature's default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.textproc.tokenize import Tokenizer
+
+__all__ = ["DrainTemplateMiner", "LogTemplate"]
+
+_WILDCARD = "<*>"
+
+
+@dataclass
+class LogTemplate:
+    """One mined template (cluster)."""
+
+    template_id: int
+    tokens: list[str]
+    count: int = 0
+
+    def render(self) -> str:
+        """The template as a string, wildcards included."""
+        return " ".join(self.tokens)
+
+
+def _has_digit(token: str) -> bool:
+    return any(ch.isdigit() for ch in token)
+
+
+@dataclass
+class DrainTemplateMiner:
+    """Online template miner (Drain's fixed-depth search tree).
+
+    Parameters
+    ----------
+    depth:
+        Tree depth (number of leading tokens used for routing, after
+        the token-count level).
+    similarity_threshold:
+        Fraction of positions that must match an existing template for
+        the message to join it.
+    max_children:
+        Branching cap per internal node; overflow routes through a
+        catch-all child (Drain's guard against parameter explosion).
+    """
+
+    depth: int = 3
+    similarity_threshold: float = 0.5
+    max_children: int = 24
+
+    templates: list[LogTemplate] = field(default_factory=list, init=False)
+    _root: dict = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        if not 0.0 < self.similarity_threshold <= 1.0:
+            raise ValueError(
+                f"similarity_threshold must be in (0, 1], got "
+                f"{self.similarity_threshold}"
+            )
+        self._tokenizer = Tokenizer(lowercase=False, split_kv=False)
+
+    # -- routing --------------------------------------------------------
+
+    def _leaf_for(self, tokens: list[str]) -> list[LogTemplate]:
+        """The candidate-template list for this token sequence,
+        creating routing nodes as needed."""
+        node = self._root.setdefault(len(tokens), {})
+        for d in range(min(self.depth, len(tokens))):
+            tok = tokens[d]
+            # parameters (digit-bearing tokens) all route through the
+            # wildcard child so numbers don't explode the tree
+            key = _WILDCARD if _has_digit(tok) else tok
+            children = node.setdefault("children", {})
+            if key not in children and len(children) >= self.max_children:
+                key = _WILDCARD
+            node = children.setdefault(key, {})
+        return node.setdefault("leaf", [])
+
+    @staticmethod
+    def _similarity(a: list[str], b: list[str]) -> float:
+        same = sum(
+            1 for x, y in zip(a, b) if x == y or x == _WILDCARD or y == _WILDCARD
+        )
+        return same / len(a) if a else 1.0
+
+    # -- API ------------------------------------------------------------------
+
+    def add(self, message: str) -> LogTemplate:
+        """Route one message; returns its (possibly new) template."""
+        tokens = self._tokenizer.tokenize(message)
+        leaf = self._leaf_for(tokens)
+        best: LogTemplate | None = None
+        best_sim = 0.0
+        for tpl in leaf:
+            sim = self._similarity(tpl.tokens, tokens)
+            if sim > best_sim:
+                best, best_sim = tpl, sim
+        if best is not None and best_sim >= self.similarity_threshold:
+            # merge: wildcard the differing positions
+            best.tokens = [
+                t if t == u else _WILDCARD
+                for t, u in zip(best.tokens, tokens)
+            ]
+            best.count += 1
+            return best
+        tpl = LogTemplate(template_id=len(self.templates), tokens=list(tokens),
+                          count=1)
+        self.templates.append(tpl)
+        leaf.append(tpl)
+        return tpl
+
+    def fit(self, messages) -> "DrainTemplateMiner":
+        """Mine templates from a message collection."""
+        for m in messages:
+            self.add(m)
+        return self
+
+    def match(self, message: str) -> LogTemplate | None:
+        """Best existing template for ``message`` (no mutation), or None."""
+        tokens = self._tokenizer.tokenize(message)
+        node = self._root.get(len(tokens))
+        if node is None:
+            return None
+        for d in range(min(self.depth, len(tokens))):
+            children = node.get("children", {})
+            tok = tokens[d]
+            key = _WILDCARD if _has_digit(tok) else tok
+            if key not in children:
+                key = _WILDCARD
+            node = children.get(key)
+            if node is None:
+                return None
+        best, best_sim = None, 0.0
+        for tpl in node.get("leaf", []):
+            sim = self._similarity(tpl.tokens, tokens)
+            if sim > best_sim:
+                best, best_sim = tpl, sim
+        return best if best is not None and best_sim >= self.similarity_threshold else None
+
+    @property
+    def n_templates(self) -> int:
+        return len(self.templates)

@@ -1,0 +1,83 @@
+"""Masking normalization of volatile syslog fields.
+
+The legacy bucketing approach (§3) groups messages that "state the same
+problem in the same way, but with slightly different identifying
+information".  The ML pipeline achieves the same collapse *before*
+feature extraction by masking volatile fields — IP addresses, MAC
+addresses, hex ids, device numbers, PIDs, temperatures — with stable
+placeholder tokens.  Two benefits:
+
+- the TF-IDF vocabulary stays small and discriminative (no one-off
+  identifiers), and
+- message *shapes* become comparable across nodes and over time, which
+  is what makes the classifier robust where edit-distance bucketing
+  needed re-training.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["MaskingNormalizer", "normalize_message"]
+
+# Order matters: more specific patterns first (MAC before hex, IPv4
+# before bare numbers, etc.).
+_RULES: list[tuple[str, re.Pattern[str]]] = [
+    ("<mac>", re.compile(r"\b(?:[0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}\b")),
+    ("<ip>", re.compile(r"\b(?:\d{1,3}\.){3}\d{1,3}(?::\d+)?\b")),
+    ("<ipv6>", re.compile(r"\b(?:[0-9a-fA-F]{1,4}:){3,7}[0-9a-fA-F]{1,4}\b")),
+    ("<time>", re.compile(r"\b\d{1,2}:\d{2}(?::\d{2})?(?:\.\d+)?\b")),
+    ("<date>", re.compile(r"\b\d{4}-\d{2}-\d{2}\b")),
+    ("<hex>", re.compile(r"\b0x[0-9a-fA-F]+\b")),
+    ("<hexid>", re.compile(r"\b[0-9a-fA-F]{8,}\b")),
+    ("<path>", re.compile(r"(?:^|(?<=\s))/[\w./\-]+")),
+    ("<ver>", re.compile(r"\b\d+\.\d+(?:\.\d+)+\b")),
+    ("<temp>", re.compile(r"\b\d+(?:\.\d+)?\s?(?:C|degC|celsius)\b")),
+    ("<size>", re.compile(r"\b\d+(?:\.\d+)?\s?(?:kB|KB|MB|GB|TB|KiB|MiB|GiB|bytes)\b")),
+    ("<num>", re.compile(r"\b\d+(?:\.\d+)?[eE][+-]?\d+\b")),  # scientific notation
+    ("<num>", re.compile(r"\b\d+(?:\.\d+)?\b")),
+]
+
+# node-name style identifiers: alpha prefix + numeric suffix (cn042,
+# sda1, eth0, cpu23).  The alpha stem is kept, the counter masked, so
+# "cpu23"/"cpu7" share the feature "cpu<num>".
+_ALNUM_ID = re.compile(r"\b([A-Za-z]{2,})(\d{1,6})\b")
+
+
+@dataclass
+class MaskingNormalizer:
+    """Replace volatile message fields with placeholder tokens.
+
+    Parameters
+    ----------
+    mask_alnum_ids:
+        Also mask the numeric suffix of ``name<digits>`` identifiers
+        (``cn042`` → ``cn<num>``), keeping the stem.
+    collapse_whitespace:
+        Squash runs of whitespace to a single space.
+    """
+
+    mask_alnum_ids: bool = True
+    collapse_whitespace: bool = True
+
+    def __call__(self, text: str) -> str:
+        return self.normalize(text)
+
+    def normalize(self, text: str) -> str:
+        """Return ``text`` with volatile fields masked."""
+        for placeholder, pat in _RULES:
+            text = pat.sub(placeholder, text)
+        if self.mask_alnum_ids:
+            text = _ALNUM_ID.sub(lambda m: m.group(1) + "<num>", text)
+        if self.collapse_whitespace:
+            text = " ".join(text.split())
+        return text
+
+
+_DEFAULT = MaskingNormalizer()
+
+
+def normalize_message(text: str) -> str:
+    """Normalize with the default masking rules."""
+    return _DEFAULT.normalize(text)

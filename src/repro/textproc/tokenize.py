@@ -1,0 +1,93 @@
+"""Syslog-aware tokenization.
+
+Syslog messages mix natural language with structured fragments
+(``key=value`` pairs, ``subsystem:`` prefixes, device paths, sensor
+readings).  A plain whitespace split leaves punctuation glued to words
+("throttled." vs "throttled"), while an aggressive word-character split
+destroys identifiers the masking normalizer needs to see intact.  The
+tokenizer here splits on whitespace first, then peels leading/trailing
+punctuation and breaks ``k=v`` / ``k:v`` pairs, which keeps identifiers
+("CPU23", "sda1", "192.168.0.4") as single tokens for the normalizer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Tokenizer", "tokenize"]
+
+# Punctuation stripped from token edges.  Internal punctuation (dots in
+# IP addresses, dashes in node names) is preserved.
+_EDGE_PUNCT = ".,;!?\"'()[]{}:=#"
+
+_KV_RE = re.compile(r"^([A-Za-z_][\w.\-]*)([=:])(.+)$")
+_WS_RE = re.compile(r"\s+")
+
+
+@dataclass
+class Tokenizer:
+    """Configurable syslog tokenizer.
+
+    Parameters
+    ----------
+    lowercase:
+        Fold tokens to lower case.  The paper's TF-IDF features are
+        case-insensitive (Table 1 lists lowercased tokens).
+    split_kv:
+        Break ``key=value`` and ``key:value`` fragments into
+        ``key``, ``value`` tokens so that the key survives as a feature
+        even when the value is volatile.
+    min_len:
+        Drop tokens shorter than this after stripping (0 keeps all).
+    """
+
+    lowercase: bool = True
+    split_kv: bool = True
+    min_len: int = 1
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)
+
+    def tokenize(self, text: str) -> list[str]:
+        """Tokenize ``text`` into a list of tokens."""
+        out: list[str] = []
+        for raw in _WS_RE.split(text.strip()):
+            if not raw:
+                continue
+            self._emit(raw, out)
+        if self.lowercase:
+            out = [t.lower() for t in out]
+        if self.min_len > 1:
+            out = [t for t in out if len(t) >= self.min_len]
+        return out
+
+    def _emit(self, raw: str, out: list[str]) -> None:
+        tok = raw.strip(_EDGE_PUNCT)
+        if not tok:
+            return
+        if self.split_kv:
+            m = _KV_RE.match(tok)
+            # Do not split dotted quads or timestamps: only split when the
+            # key looks like an identifier and the separator is = or a
+            # colon not followed by a digit pair (12:34:56).
+            if m and not (m.group(2) == ":" and re.match(r"^\d{2}(:|$)", m.group(3))):
+                key, _sep, val = m.groups()
+                out.append(key)
+                val = val.strip(_EDGE_PUNCT)
+                if val:
+                    # Values may themselves be comma-joined lists.
+                    for part in val.split(","):
+                        part = part.strip(_EDGE_PUNCT)
+                        if part:
+                            out.append(part)
+                return
+        out.append(tok)
+
+
+_DEFAULT = Tokenizer()
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize with the default (lowercasing, kv-splitting) tokenizer."""
+    return _DEFAULT.tokenize(text)

@@ -1,0 +1,64 @@
+"""Shared fixtures: small corpora, splits, and embeddings.
+
+Session-scoped so the expensive artifacts (corpus generation, TF-IDF,
+embeddings) are built once for the whole run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Deterministic property tests: same examples every run (flaky CI runs
+# help nobody), and no deadline (shared fixtures make first runs slow).
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.datagen.generator import CorpusGenerator, LabeledCorpus
+from repro.llm.embeddings import CorpusEmbeddings
+from repro.ml.model_selection import train_test_split
+from repro.textproc.tfidf import TfidfVectorizer
+
+
+@pytest.fixture(scope="session")
+def corpus() -> LabeledCorpus:
+    """A small but fully representative labelled corpus (~1000 msgs)."""
+    return CorpusGenerator(scale=0.005, seed=42).generate()
+
+
+@pytest.fixture(scope="session")
+def split(corpus):
+    """(X_train, X_test, y_train, y_test, vectorizer) on the corpus."""
+    labels = np.asarray([lab.value for lab in corpus.labels])
+    tr_txt, te_txt, y_tr, y_te = train_test_split(
+        corpus.texts, labels, test_size=0.25, seed=0
+    )
+    vec = TfidfVectorizer(max_features=1500)
+    X_tr = vec.fit_transform(list(tr_txt))
+    X_te = vec.transform(list(te_txt))
+    return X_tr, X_te, y_tr, y_te, vec
+
+
+@pytest.fixture(scope="session")
+def embeddings(corpus) -> CorpusEmbeddings:
+    """Corpus embeddings for the LLM-simulator tests."""
+    return CorpusEmbeddings(dim=32, min_count=2).fit(corpus.texts)
+
+
+@pytest.fixture(scope="session")
+def toy_Xy():
+    """A tiny, linearly separable 3-class dense problem."""
+    rng = np.random.default_rng(0)
+    centers = np.asarray([[4.0, 0.0, 0.0], [0.0, 4.0, 0.0], [0.0, 0.0, 4.0]])
+    X = np.vstack([
+        rng.normal(c, 0.3, size=(40, 3)) for c in centers
+    ])
+    y = np.repeat(["a", "b", "c"], 40)
+    order = rng.permutation(len(y))
+    return X[order], y[order]

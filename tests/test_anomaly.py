@@ -1,0 +1,221 @@
+"""Unit tests for the anomaly-detection baselines."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ml.anomaly import DeepLogDetector, IsolationForest, PCAAnomalyDetector
+
+
+def gaussian_with_outliers(seed=0, n=200, n_out=10, d=8):
+    rng = np.random.default_rng(seed)
+    normal = rng.normal(0, 1, size=(n, d))
+    outliers = rng.normal(0, 1, size=(n_out, d)) + 8.0
+    return normal, outliers
+
+
+class TestPCADetector:
+    def test_outliers_score_higher(self):
+        normal, outliers = gaussian_with_outliers()
+        det = PCAAnomalyDetector(n_components=3, quantile=0.95).fit(normal)
+        assert det.score(outliers).min() > np.median(det.score(normal))
+
+    def test_predict_threshold_calibrated(self):
+        normal, outliers = gaussian_with_outliers()
+        det = PCAAnomalyDetector(n_components=3, quantile=0.95).fit(normal)
+        # ~5% of training data sits above the 95th-percentile threshold
+        assert det.predict(normal).mean() == pytest.approx(0.05, abs=0.03)
+        assert det.predict(outliers).mean() > 0.8
+
+    def test_low_rank_structure_learned(self):
+        # data on a 2-D plane in 10-D: on-plane points reconstruct
+        # perfectly, off-plane points do not
+        rng = np.random.default_rng(1)
+        basis = rng.normal(size=(2, 10))
+        coef = rng.normal(size=(150, 2))
+        X = coef @ basis
+        det = PCAAnomalyDetector(n_components=2, quantile=0.9).fit(X)
+        off_plane = X[:5] + rng.normal(size=(5, 10)) * 5.0
+        assert det.score(X).max() < det.score(off_plane).min()
+
+    def test_sparse_input(self):
+        normal, outliers = gaussian_with_outliers()
+        det = PCAAnomalyDetector(n_components=3).fit(sp.csr_matrix(normal))
+        assert det.score(sp.csr_matrix(outliers)).min() > 0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            PCAAnomalyDetector(quantile=1.5).fit(np.eye(5))
+
+    def test_score_before_fit(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            PCAAnomalyDetector().score(np.eye(3))
+
+
+class TestIsolationForest:
+    def test_outliers_score_higher(self):
+        normal, outliers = gaussian_with_outliers()
+        det = IsolationForest(n_estimators=50, seed=0).fit(normal)
+        assert np.median(det.score(outliers)) > np.median(det.score(normal))
+
+    def test_scores_in_unit_interval(self):
+        normal, _ = gaussian_with_outliers()
+        det = IsolationForest(n_estimators=20, seed=0).fit(normal)
+        s = det.score(normal)
+        assert (s > 0).all() and (s < 1).all()
+
+    def test_deterministic(self):
+        normal, outliers = gaussian_with_outliers()
+        a = IsolationForest(n_estimators=10, seed=3).fit(normal).score(outliers)
+        b = IsolationForest(n_estimators=10, seed=3).fit(normal).score(outliers)
+        assert np.allclose(a, b)
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            IsolationForest(n_estimators=0).fit(np.eye(5))
+
+    def test_predict_flags_outliers(self):
+        normal, outliers = gaussian_with_outliers(n=400)
+        det = IsolationForest(n_estimators=60, quantile=0.98, seed=0).fit(normal)
+        assert det.predict(outliers).mean() > det.predict(normal).mean()
+
+
+class TestDeepLog:
+    def make_detector(self, sessions=200, seed=0):
+        from repro.datagen.sessions import SessionGenerator
+
+        gen = SessionGenerator(seed=seed)
+        train = [gen.normal().messages for _ in range(sessions)]
+        return DeepLogDetector(order=2, top_g=3).fit(train)
+
+    def test_normal_sessions_clean(self):
+        from repro.datagen.sessions import SessionGenerator
+
+        dl = self.make_detector()
+        gen = SessionGenerator(seed=99)
+        rates = [dl.anomaly_rate(gen.normal().messages) for _ in range(30)]
+        assert np.mean(rates) < 0.02
+
+    def test_error_injection_detected(self):
+        from repro.datagen.sessions import SessionGenerator
+
+        dl = self.make_detector()
+        gen = SessionGenerator(seed=98)
+        rates = [dl.anomaly_rate(gen.error_injected().messages) for _ in range(20)]
+        assert min(rates) > 0.0
+
+    def test_crash_detected_via_end_violation(self):
+        from repro.datagen.sessions import SessionGenerator
+
+        dl = self.make_detector()
+        gen = SessionGenerator(seed=97)
+        crashes = [gen.crash() for _ in range(20)]
+        assert np.mean([dl.end_violation(c.messages) for c in crashes]) > 0.8
+
+    def test_shuffle_detected(self):
+        from repro.datagen.sessions import SessionGenerator
+
+        dl = self.make_detector()
+        gen = SessionGenerator(seed=96)
+        rates = [dl.anomaly_rate(gen.shuffled().messages) for _ in range(20)]
+        assert np.mean(rates) > 0.2
+
+    def test_unseen_key_flagged(self):
+        dl = self.make_detector()
+        flags = dl.detect(["a completely novel never seen message"])
+        assert flags == [True]
+
+    def test_feedback_loop_unflags(self):
+        """DeepLog's incremental update: a confirmed-normal novel
+        sequence stops being flagged after observe_normal."""
+        dl = self.make_detector()
+        novel = ["maintenance window opened by operator"] * 3
+        assert any(dl.detect(novel))
+        for _ in range(3):
+            dl.observe_normal(novel)
+        assert not any(dl.detect(novel))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="order"):
+            DeepLogDetector(order=0)
+        with pytest.raises(ValueError, match="top_g"):
+            DeepLogDetector(top_g=0)
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError, match="no training data"):
+            DeepLogDetector().fit([])
+
+    def test_detect_before_fit(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            DeepLogDetector().detect(["x"])
+
+
+class TestSessions:
+    def test_kinds_and_labels(self):
+        from repro.datagen.sessions import SessionGenerator, SessionKind
+
+        gen = SessionGenerator(seed=0)
+        assert not gen.normal().is_anomalous
+        assert gen.crash().kind is SessionKind.CRASH
+        assert gen.error_injected().is_anomalous
+        assert gen.shuffled().is_anomalous
+
+    def test_normal_lifecycle_order(self):
+        from repro.datagen.sessions import SessionGenerator
+
+        s = SessionGenerator(seed=1).normal()
+        assert "_submit" in s.messages[0]
+        assert "_complete" in s.messages[-1]
+        assert "_epilog" in s.messages[-2]
+
+    def test_crash_truncates(self):
+        from repro.datagen.sessions import SessionGenerator
+
+        gen = SessionGenerator(seed=2)
+        c = gen.crash()
+        assert "_complete" not in c.messages[-1]
+
+    def test_generate_mix(self):
+        from repro.datagen.sessions import SessionGenerator
+
+        mix = SessionGenerator(seed=3).generate(10, 6)
+        assert len(mix) == 16
+        assert sum(s.is_anomalous for s in mix) == 6
+
+    def test_invalid_compute_steps(self):
+        from repro.datagen.sessions import SessionGenerator
+
+        with pytest.raises(ValueError, match="compute_steps"):
+            SessionGenerator(compute_steps=(5, 2))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        from repro.ml.metrics import roc_auc_score
+
+        assert roc_auc_score([True, True, False], [0.9, 0.8, 0.1]) == 1.0
+
+    def test_inverted(self):
+        from repro.ml.metrics import roc_auc_score
+
+        assert roc_auc_score([True, False], [0.1, 0.9]) == 0.0
+
+    def test_random_is_half(self):
+        from repro.ml.metrics import roc_auc_score
+
+        rng = np.random.default_rng(0)
+        y = rng.random(2000) < 0.5
+        s = rng.random(2000)
+        assert roc_auc_score(y, s) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_midrank(self):
+        from repro.ml.metrics import roc_auc_score
+
+        # all scores equal → AUC exactly 0.5
+        assert roc_auc_score([True, False, True, False], [1.0] * 4) == 0.5
+
+    def test_single_class_raises(self):
+        from repro.ml.metrics import roc_auc_score
+
+        with pytest.raises(ValueError, match="both classes"):
+            roc_auc_score([True, True], [0.1, 0.2])

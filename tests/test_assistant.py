@@ -1,0 +1,123 @@
+"""Unit tests for the §7 admin assistant."""
+
+import pytest
+
+from repro.core.message import Severity, SyslogMessage
+from repro.core.taxonomy import Category
+from repro.llm.assistant import AdminAssistant
+from repro.llm.models import model_spec
+from repro.stream.opensearch import LogStore
+
+
+def build_store() -> LogStore:
+    store = LogStore()
+    msgs = [
+        (10.0, "cn001", "kernel", "CPU5 temperature above threshold, throttled",
+         Category.THERMAL),
+        (20.0, "cn001", "kernel", "CPU6 temperature above threshold, throttled",
+         Category.THERMAL),
+        (30.0, "cn002", "sshd", "Connection closed by 1.2.3.4 port 22 [preauth]",
+         Category.SSH),
+        (40.0, "cn001", "app", "solver converged after 12 iterations",
+         Category.UNIMPORTANT),
+        (50.0, "ep001", "kernel", "EDAC MC0: 3 CE memory read error on DIMM A0",
+         Category.MEMORY),
+    ]
+    for t, host, app, text, cat in msgs:
+        doc_id = store.index(SyslogMessage(
+            timestamp=t, hostname=host, app=app, text=text,
+            severity=Severity.WARNING,
+        ))
+        store.set_category(doc_id, cat)
+    return store
+
+
+@pytest.fixture(scope="module")
+def assistant():
+    return AdminAssistant(spec=model_spec("Llama-2-70b-chat-hf"))
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_store()
+
+
+class TestConstruction:
+    def test_encoder_rejected(self):
+        with pytest.raises(ValueError, match="generative"):
+            AdminAssistant(spec=model_spec("bart-large-mnli"))
+
+
+class TestSummarize:
+    def test_mentions_counts_and_categories(self, assistant, store):
+        r = assistant.summarize_status(store)
+        assert "5 indexed messages" in r.text
+        assert "Thermal Issue" in r.text
+        assert r.timing.total_s > 0
+
+    def test_empty_store(self, assistant):
+        r = assistant.summarize_status(LogStore())
+        assert "empty" in r.text
+
+    def test_grounded_in_aggregations(self, assistant, store):
+        r = assistant.summarize_status(store)
+        # noisiest host is cn001 (3 messages)
+        assert "cn001" in r.text
+
+
+class TestExplainNode:
+    def test_explains_dominant_category(self, assistant, store):
+        r = assistant.explain_node(store, "cn001")
+        assert "cn001" in r.text
+        assert "Thermal Issue" in r.text
+        assert "check rack cooling" in r.text  # the taxonomy action
+
+    def test_quotes_an_example_message(self, assistant, store):
+        r = assistant.explain_node(store, "cn001")
+        assert "temperature above threshold" in r.text
+
+    def test_unknown_node(self, assistant, store):
+        r = assistant.explain_node(store, "zz999")
+        assert "no indexed messages" in r.text
+
+    def test_noise_only_node(self, assistant):
+        store = LogStore()
+        doc = store.index(SyslogMessage(
+            timestamp=1.0, hostname="qq001", app="app",
+            text="routine heartbeat", severity=Severity.INFO,
+        ))
+        store.set_category(doc, Category.UNIMPORTANT)
+        r = assistant.explain_node(store, "qq001")
+        assert "routine" in r.text.lower()
+
+
+class TestDraftReply:
+    def test_reply_structure(self, assistant, store):
+        r = assistant.draft_admin_reply(
+            "Why was my job on cn001 slow?", store, hostname="cn001"
+        )
+        assert r.text.startswith("Hello,")
+        assert "Why was my job on cn001 slow?" in r.text
+        assert "Thermal Issue" in r.text  # grounded context
+        assert r.text.rstrip().endswith("Test-bed operations")
+
+    def test_cluster_wide_reply(self, assistant, store):
+        r = assistant.draft_admin_reply("How is the cluster doing?", store)
+        assert "indexed messages" in r.text
+
+
+class TestEconomics:
+    def test_low_frequency_tasks_affordable(self, assistant, store):
+        """§7's point: a few assistant calls/day cost seconds of GPU
+        time; classifying the stream with the same model costs hours."""
+        summary_cost = assistant.summarize_status(store).timing.total_s
+        # 10 summaries/day is under a minute of the inference node
+        assert 10 * summary_cost < 600
+
+    def test_bigger_model_costs_more(self, store):
+        small = AdminAssistant(spec=model_spec("falcon-7b"))
+        big = AdminAssistant(spec=model_spec("falcon-40b"))
+        assert (
+            big.summarize_status(store).timing.total_s
+            > small.summarize_status(store).timing.total_s
+        )

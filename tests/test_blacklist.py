@@ -1,0 +1,63 @@
+"""Unit tests for the low-threshold blacklist pre-filter."""
+
+from repro.buckets.blacklist import BlacklistFilter
+
+
+class TestBlacklistFilter:
+    def test_exact_blacklisted_shape_is_noise(self):
+        f = BlacklistFilter(threshold=3)
+        f.blacklist("slurm_rpc_node_registration complete for cn042 usec=120")
+        assert f.is_noise("slurm_rpc_node_registration complete for cn007 usec=999")
+
+    def test_unrelated_message_passes(self):
+        f = BlacklistFilter(threshold=3)
+        f.blacklist("slurm_rpc_node_registration complete for cn042 usec=120")
+        assert not f.is_noise("CPU5 temperature above threshold, throttled")
+
+    def test_lower_threshold_is_conservative(self):
+        """A message moderately similar to noise must NOT be dropped."""
+        tight = BlacklistFilter(threshold=2)
+        tight.blacklist("service foo started ok")
+        # 'failed' vs 'started ok' — several edits away, must pass
+        assert not tight.is_noise("service foo failed badly")
+
+    def test_counters(self):
+        f = BlacklistFilter(threshold=3)
+        f.blacklist("known noise message shape")
+        f.is_noise("known noise message shape")
+        f.is_noise("a real thermal problem message")
+        assert f.n_filtered == 1
+        assert f.n_passed == 1
+
+    def test_blacklist_many_dedupes(self):
+        f = BlacklistFilter(threshold=3)
+        f.blacklist_many([
+            "noise A with id 1",
+            "noise A with id 2",  # same masked shape
+            "noise B entirely different",
+        ])
+        assert len(f.store) == 2
+
+    def test_split_partitions_indices(self):
+        f = BlacklistFilter(threshold=3)
+        f.blacklist("heartbeat ok seq 5")
+        texts = ["heartbeat ok seq 9", "disk error on sda", "heartbeat ok seq 10"]
+        passed, filtered = f.split(texts)
+        assert filtered == [0, 2]
+        assert passed == [1]
+
+    def test_corpus_unimportant_filtering(self, corpus):
+        """Blacklisting training noise catches most test noise."""
+        from repro.core.taxonomy import Category
+
+        noise = [t for t, l in zip(corpus.texts, corpus.labels)
+                 if l is Category.UNIMPORTANT]
+        real = [t for t, l in zip(corpus.texts, corpus.labels)
+                if l is not Category.UNIMPORTANT]
+        f = BlacklistFilter(threshold=3)
+        f.blacklist_many(noise[: len(noise) // 2])
+        held_out_noise = noise[len(noise) // 2:]
+        caught = sum(f.is_noise(t) for t in held_out_noise) / len(held_out_noise)
+        false_drops = sum(f.is_noise(t) for t in real[:200]) / min(len(real), 200)
+        assert caught > 0.6
+        assert false_drops < 0.05

@@ -1,0 +1,101 @@
+"""Unit tests for the Levenshtein bucketing classifier."""
+
+import pytest
+
+from repro.buckets.bucketer import (
+    UNCLASSIFIED,
+    BucketStore,
+    LevenshteinBucketClassifier,
+)
+from repro.core.taxonomy import Category
+
+
+class TestBucketStore:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            BucketStore(threshold=-1)
+
+    def test_exact_match_fast_path(self):
+        store = BucketStore(threshold=0)
+        b = store.add("hello world")
+        assert store.find("hello world") is b
+
+    def test_near_match_within_threshold(self):
+        store = BucketStore(threshold=3)
+        b = store.add("cpu throttled on node")
+        assert store.find("cpu throttledd on node") is b  # distance 1
+
+    def test_no_match_beyond_threshold(self):
+        store = BucketStore(threshold=2)
+        store.add("cpu throttled")
+        assert store.find("memory exhausted") is None
+
+    def test_length_binning_excludes_far_lengths(self):
+        store = BucketStore(threshold=2)
+        store.add("short")
+        assert store.find("a much much longer message") is None
+
+
+class TestClassifier:
+    def test_observe_creates_buckets_for_novel_shapes(self):
+        clf = LevenshteinBucketClassifier(threshold=7)
+        clf.observe("CPU5 temperature above threshold, cpu clock throttled")
+        clf.observe("Out of memory: Killed process 999 (python)")
+        assert clf.n_buckets == 2
+
+    def test_masking_collapses_identifier_variants(self):
+        clf = LevenshteinBucketClassifier(threshold=7)
+        clf.observe("Connection closed by 1.2.3.4 port 5555 [preauth]")
+        clf.observe("Connection closed by 9.8.7.6 port 41231 [preauth]")
+        assert clf.n_buckets == 1
+
+    def test_without_premask_identifiers_split_buckets(self):
+        raw = LevenshteinBucketClassifier(threshold=2, premask=False)
+        raw.observe("job 1234567 completed in 98765 seconds")
+        raw.observe("job 7654321 completed in 11111 seconds")
+        assert raw.n_buckets == 2
+
+    def test_label_then_predict(self):
+        clf = LevenshteinBucketClassifier(threshold=7)
+        b = clf.observe("usb 1-2: new high-speed USB device number 9")
+        clf.label_bucket(b.bucket_id, Category.USB)
+        assert clf.predict_one("usb 3-1: new high-speed USB device number 4") is Category.USB
+
+    def test_unmatched_predicts_unclassified(self):
+        clf = LevenshteinBucketClassifier(threshold=3)
+        clf.fit(["cpu throttled again today"], [Category.THERMAL])
+        assert clf.predict_one("completely different text entirely") is UNCLASSIFIED
+
+    def test_fit_labels_first_occupant(self, corpus):
+        clf = LevenshteinBucketClassifier(threshold=7)
+        clf.fit(corpus.texts[:300], list(corpus.labels[:300]))
+        assert clf.n_buckets < 300  # heavy collapse (§4.4.1's 196k → 3.4k)
+        assert not clf.unclassified_queue
+
+    def test_self_prediction_consistency(self, corpus):
+        texts = corpus.texts[:200]
+        labels = list(corpus.labels[:200])
+        clf = LevenshteinBucketClassifier(threshold=7)
+        clf.fit(texts, labels)
+        preds = clf.predict(texts)
+        correct = sum(p == l for p, l in zip(preds, labels))
+        # buckets can merge two categories' near-identical shapes, but
+        # the overwhelming majority must self-classify correctly
+        assert correct / len(texts) > 0.95
+
+    def test_mismatched_fit_lengths(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            LevenshteinBucketClassifier().fit(["a"], [])
+
+    def test_bucket_counts_accumulate(self):
+        clf = LevenshteinBucketClassifier(threshold=7)
+        b1 = clf.observe("some repeated message body 1")
+        b2 = clf.observe("some repeated message body 2")
+        assert b1 is b2
+        assert b2.count == 2
+
+    def test_unclassified_queue_lists_pending(self):
+        clf = LevenshteinBucketClassifier(threshold=7)
+        clf.observe("first novel shape with enough text")
+        clf.observe("totally different second shape right here")
+        assert len(clf.unclassified_queue) == 2

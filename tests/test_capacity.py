@@ -1,0 +1,69 @@
+"""Unit tests for the capacity planner."""
+
+import pytest
+
+from repro.core.message import Severity, SyslogMessage
+from repro.stream.capacity import CapacityPlanner, ClusterSpec, PAPER_CLUSTER
+from repro.stream.opensearch import LogStore
+
+
+def sample_store(n=200):
+    store = LogStore()
+    for i in range(n):
+        store.index(SyslogMessage(
+            timestamp=float(i), hostname=f"cn{i % 10:03d}", app="kernel",
+            text=f"CPU{i} temperature above threshold, cpu clock throttled "
+                 f"(total events = {i * 7})",
+            severity=Severity.WARNING,
+        ))
+    return store
+
+
+class TestClusterSpec:
+    def test_usable_bytes_accounts_for_replicas_and_ceiling(self):
+        spec = ClusterSpec(n_data_nodes=2, storage_per_node_tb=1.0,
+                           replicas=1, fill_ceiling=0.5)
+        # 2 TB raw × 0.5 ceiling / 2 copies = 0.5 TB
+        assert spec.usable_bytes == pytest.approx(0.5e12)
+
+    def test_paper_cluster_shape(self):
+        assert PAPER_CLUSTER.n_data_nodes == 6
+        assert PAPER_CLUSTER.storage_per_node_tb == 4.0
+
+
+class TestPlanner:
+    def test_bytes_per_record_reasonable(self):
+        bpr = CapacityPlanner().bytes_per_record(sample_store())
+        # syslog records index to hundreds of bytes, not KB or single bytes
+        assert 100 < bpr < 5000
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty sample"):
+            CapacityPlanner().bytes_per_record(LogStore())
+
+    def test_paper_claim_30M_per_month_fits(self):
+        """§4.2: the 6×4TB cluster stores 30M records/month comfortably
+        (years of retention)."""
+        plan = CapacityPlanner().plan(
+            sample_store(), records_per_month=30_000_000
+        )
+        assert plan.retention_months > 24
+
+    def test_retention_scales_inversely_with_rate(self):
+        planner = CapacityPlanner()
+        store = sample_store()
+        slow = planner.plan(store, records_per_month=10_000_000)
+        fast = planner.plan(store, records_per_month=100_000_000)
+        assert slow.retention_months == pytest.approx(
+            10 * fast.retention_months, rel=0.01
+        )
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="records_per_month"):
+            CapacityPlanner().plan(sample_store(), records_per_month=0)
+
+    def test_overhead_factor_scales_footprint(self):
+        store = sample_store()
+        lean = CapacityPlanner(overhead_factor=1.0).bytes_per_record(store)
+        fat = CapacityPlanner(overhead_factor=3.0).bytes_per_record(store)
+        assert fat == pytest.approx(3 * lean)

@@ -1,0 +1,112 @@
+"""Contract tests every classifier must satisfy (parametrized)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ml import (
+    ComplementNB,
+    KNeighborsClassifier,
+    LinearSVC,
+    LogisticRegression,
+    MultinomialNB,
+    NearestCentroid,
+    RandomForestClassifier,
+    RidgeClassifier,
+    SGDClassifier,
+    accuracy_score,
+    weighted_f1_score,
+)
+
+FACTORIES = {
+    "logreg": lambda: LogisticRegression(max_iter=100),
+    "ridge": lambda: RidgeClassifier(),
+    "knn": lambda: KNeighborsClassifier(n_neighbors=3),
+    "forest": lambda: RandomForestClassifier(n_estimators=30, max_depth=25),
+    "svc": lambda: LinearSVC(),
+    "svc-dual": lambda: LinearSVC(solver="dual", max_iter=20),
+    "sgd": lambda: SGDClassifier(),
+    "centroid": lambda: NearestCentroid(),
+    "cnb": lambda: ComplementNB(),
+    "mnb": lambda: MultinomialNB(),
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES), ids=sorted(FACTORIES))
+def clf(request):
+    return FACTORIES[request.param]()
+
+
+class TestContract:
+    def test_fit_returns_self(self, clf, toy_Xy):
+        X, y = toy_Xy
+        Xp = np.abs(X)  # NB variants need non-negative features
+        assert clf.fit(Xp, y) is clf
+
+    def test_classes_sorted(self, clf, toy_Xy):
+        X, y = toy_Xy
+        clf.fit(np.abs(X), y)
+        assert clf.classes_.tolist() == sorted(set(y))
+
+    def test_predictions_are_known_classes(self, clf, toy_Xy):
+        X, y = toy_Xy
+        Xp = np.abs(X)
+        clf.fit(Xp, y)
+        preds = clf.predict(Xp)
+        assert set(preds.tolist()) <= set(y.tolist())
+        assert len(preds) == len(y)
+
+    def test_separable_problem_high_accuracy(self, clf, toy_Xy):
+        X, y = toy_Xy
+        Xp = np.abs(X)
+        clf.fit(Xp, y)
+        assert accuracy_score(y, clf.predict(Xp)) > 0.9
+
+    def test_sparse_input_supported(self, clf, toy_Xy):
+        X, y = toy_Xy
+        Xs = sp.csr_matrix(np.abs(X))
+        clf.fit(Xs, y)
+        assert accuracy_score(y, clf.predict(Xs)) > 0.9
+
+    def test_predict_before_fit_raises(self, clf, toy_Xy):
+        X, _y = toy_Xy
+        with pytest.raises(RuntimeError, match="before fit"):
+            clf.predict(np.abs(X))
+
+    def test_single_class_rejected(self, clf):
+        X = np.ones((5, 2))
+        with pytest.raises(ValueError, match="single class"):
+            clf.fit(X, np.asarray(["only"] * 5))
+
+    def test_length_mismatch_rejected(self, clf):
+        with pytest.raises(ValueError):
+            clf.fit(np.ones((4, 2)), np.asarray(["a", "b"]))
+
+    def test_feature_count_mismatch_at_predict(self, clf, toy_Xy):
+        X, y = toy_Xy
+        clf.fit(np.abs(X), y)
+        with pytest.raises(ValueError, match="features"):
+            clf.predict(np.ones((2, X.shape[1] + 3)))
+
+
+class TestOnSyslogCorpus:
+    """All classifiers clear the paper's ballpark on real TF-IDF data."""
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_weighted_f1_above_floor(self, name, split):
+        X_tr, X_te, y_tr, y_te = split[:4]
+        clf = FACTORIES[name]()
+        clf.fit(X_tr, y_tr)
+        f1 = weighted_f1_score(y_te, clf.predict(X_te))
+        floor = 0.75 if name in ("centroid",) else 0.9
+        assert f1 > floor, f"{name}: weighted F1 {f1:.4f} below {floor}"
+
+    def test_centroid_is_weakest(self, split):
+        """Figure 3: Nearest Centroid has the lowest weighted F1."""
+        X_tr, X_te, y_tr, y_te = split[:4]
+        scores = {}
+        for name in ("centroid", "logreg", "cnb", "ridge"):
+            clf = FACTORIES[name]()
+            clf.fit(X_tr, y_tr)
+            scores[name] = weighted_f1_score(y_te, clf.predict(X_te))
+        assert scores["centroid"] == min(scores.values())

@@ -1,0 +1,163 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.jsonl"
+    assert main(["generate", "--scale", "0.005", "--seed", "1",
+                 "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_dir(corpus_file, tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli") / "model"
+    assert main(["train", "--corpus", str(corpus_file),
+                 "--model-dir", str(d), "--classifier", "cnb"]) == 0
+    return d
+
+
+class TestGenerate:
+    def test_writes_jsonl(self, corpus_file):
+        rows = [json.loads(l) for l in corpus_file.read_text().splitlines()]
+        assert len(rows) > 500
+        assert {"text", "label", "hostname", "app", "timestamp"} <= set(rows[0])
+
+    def test_labels_valid(self, corpus_file):
+        from repro.core.taxonomy import Category
+
+        rows = [json.loads(l) for l in corpus_file.read_text().splitlines()]
+        for row in rows[:50]:
+            Category.from_name(row["label"])  # raises if invalid
+
+    def test_prints_summary(self, corpus_file, capsys, tmp_path):
+        main(["generate", "--scale", "0.005", "--out", str(tmp_path / "c.jsonl")])
+        out = capsys.readouterr().out
+        assert "wrote" in out and "THERMAL" in out
+
+
+class TestTrainClassify:
+    def test_model_dir_created(self, model_dir):
+        assert (model_dir / "pipeline.json").exists()
+        assert (model_dir / "classifier" / "manifest.json").exists()
+
+    def test_classify_file(self, model_dir, tmp_path, capsys):
+        inp = tmp_path / "msgs.txt"
+        inp.write_text(
+            "Warning: Socket 2 - CPU 23 throttling\n"
+            "Connection closed by 9.9.9.9 port 1234 [preauth]\n"
+        )
+        assert main(["classify", "--model-dir", str(model_dir),
+                     "--input", str(inp)]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("Thermal Issue")
+        assert out[1].startswith("SSH-Connection")
+
+    def test_classify_stdin(self, model_dir, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("usb 1-2: new USB device number 9\n"))
+        assert main(["classify", "--model-dir", str(model_dir)]) == 0
+        assert capsys.readouterr().out.startswith("USB-Device")
+
+    def test_train_with_blacklist(self, corpus_file, tmp_path, capsys):
+        d = tmp_path / "bl-model"
+        assert main(["train", "--corpus", str(corpus_file), "--model-dir",
+                     str(d), "--blacklist"]) == 0
+        assert (d / "blacklist.json").exists()
+
+    def test_bad_corpus_row_errors(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"no_text": 1}\n')
+        with pytest.raises(SystemExit, match="bad corpus row"):
+            main(["train", "--corpus", str(bad), "--model-dir", str(tmp_path / "m")])
+
+    def test_empty_corpus_errors(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        with pytest.raises(SystemExit, match="empty corpus"):
+            main(["evaluate", "--corpus", str(empty)])
+
+
+class TestEvaluate:
+    def test_report_printed(self, corpus_file, capsys):
+        assert main(["evaluate", "--corpus", str(corpus_file),
+                     "--classifier", "cnb"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted F1:" in out
+        assert "Thermal Issue" in out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["tables", "table1", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "Thermal Issue" in out
+
+    def test_table2(self, capsys):
+        assert main(["tables", "table2", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "106552" in out  # paper column
+
+    def test_table3(self, capsys):
+        assert main(["tables", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "falcon-40b" in out and "0.639" not in out.split()[0]
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tables", "table99"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_report_written_with_all_sections(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out), "--scale", "0.008"]) == 0
+        text = out.read_text()
+        for heading in ("Table 1", "Table 2", "Figure 3", "Figure 2",
+                        "Table 3", "Firmware drift", "adaptation",
+                        "correlation"):
+            assert heading in text, heading
+        assert "falcon-40b" in text
+
+
+class TestSimulate:
+    def test_simulation_runs_and_reports(self, model_dir, capsys):
+        assert main(["simulate", "--model-dir", str(model_dir),
+                     "--duration", "120", "--rate", "3",
+                     "--incident"]) == 0
+        out = capsys.readouterr().out
+        assert "keeping_up=True" in out
+        assert "Tivan overview" in out
+        assert "categories" in out
+
+
+class TestAssist:
+    def test_summary_task(self, model_dir, capsys):
+        assert main(["assist", "summary", "--model-dir", str(model_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Cluster status summary" in out
+        assert "simulated inference cost" in out
+
+    def test_explain_task(self, model_dir, capsys):
+        assert main(["assist", "explain", "--model-dir", str(model_dir),
+                     "--host", "cn001"]) == 0
+        out = capsys.readouterr().out
+        assert "cn001" in out
+
+    def test_reply_task(self, model_dir, capsys):
+        assert main(["assist", "reply", "--model-dir", str(model_dir),
+                     "--question", "Why is cn001 slow?"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Hello,")
+        assert "Why is cn001 slow?" in out

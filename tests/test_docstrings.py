@@ -1,0 +1,50 @@
+"""Meta-test: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    mod = importlib.import_module(module_name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    mod = importlib.import_module(module_name)
+    public = getattr(mod, "__all__", None)
+    if public is None:
+        public = [n for n in vars(mod) if not n.startswith("_")]
+    undocumented = []
+    for name in public:
+        obj = getattr(mod, name, None)
+        if obj is None or not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if obj.__module__ != module_name:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not (
+                    meth.__doc__ and meth.__doc__.strip()
+                ):
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, (
+        f"{module_name}: public items missing docstrings: {undocumented}"
+    )

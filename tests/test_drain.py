@@ -1,0 +1,140 @@
+"""Unit tests for the Drain-style template miner."""
+
+import pytest
+
+from repro.textproc.drain import DrainTemplateMiner, LogTemplate
+
+
+class TestBasics:
+    def test_same_shape_one_template(self):
+        m = DrainTemplateMiner()
+        a = m.add("Connection closed by 1.2.3.4 port 5555")
+        b = m.add("Connection closed by 9.8.7.6 port 1234")
+        assert a is b
+        assert m.n_templates == 1
+        assert a.count == 2
+
+    def test_parameters_wildcarded(self):
+        m = DrainTemplateMiner()
+        m.add("job 111 finished in 5 seconds")
+        tpl = m.add("job 222 finished in 9 seconds")
+        rendered = tpl.render()
+        assert "<*>" in rendered
+        assert "finished" in rendered
+        assert "111" not in rendered
+
+    def test_different_lengths_different_templates(self):
+        m = DrainTemplateMiner()
+        m.add("disk sda failed")
+        m.add("disk sda failed with extra words here")
+        assert m.n_templates == 2
+
+    def test_dissimilar_same_length_split(self):
+        m = DrainTemplateMiner(similarity_threshold=0.6)
+        m.add("alpha beta gamma delta")
+        m.add("one two three four")
+        assert m.n_templates == 2
+
+    def test_match_does_not_mutate(self):
+        m = DrainTemplateMiner()
+        m.add("usb device 4 attached ok")
+        n = m.n_templates
+        tpl = m.match("usb device 9 attached ok")
+        assert tpl is not None
+        assert m.n_templates == n
+        assert tpl.count == 1  # match() doesn't count
+
+    def test_match_unknown_returns_none(self):
+        m = DrainTemplateMiner()
+        m.add("something entirely specific")
+        assert m.match("no resemblance whatsoever to priors") is None
+        assert m.match("different token count entirely from anything seen") is None
+
+    def test_fit_returns_self(self):
+        m = DrainTemplateMiner()
+        assert m.fit(["a b c", "a b d"]) is m
+
+
+class TestTreeBehaviour:
+    def test_digit_tokens_route_via_wildcard(self):
+        """Leading parameters must not explode the routing tree."""
+        m = DrainTemplateMiner()
+        for i in range(50):
+            m.add(f"{i} packets dropped on eth0")
+        assert m.n_templates == 1
+
+    def test_max_children_overflow_falls_back(self):
+        m = DrainTemplateMiner(max_children=2, similarity_threshold=0.9)
+        for word in ("aaa", "bbb", "ccc", "ddd", "eee"):
+            m.add(f"{word} service started cleanly")
+        # overflow keys share the wildcard child but stay separable
+        assert m.n_templates >= 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="depth"):
+            DrainTemplateMiner(depth=0)
+        with pytest.raises(ValueError, match="similarity_threshold"):
+            DrainTemplateMiner(similarity_threshold=0.0)
+
+
+class TestDrainClassifier:
+    def test_fit_predict_roundtrip(self, corpus):
+        from repro.buckets.drain_classifier import DrainTemplateClassifier
+
+        clf = DrainTemplateClassifier()
+        clf.fit(corpus.texts[:300], list(corpus.labels[:300]))
+        preds = clf.predict(corpus.texts[:300])
+        hits = [(p, t) for p, t in zip(preds, corpus.labels[:300]) if p is not None]
+        assert len(hits) / 300 > 0.95
+        assert sum(p == t for p, t in hits) / len(hits) > 0.95
+
+    def test_unmatched_returns_none(self, corpus):
+        from repro.buckets.drain_classifier import DrainTemplateClassifier
+
+        clf = DrainTemplateClassifier()
+        clf.fit(corpus.texts[:100], list(corpus.labels[:100]))
+        assert clf.predict_one("an utterance bearing zero resemblance") is None
+
+    def test_observe_reports_new_templates(self):
+        from repro.buckets.drain_classifier import DrainTemplateClassifier
+        from repro.core.taxonomy import Category
+
+        clf = DrainTemplateClassifier()
+        clf.fit(["disk 3 write error on sda1"], [Category.HARDWARE])
+        # differing tokens are parameters (digit-bearing), so Drain
+        # routes both messages to the same template
+        label, is_new = clf.observe("disk 9 write error on sdb2")
+        assert label is Category.HARDWARE and not is_new
+        label, is_new = clf.observe("an entirely different unlabeled shape")
+        assert label is None and is_new
+
+    def test_mismatched_lengths(self):
+        from repro.buckets.drain_classifier import DrainTemplateClassifier
+
+        with pytest.raises(ValueError, match="lengths differ"):
+            DrainTemplateClassifier().fit(["a"], [])
+
+
+class TestOnCorpus:
+    def test_collapse_and_purity(self, corpus):
+        from collections import Counter, defaultdict
+
+        m = DrainTemplateMiner()
+        assign = [m.add(t).template_id for t in corpus.texts]
+        assert m.n_templates < len(corpus) / 5
+        groups = defaultdict(Counter)
+        for g, lab in zip(assign, corpus.labels):
+            groups[g][lab] += 1
+        impure = sum(
+            1 for c in groups.values() if max(c.values()) / sum(c.values()) < 1.0
+        )
+        assert impure <= max(2, m.n_templates // 20)
+
+    def test_templates_match_fresh_instances(self, corpus):
+        """Templates mined from one corpus match a regenerated one."""
+        from repro.datagen.generator import CorpusGenerator
+
+        m = DrainTemplateMiner().fit(corpus.texts)
+        fresh = CorpusGenerator(scale=0.003, seed=999).generate()
+        matched = sum(1 for t in fresh.texts if m.match(t) is not None)
+        assert matched / len(fresh) > 0.9

@@ -1,0 +1,94 @@
+"""Unit tests for the drift monitor."""
+
+import pytest
+
+from repro.core.drift import DriftMonitor
+from repro.core.taxonomy import Category
+from repro.textproc.tfidf import TfidfVectorizer
+
+BASELINE = {Category.UNIMPORTANT: 0.6, Category.THERMAL: 0.4}
+
+
+@pytest.fixture()
+def monitor(corpus):
+    vec = TfidfVectorizer(max_features=1000)
+    vec.fit(corpus.texts[:500])
+    return DriftMonitor(
+        vectorizer=vec, baseline_mix=BASELINE, window=50,
+        oov_threshold=0.3, js_threshold=0.3,
+    )
+
+
+class TestValidation:
+    def test_unfitted_vectorizer_rejected(self):
+        with pytest.raises(ValueError, match="fitted"):
+            DriftMonitor(vectorizer=TfidfVectorizer(), baseline_mix=BASELINE)
+
+    def test_empty_baseline_rejected(self, corpus):
+        vec = TfidfVectorizer()
+        vec.fit(corpus.texts[:50])
+        with pytest.raises(ValueError, match="positive total"):
+            DriftMonitor(vectorizer=vec, baseline_mix={})
+
+    def test_bad_window(self, corpus):
+        vec = TfidfVectorizer()
+        vec.fit(corpus.texts[:50])
+        with pytest.raises(ValueError, match="window"):
+            DriftMonitor(vectorizer=vec, baseline_mix=BASELINE, window=0)
+
+
+class TestWindows:
+    def test_report_emitted_at_window_boundary(self, monitor, corpus):
+        report = None
+        for i, text in enumerate(corpus.texts[:50]):
+            report = monitor.observe(text, Category.THERMAL, confidence=0.9)
+            if i < 49:
+                assert report is None
+        assert report is not None
+        assert report.n_messages == 50
+
+    def test_flush_closes_partial_window(self, monitor, corpus):
+        for text in corpus.texts[:10]:
+            monitor.observe(text, Category.UNIMPORTANT)
+        report = monitor.flush()
+        assert report is not None and report.n_messages == 10
+
+    def test_flush_empty_returns_none(self, monitor):
+        assert monitor.flush() is None
+
+
+class TestDetection:
+    def test_in_distribution_not_flagged(self, monitor, corpus):
+        # feed training-like messages with the baseline's category mix
+        for i, text in enumerate(corpus.texts[:50]):
+            cat = Category.UNIMPORTANT if i % 5 < 3 else Category.THERMAL
+            r = monitor.observe(text, cat, confidence=0.95)
+        assert r is not None and not r.drifted
+
+    def test_oov_flood_flagged(self, monitor):
+        for i in range(50):
+            r = monitor.observe(
+                f"zorbl quux flibbertigibbet wug{i} snark blorp",
+                Category.UNIMPORTANT if i % 5 < 3 else Category.THERMAL,
+            )
+        assert r.drifted
+        assert any("oov" in reason for reason in r.reasons)
+
+    def test_category_mix_shift_flagged(self, monitor, corpus):
+        for text in corpus.texts[:50]:
+            r = monitor.observe(text, Category.MEMORY, confidence=0.95)
+        assert r.drifted
+        assert any("category_js" in reason for reason in r.reasons)
+
+    def test_confidence_collapse_flagged(self, monitor, corpus):
+        for i, text in enumerate(corpus.texts[:50]):
+            cat = Category.UNIMPORTANT if i % 5 < 3 else Category.THERMAL
+            r = monitor.observe(text, cat, confidence=0.2)
+        assert r.drifted
+        assert any("confidence" in reason for reason in r.reasons)
+
+    def test_reports_accumulate(self, monitor, corpus):
+        for text in corpus.texts[:150]:
+            monitor.observe(text, Category.THERMAL)
+        assert len(monitor.reports) == 3
+        assert [r.window_index for r in monitor.reports] == [0, 1, 2]

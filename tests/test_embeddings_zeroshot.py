@@ -1,0 +1,118 @@
+"""Unit tests for corpus embeddings and the zero-shot classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.taxonomy import Category
+from repro.llm.embeddings import CorpusEmbeddings
+from repro.llm.zeroshot import ZeroShotClassifier
+
+
+class TestEmbeddings:
+    def test_vectors_unit_or_zero_norm(self, embeddings):
+        # tokens whose every co-occurrence has non-positive PMI get a
+        # zero vector; all others are unit-normalized
+        norms = np.linalg.norm(embeddings.vectors_, axis=1)
+        assert np.all((np.abs(norms - 1.0) < 1e-6) | (norms < 1e-9))
+        assert (np.abs(norms - 1.0) < 1e-6).mean() > 0.95
+
+    def test_contains_and_vector(self, embeddings):
+        assert "temperature" in embeddings or "temp" in embeddings
+        tok = next(iter(embeddings.vocab_))
+        v = embeddings.vector(tok)
+        assert v is not None and v.shape == (32,)
+
+    def test_oov_vector_none(self, embeddings):
+        assert embeddings.vector("floccinaucinihilipilification") is None
+
+    def test_embed_text_unit_or_zero(self, embeddings):
+        v = embeddings.embed_text("CPU temperature above threshold")
+        assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-6)
+        z = embeddings.embed_text("zzz qqq www")  # all OOV
+        assert np.linalg.norm(z) == 0.0
+
+    def test_semantic_neighbourhoods(self, embeddings):
+        """Thermal vocabulary is closer to itself than to SSH vocabulary."""
+        thermal = embeddings.similarity(
+            "cpu temperature throttled", "sensor temperature threshold"
+        )
+        cross = embeddings.similarity(
+            "cpu temperature throttled", "connection closed preauth port"
+        )
+        assert thermal > cross
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            CorpusEmbeddings().embed_text("x")
+
+    def test_too_small_corpus_raises(self):
+        with pytest.raises(ValueError, match="vocabulary"):
+            CorpusEmbeddings(dim=64).fit(["one two", "one three"])
+
+    def test_deterministic(self, corpus):
+        a = CorpusEmbeddings(dim=16).fit(corpus.texts[:200])
+        b = CorpusEmbeddings(dim=16).fit(corpus.texts[:200])
+        assert np.allclose(np.abs(a.vectors_), np.abs(b.vectors_))
+
+
+class TestZeroShot:
+    def test_scores_are_distribution(self, embeddings):
+        zs = ZeroShotClassifier(embeddings)
+        scores = zs.scores("CPU temperature above threshold, throttled")
+        assert set(scores) == set(Category)
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert all(v >= 0 for v in scores.values())
+
+    def test_classify_returns_argmax(self, embeddings):
+        zs = ZeroShotClassifier(embeddings)
+        res = zs.classify("usb 1-2: new USB device number 9 using xhci_hcd")
+        assert res.category is max(res.scores, key=res.scores.get)
+
+    def test_clearly_thermal_message(self, embeddings):
+        zs = ZeroShotClassifier(embeddings)
+        res = zs.classify(
+            "CPU 4 temperature above threshold, cpu clock throttled, sensor hot"
+        )
+        # thermal should rank in the top categories
+        ranked = sorted(res.scores, key=res.scores.get, reverse=True)
+        assert Category.THERMAL in ranked[:3]
+
+    def test_accuracy_beats_chance(self, corpus, embeddings):
+        zs = ZeroShotClassifier(embeddings)
+        texts = corpus.texts[:200]
+        labels = corpus.labels[:200]
+        acc = np.mean([p == l for p, l in zip(zs.predict(texts), labels)])
+        assert acc > 2.5 * (1 / len(Category))  # well above random
+
+    def test_restricted_category_set(self, embeddings):
+        cats = (Category.THERMAL, Category.SSH)
+        zs = ZeroShotClassifier(embeddings, categories=cats)
+        res = zs.classify("anything at all")
+        assert res.category in cats
+        assert set(res.scores) == set(cats)
+
+    def test_invalid_temperature(self, embeddings):
+        zs = ZeroShotClassifier(embeddings, temperature=0.0)
+        with pytest.raises(ValueError, match="temperature"):
+            zs.scores("x")
+
+    def test_no_training_labels_consulted(self, embeddings):
+        """Zero-shot contract: same text, same result, labels irrelevant."""
+        zs1 = ZeroShotClassifier(embeddings)
+        zs2 = ZeroShotClassifier(embeddings)
+        msg = "Out of memory: Killed process 99"
+        assert zs1.classify(msg).category == zs2.classify(msg).category
+
+    def test_richer_hypotheses_help(self, corpus, embeddings):
+        """Hypotheses built from descriptions beat bare category names —
+        the §5.2 point that encoding category knowledge matters (which
+        generative prompts can push further with TF-IDF hints)."""
+        texts = corpus.texts[:250]
+        labels = corpus.labels[:250]
+
+        def acc(zs):
+            return np.mean([p == l for p, l in zip(zs.predict(texts), labels)])
+
+        with_desc = acc(ZeroShotClassifier(embeddings, use_descriptions=True))
+        names_only = acc(ZeroShotClassifier(embeddings, use_descriptions=False))
+        assert with_desc >= names_only

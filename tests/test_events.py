@@ -1,0 +1,81 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.stream.events import EventEngine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        eng = EventEngine()
+        order = []
+        eng.schedule(3.0, lambda: order.append("c"))
+        eng.schedule(1.0, lambda: order.append("a"))
+        eng.schedule(2.0, lambda: order.append("b"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fifo(self):
+        eng = EventEngine()
+        order = []
+        for i in range(5):
+            eng.schedule(1.0, lambda i=i: order.append(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        eng = EventEngine()
+        seen = []
+        eng.schedule(2.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [2.5]
+        assert eng.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="past"):
+            EventEngine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        eng = EventEngine()
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError, match="before current"):
+            eng.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        eng = EventEngine()
+        hits = []
+
+        def recur():
+            hits.append(eng.now)
+            if len(hits) < 3:
+                eng.schedule(1.0, recur)
+
+        eng.schedule(0.0, recur)
+        eng.run()
+        assert hits == [0.0, 1.0, 2.0]
+
+
+class TestRunLimits:
+    def test_until_horizon(self):
+        eng = EventEngine()
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            eng.schedule(t, lambda t=t: hits.append(t))
+        eng.run(until=2.0)
+        assert hits == [1.0, 2.0]
+        assert eng.now == 2.0
+        assert eng.pending() == 1
+
+    def test_until_advances_clock_when_queue_empty(self):
+        eng = EventEngine()
+        eng.run(until=10.0)
+        assert eng.now == 10.0
+
+    def test_max_events(self):
+        eng = EventEngine()
+        for t in range(10):
+            eng.schedule(float(t), lambda: None)
+        eng.run(max_events=4)
+        assert eng.pending() == 6
+        assert eng.events_processed == 4

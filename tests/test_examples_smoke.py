@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly and expose ``main``; the quickstart —
+the first thing a new user runs — is additionally executed end to end.
+(The longer scenario examples run in the benchmark/docs workflow, not
+per test run.)
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert callable(getattr(mod, "main", None)), f"{path.name} lacks main()"
+    assert mod.__doc__ and "Run:" in mod.__doc__, (
+        f"{path.name} docstring must say how to run it"
+    )
+
+
+def test_at_least_six_examples_ship():
+    assert len(EXAMPLES) >= 6
+
+
+def test_quickstart_runs_end_to_end():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    out = proc.stdout
+    assert "Thermal Issue" in out
+    assert "[traditional pipeline]" in out
+    assert "[generative LLM" in out

@@ -1,0 +1,105 @@
+"""Tests for n-gram features, Hamming bucketing, and confusion rendering."""
+
+import numpy as np
+import pytest
+
+from repro.buckets.bucketer import BucketStore, LevenshteinBucketClassifier
+from repro.monitor.dashboard import render_confusion
+from repro.textproc.tfidf import TfidfVectorizer
+
+
+class TestNgramFeatures:
+    def test_default_is_unigrams(self):
+        toks = TfidfVectorizer().analyze("cpu clock throttled")
+        assert toks == ["cpu", "clock", "throttle"]
+
+    def test_bigrams_appended(self):
+        toks = TfidfVectorizer(ngram_range=(1, 2)).analyze("cpu clock throttled")
+        assert "cpu clock" in toks and "clock throttle" in toks
+        assert "cpu" in toks  # unigrams retained
+
+    def test_bigrams_only(self):
+        toks = TfidfVectorizer(ngram_range=(2, 2)).analyze("cpu clock throttled")
+        assert toks == ["cpu clock", "clock throttle"]
+
+    def test_trigram_support(self):
+        toks = TfidfVectorizer(ngram_range=(3, 3)).analyze("a b c d")
+        assert toks == ["a b c", "b c d"]
+
+    def test_short_text_no_ngrams(self):
+        assert TfidfVectorizer(ngram_range=(2, 2)).analyze("single") == []
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="ngram_range"):
+            TfidfVectorizer(ngram_range=(2, 1))
+        with pytest.raises(ValueError, match="ngram_range"):
+            TfidfVectorizer(ngram_range=(0, 1))
+
+    def test_bigram_features_classify(self, corpus):
+        """Bigram-augmented features still reach the paper's accuracy."""
+        from repro.ml import ComplementNB, train_test_split, weighted_f1_score
+
+        labels = np.asarray([lab.value for lab in corpus.labels])
+        tr, te, y_tr, y_te = train_test_split(
+            corpus.texts, labels, test_size=0.25, seed=0
+        )
+        vec = TfidfVectorizer(ngram_range=(1, 2), max_features=3000)
+        clf = ComplementNB().fit(vec.fit_transform(list(tr)), y_tr)
+        f1 = weighted_f1_score(y_te, clf.predict(vec.transform(list(te))))
+        assert f1 > 0.95
+
+
+class TestHammingBucketing:
+    def test_equal_length_within_threshold_matches(self):
+        store = BucketStore(threshold=2, metric="hamming")
+        b = store.add("abcdef")
+        assert store.find("abcxef") is b
+
+    def test_beyond_threshold_no_match(self):
+        store = BucketStore(threshold=1, metric="hamming")
+        store.add("abcdef")
+        assert store.find("abxxxf") is None
+
+    def test_length_mismatch_never_matches(self):
+        store = BucketStore(threshold=5, metric="hamming")
+        store.add("abcdef")
+        assert store.find("abcde") is None  # levenshtein would match at d=1
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            BucketStore(threshold=1, metric="jaccard")
+
+    def test_classifier_with_hamming(self, corpus):
+        clf = LevenshteinBucketClassifier(threshold=3, metric="hamming")
+        clf.fit(corpus.texts[:200], list(corpus.labels[:200]))
+        # hamming is stricter: at least as many buckets as levenshtein
+        lev = LevenshteinBucketClassifier(threshold=3)
+        lev.fit(corpus.texts[:200], list(corpus.labels[:200]))
+        assert clf.n_buckets >= lev.n_buckets
+
+
+class TestRenderConfusion:
+    CM = np.asarray([[10, 1], [0, 5]])
+
+    def test_labels_and_counts_present(self):
+        out = render_confusion(self.CM, ["alpha", "beta"])
+        assert "alpha" in out and "beta" in out
+        assert "10" in out and "5" in out
+
+    def test_zero_cells_dotted(self):
+        out = render_confusion(self.CM, ["alpha", "beta"])
+        assert "·" in out
+
+    def test_label_truncation(self):
+        out = render_confusion(self.CM, ["a-very-long-category-name", "b"])
+        assert "a-very-long-" in out
+        assert "a-very-long-category-name" not in out
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            render_confusion(self.CM, ["only-one"])
+
+    def test_zero_row_safe(self):
+        cm = np.asarray([[0, 0], [1, 1]])
+        out = render_confusion(cm, ["a", "b"])
+        assert "·" in out

@@ -1,0 +1,99 @@
+"""Specific tests for the CART tree and random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import DecisionTreeClassifier, RandomForestClassifier
+
+
+def xor_data(n=200, seed=0):
+    """XOR: linearly inseparable, easy for trees."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = np.where((X[:, 0] > 0) ^ (X[:, 1] > 0), "odd", "even")
+    return X, y
+
+
+class TestDecisionTree:
+    def test_solves_xor(self):
+        X, y = xor_data()
+        clf = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_max_depth_one_is_a_stump(self):
+        X, y = xor_data()
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        # a depth-1 tree cannot solve XOR
+        assert (stump.predict(X) == y).mean() < 0.8
+
+    def test_min_samples_leaf_respected(self):
+        X, y = xor_data(80)
+        big_leaf = DecisionTreeClassifier(min_samples_leaf=30).fit(X, y)
+        small_leaf = DecisionTreeClassifier(min_samples_leaf=1).fit(X, y)
+        assert len(big_leaf._tree.feature) <= len(small_leaf._tree.feature)
+
+    def test_pure_node_stops_splitting(self):
+        X = np.asarray([[0.0], [1.0], [2.0], [3.0]])
+        y = np.asarray(["a", "a", "b", "b"])
+        clf = DecisionTreeClassifier().fit(X, y)
+        # one split suffices: 3 nodes (root + 2 leaves)
+        assert len(clf._tree.feature) == 3
+
+    def test_predict_proba_is_distribution(self):
+        X, y = xor_data()
+        p = DecisionTreeClassifier(max_depth=4).fit(X, y).predict_proba(X)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_invalid_max_depth(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            DecisionTreeClassifier(max_depth=0).fit(*xor_data(20))
+
+    def test_deterministic(self):
+        X, y = xor_data()
+        a = DecisionTreeClassifier(seed=1).fit(X, y)
+        b = DecisionTreeClassifier(seed=1).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+
+class TestRandomForest:
+    def test_solves_xor(self):
+        X, y = xor_data()
+        clf = RandomForestClassifier(n_estimators=15, max_depth=8).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_more_trees_lower_variance(self):
+        """Prediction agreement between two forests grows with size."""
+        X, y = xor_data(150)
+        Xt, _yt = xor_data(150, seed=99)
+
+        def agreement(n):
+            a = RandomForestClassifier(n_estimators=n, seed=0).fit(X, y).predict(Xt)
+            b = RandomForestClassifier(n_estimators=n, seed=1000).fit(X, y).predict(Xt)
+            return (a == b).mean()
+
+        assert agreement(20) >= agreement(2) - 0.05
+
+    def test_probabilities_average_trees(self):
+        X, y = xor_data()
+        clf = RandomForestClassifier(n_estimators=5).fit(X, y)
+        p = clf.predict_proba(X)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert p.shape == (len(y), 2)
+
+    def test_bootstrap_off_with_all_features_reduces_diversity(self):
+        X, y = xor_data(100)
+        clf = RandomForestClassifier(
+            n_estimators=3, bootstrap=False, max_features=None, seed=0
+        ).fit(X, y)
+        # without bootstrap or feature sampling all trees are identical
+        p0 = clf.trees_[0].predict_proba(X.astype(np.float32))
+        p1 = clf.trees_[1].predict_proba(X.astype(np.float32))
+        assert np.allclose(p0, p1)
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestClassifier(n_estimators=0).fit(*xor_data(20))
+
+    def test_invalid_max_features(self):
+        with pytest.raises(ValueError, match="max_features"):
+            RandomForestClassifier(max_features=0).fit(*xor_data(20))

@@ -1,0 +1,141 @@
+"""Property-based fuzzing across module boundaries."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.message import Severity, SyslogMessage
+from repro.core.taxonomy import Category
+from repro.stream.events import EventEngine
+from repro.stream.fluentd import FluentdForwarder
+from repro.stream.opensearch import LogStore
+from repro.textproc.tfidf import TfidfVectorizer
+
+_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd", "Zs"),
+                           max_codepoint=127),
+    min_size=1, max_size=80,
+).filter(lambda s: s.strip())
+
+_message = st.builds(
+    lambda t, host, ts: SyslogMessage(
+        timestamp=ts, hostname=f"cn{host:03d}", app="fuzz", text=t.strip(),
+        severity=Severity.INFO,
+    ),
+    _text,
+    st.integers(min_value=0, max_value=20),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+
+class TestLogStoreProperties:
+    @given(st.lists(_message, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_every_indexed_doc_findable_by_hostname(self, messages):
+        store = LogStore()
+        for m in messages:
+            store.index(m)
+        for m in messages:
+            hits = store.term_query(m.hostname)
+            assert any(d.message is m for d in hits.docs)
+
+    @given(st.lists(_message, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_time_range_partition(self, messages):
+        """Splitting time at any point partitions the documents."""
+        store = LogStore()
+        for m in messages:
+            store.index(m)
+        mid = 5e5
+        left = store.time_range(float("-inf"), mid).total
+        right = store.time_range(mid, float("inf")).total
+        assert left + right == len(messages)
+
+    @given(st.lists(_message, max_size=40), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_shards_balance(self, messages, n_shards):
+        store = LogStore(n_shards=n_shards)
+        for m in messages:
+            store.index(m)
+        counts = store.shard_counts()
+        assert sum(counts) == len(messages)
+        assert max(counts) - min(counts) <= 1  # round-robin is balanced
+
+    @given(st.lists(_message, min_size=1, max_size=30),
+           st.floats(min_value=1.0, max_value=1e5, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_date_histogram_conserves_counts(self, messages, interval):
+        store = LogStore()
+        for m in messages:
+            store.index(m)
+        buckets = store.date_histogram(interval_s=interval)
+        assert sum(b.count for b in buckets) == len(messages)
+
+
+class TestForwarderProperties:
+    @given(
+        st.lists(_message, max_size=60),
+        st.integers(min_value=1, max_value=10),  # batch size
+        st.integers(min_value=1, max_value=100),  # buffer limit
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_message_lost_or_duplicated(self, messages, batch, limit):
+        """accepted == flushed + buffered, rejected == offered - accepted."""
+        engine = EventEngine()
+        sunk: list = []
+        fwd = FluentdForwarder(
+            engine=engine, sink=lambda b: (sunk.extend(b), True)[1],
+            batch_size=batch, buffer_limit=limit,
+        )
+        accepted = sum(fwd.offer(m) for m in messages)
+        while fwd.buffered:
+            fwd.flush()
+        assert len(sunk) == accepted == fwd.stats.flushed_messages
+        assert fwd.stats.rejected == len(messages) - accepted
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_flaky_sink_eventually_delivers_everything(self, outcomes):
+        """A sink that fails arbitrarily (then recovers) loses nothing."""
+        engine = EventEngine()
+        sunk: list = []
+        it = iter(outcomes)
+
+        def sink(batch):
+            ok = next(it, True)
+            if ok:
+                sunk.extend(batch)
+            return ok
+
+        fwd = FluentdForwarder(engine=engine, sink=sink, batch_size=5,
+                               buffer_limit=1000)
+        msgs = [
+            SyslogMessage(timestamp=float(i), hostname="h", app="a",
+                          text=f"m{i}", severity=Severity.INFO)
+            for i in range(20)
+        ]
+        for m in msgs:
+            fwd.offer(m)
+        fwd.drain()
+        assert [m.text for m in sunk] == [m.text for m in msgs]  # order kept
+
+
+class TestVectorizerClassifierProperty:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_message_classifies_without_error(self, split, salt):
+        """A fitted pipeline never crashes on arbitrary well-formed text."""
+        X_tr, _X_te, y_tr, _y_te, vec = split
+        from repro.ml import ComplementNB
+
+        clf = ComplementNB().fit(X_tr, y_tr)
+        weird = f"never seen token{salt} ✗ {salt * 7} []{{}}"
+        X = vec.transform([weird])
+        pred = clf.predict(X)
+        assert pred[0] in set(y_tr.tolist())
+
+    @given(st.lists(st.sampled_from(list(Category)), min_size=2, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_tfidf_row_count_matches_input(self, cats):
+        texts = [f"message about {c.value.lower()} body" for c in cats]
+        X = TfidfVectorizer().fit_transform(texts)
+        assert X.shape[0] == len(texts)

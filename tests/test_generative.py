@@ -1,0 +1,148 @@
+"""Unit tests for the simulated generative LLM."""
+
+import numpy as np
+import pytest
+
+from repro.core.taxonomy import Category
+from repro.llm.generative import SimulatedGenerativeLLM
+from repro.llm.models import model_spec
+from repro.llm.parse import ParseOutcome
+from repro.llm.prompts import PromptConfig
+
+MSG = "Warning: Socket 2 - CPU 23 throttling"
+
+
+@pytest.fixture(scope="module")
+def falcon7(embeddings):
+    return SimulatedGenerativeLLM(
+        spec=model_spec("falcon-7b"), embeddings=embeddings
+    )
+
+
+@pytest.fixture(scope="module")
+def falcon40(embeddings):
+    return SimulatedGenerativeLLM(
+        spec=model_spec("falcon-40b"), embeddings=embeddings
+    )
+
+
+class TestDeterminism:
+    def test_same_message_same_behaviour(self, falcon7):
+        a = falcon7.classify(MSG)
+        b = falcon7.classify(MSG)
+        assert a.response == b.response
+        assert a.timing.total_s == b.timing.total_s
+
+    def test_different_models_differ(self, falcon7, falcon40, corpus):
+        """Capability noise differs across models on at least some texts."""
+        texts = corpus.texts[:40]
+        a = [falcon7.classify(t).response for t in texts]
+        b = [falcon40.classify(t).response for t in texts]
+        assert a != b
+
+
+class TestBehaviour:
+    def test_encoder_model_rejected(self, embeddings):
+        with pytest.raises(ValueError, match="not a generative"):
+            SimulatedGenerativeLLM(
+                spec=model_spec("bart-large-mnli"), embeddings=embeddings
+            )
+
+    def test_result_fields(self, falcon40):
+        r = falcon40.classify(MSG)
+        assert r.prompt and r.response
+        assert r.latent_category in Category
+        assert r.timing.total_s > 0
+
+    def test_invented_categories_occur_on_weak_model(self, falcon7, corpus):
+        """§5.2: invented categories frequent without format scaffolding."""
+        cfg = PromptConfig(intro=True, tfidf_hints=False,
+                           format_spec=False, one_shot_example=False)
+        outcomes = [
+            falcon7.classify(t, config=cfg).parsed.outcome
+            for t in corpus.texts[:150]
+        ]
+        invented = sum(o is ParseOutcome.INVENTED_CATEGORY for o in outcomes)
+        assert invented > 0
+
+    def test_format_spec_and_example_reduce_invention(self, falcon7, corpus):
+        bare = PromptConfig(intro=True, tfidf_hints=False,
+                            format_spec=False, one_shot_example=False)
+        full = PromptConfig(intro=True, tfidf_hints=False,
+                            format_spec=True, one_shot_example=True)
+        texts = corpus.texts[:200]
+        inv_bare = sum(
+            falcon7.classify(t, config=bare).parsed.outcome
+            is ParseOutcome.INVENTED_CATEGORY
+            for t in texts
+        )
+        inv_full = sum(
+            falcon7.classify(t, config=full).parsed.outcome
+            is ParseOutcome.INVENTED_CATEGORY
+            for t in texts
+        )
+        assert inv_full < inv_bare
+
+    def test_excessive_generation_occurs(self, falcon7, corpus):
+        results = [falcon7.classify(t) for t in corpus.texts[:60]]
+        long_ones = [r for r in results if "\n" in r.response]
+        assert long_ones, "no unsolicited justification observed"
+
+    def test_roleplay_anecdote_reproducible(self, falcon7, corpus):
+        results = [falcon7.classify(t) for t in corpus.texts[:300]]
+        assert any("Alex" in r.response for r in results)
+
+    def test_capability_improves_accuracy(self, falcon7, falcon40, corpus):
+        texts, labels = corpus.texts[:250], corpus.labels[:250]
+
+        def acc(llm):
+            res = [llm.classify(t) for t in texts]
+            ok = [(r, l) for r, l in zip(res, labels) if r.category is not None]
+            return np.mean([r.category == l for r, l in ok])
+
+        assert acc(falcon40) > acc(falcon7) - 0.02
+
+
+class TestTokenCap:
+    def test_cap_truncates_and_cuts_latency(self, embeddings, corpus):
+        uncapped = SimulatedGenerativeLLM(
+            spec=model_spec("falcon-40b"), embeddings=embeddings
+        )
+        capped = SimulatedGenerativeLLM(
+            spec=model_spec("falcon-40b"), embeddings=embeddings, max_new_tokens=20
+        )
+        texts = corpus.texts[:60]
+        lat_un = np.mean([uncapped.classify(t).timing.total_s for t in texts])
+        lat_cap = np.mean([capped.classify(t).timing.total_s for t in texts])
+        assert lat_cap < lat_un
+        assert all(capped.classify(t).timing.tokens_out <= 20 for t in texts[:20])
+
+    def test_truncated_flag(self, embeddings, corpus):
+        capped = SimulatedGenerativeLLM(
+            spec=model_spec("falcon-7b"), embeddings=embeddings, max_new_tokens=8
+        )
+        results = [capped.classify(t) for t in corpus.texts[:40]]
+        assert any(r.truncated for r in results)
+
+    def test_category_marker_survives_truncation(self, embeddings):
+        """Format-first responses keep the Category: line under tight caps."""
+        capped = SimulatedGenerativeLLM(
+            spec=model_spec("falcon-40b"), embeddings=embeddings, max_new_tokens=12
+        )
+        r = capped.classify(MSG)
+        assert r.parsed.outcome in (ParseOutcome.OK, ParseOutcome.INVENTED_CATEGORY)
+
+    def test_invalid_cap(self, embeddings):
+        llm = SimulatedGenerativeLLM(
+            spec=model_spec("falcon-7b"), embeddings=embeddings, max_new_tokens=0
+        )
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            llm.classify(MSG)
+
+
+class TestExplain:
+    def test_figure1_explanation_shape(self, falcon40):
+        text = falcon40.explain(MSG)
+        assert MSG in text
+        assert "category" in text.lower()
+        assert len(text) > 100  # a real explanation, not a label

@@ -1,0 +1,123 @@
+"""Specific tests for kNN, NearestCentroid, and SGD."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ml.centroid import NearestCentroid
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.sgd import SGDClassifier
+
+
+class TestKNN:
+    def test_one_neighbor_memorizes_training_data(self, toy_Xy):
+        X, y = toy_Xy
+        clf = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert (clf.predict(X) == y).all()
+
+    def test_k_larger_than_train_clamped(self):
+        X = np.asarray([[0.0, 1.0], [1.0, 0.0], [0.9, 0.1]])
+        y = np.asarray(["a", "b", "b"])
+        clf = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        assert clf.predict(X).shape == (3,)
+
+    def test_proba_are_vote_fractions(self, toy_Xy):
+        X, y = toy_Xy
+        clf = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        p = clf.predict_proba(X)
+        # with k=5 the fractions are multiples of 0.2
+        assert np.allclose((p * 5) % 1, 0.0)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_euclidean_metric(self, toy_Xy):
+        X, y = toy_Xy
+        clf = KNeighborsClassifier(metric="euclidean", n_neighbors=3).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            KNeighborsClassifier(metric="hamming").fit(
+                np.eye(4), np.asarray(["a", "b"] * 2)
+            )
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            KNeighborsClassifier(n_neighbors=0).fit(
+                np.eye(4), np.asarray(["a", "b"] * 2)
+            )
+
+    def test_batching_equals_single_pass(self, toy_Xy):
+        X, y = toy_Xy
+        a = KNeighborsClassifier(batch_rows=7).fit(X, y).predict(X)
+        b = KNeighborsClassifier(batch_rows=10_000).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_sparse_cosine(self):
+        X = sp.csr_matrix(np.asarray([[1.0, 0.0], [0.0, 1.0], [0.9, 0.1]]))
+        y = np.asarray(["x", "y", "x"])
+        clf = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert clf.predict(sp.csr_matrix([[1.0, 0.05]]))[0] == "x"
+
+
+class TestNearestCentroid:
+    def test_centroids_shape(self, toy_Xy):
+        X, y = toy_Xy
+        clf = NearestCentroid().fit(X, y)
+        assert clf.centroids_.shape == (3, X.shape[1])
+
+    def test_cosine_centroids_unit_norm(self, toy_Xy):
+        X, y = toy_Xy
+        clf = NearestCentroid(metric="cosine").fit(X, y)
+        assert np.allclose(np.linalg.norm(clf.centroids_, axis=1), 1.0)
+
+    def test_euclidean_metric(self, toy_Xy):
+        X, y = toy_Xy
+        clf = NearestCentroid(metric="euclidean").fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            NearestCentroid(metric="cityblock").fit(
+                np.eye(4), np.asarray(["a", "b"] * 2)
+            )
+
+
+class TestSGD:
+    def test_log_loss_proba(self, toy_Xy):
+        X, y = toy_Xy
+        clf = SGDClassifier(loss="log", epochs=10).fit(X, y)
+        p = clf.predict_proba(X)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_hinge_loss_learns(self, toy_Xy):
+        X, y = toy_Xy
+        clf = SGDClassifier(loss="hinge", epochs=15).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.9
+
+    def test_hinge_has_no_proba(self, toy_Xy):
+        X, y = toy_Xy
+        clf = SGDClassifier(loss="hinge", epochs=2).fit(X, y)
+        with pytest.raises(RuntimeError, match="log"):
+            clf.predict_proba(X)
+
+    def test_unknown_loss(self):
+        with pytest.raises(ValueError, match="loss"):
+            SGDClassifier(loss="mse").fit(np.eye(4), np.asarray(["a", "b"] * 2))
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError, match="epochs"):
+            SGDClassifier(epochs=0).fit(np.eye(4), np.asarray(["a", "b"] * 2))
+
+    def test_seed_determinism(self, toy_Xy):
+        X, y = toy_Xy
+        a = SGDClassifier(seed=5, epochs=3).fit(X, y)
+        b = SGDClassifier(seed=5, epochs=3).fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)
+
+    def test_more_epochs_help_on_hard_data(self, split):
+        X_tr, X_te, y_tr, y_te = split[:4]
+        few = SGDClassifier(epochs=1, seed=0).fit(X_tr, y_tr)
+        many = SGDClassifier(epochs=20, seed=0).fit(X_tr, y_tr)
+        acc_few = (few.predict(X_te) == y_te).mean()
+        acc_many = (many.predict(X_te) == y_te).mean()
+        assert acc_many >= acc_few

@@ -1,0 +1,79 @@
+"""Specific tests for LogisticRegression and RidgeClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LogisticRegression, RidgeClassifier
+
+
+class TestLogisticRegression:
+    def test_predict_proba_rows_sum_to_one(self, toy_Xy):
+        X, y = toy_Xy
+        clf = LogisticRegression().fit(X, y)
+        p = clf.predict_proba(X)
+        assert p.shape == (len(y), 3)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert p.min() >= 0.0
+
+    def test_proba_argmax_matches_predict(self, toy_Xy):
+        X, y = toy_Xy
+        clf = LogisticRegression().fit(X, y)
+        assert np.array_equal(
+            clf.classes_[clf.predict_proba(X).argmax(axis=1)], clf.predict(X)
+        )
+
+    def test_stronger_regularization_shrinks_weights(self, toy_Xy):
+        X, y = toy_Xy
+        loose = LogisticRegression(C=100.0).fit(X, y)
+        tight = LogisticRegression(C=0.01).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_invalid_C(self):
+        with pytest.raises(ValueError, match="C must be positive"):
+            LogisticRegression(C=0.0).fit(np.eye(4), np.asarray(["a", "b", "a", "b"]))
+
+    def test_no_intercept_option(self, toy_Xy):
+        X, y = toy_Xy
+        clf = LogisticRegression(fit_intercept=False).fit(X, y)
+        assert np.allclose(clf.intercept_, 0.0)
+
+    def test_decision_function_shape(self, toy_Xy):
+        X, y = toy_Xy
+        clf = LogisticRegression().fit(X, y)
+        assert clf.decision_function(X).shape == (len(y), 3)
+
+    def test_deterministic(self, toy_Xy):
+        X, y = toy_Xy
+        a = LogisticRegression().fit(X, y)
+        b = LogisticRegression().fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)
+
+    def test_binary_problem(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (30, 2)), rng.normal(4, 1, (30, 2))])
+        y = np.repeat(["neg", "pos"], 30)
+        clf = LogisticRegression().fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+
+class TestRidgeClassifier:
+    def test_decision_function_shape(self, toy_Xy):
+        X, y = toy_Xy
+        clf = RidgeClassifier().fit(X, y)
+        assert clf.decision_function(X).shape == (len(y), 3)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            RidgeClassifier(alpha=-1.0).fit(np.eye(4), np.asarray(["a", "b"] * 2))
+
+    def test_higher_alpha_shrinks_coefficients(self, toy_Xy):
+        X, y = toy_Xy
+        small = RidgeClassifier(alpha=0.01).fit(X, y)
+        large = RidgeClassifier(alpha=100.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_deterministic(self, toy_Xy):
+        X, y = toy_Xy
+        a = RidgeClassifier().fit(X, y)
+        b = RidgeClassifier().fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)

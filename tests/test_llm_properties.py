@@ -1,0 +1,127 @@
+"""Property tests across the LLM simulator stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.taxonomy import Category
+from repro.llm.costmodel import InferenceCostModel, ModelSpec
+from repro.llm.generative import SimulatedGenerativeLLM
+from repro.llm.models import model_spec
+from repro.llm.parse import ParseOutcome, parse_classification
+from repro.llm.prompts import PromptConfig, build_prompt
+from repro.llm.tokenizer import count_tokens
+
+_msg_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd", "Zs", "Po"),
+                           max_codepoint=127),
+    min_size=1, max_size=120,
+).filter(lambda s: s.strip())
+
+
+class TestParserTotality:
+    @given(st.text(max_size=400))
+    @settings(max_examples=150)
+    def test_parser_never_crashes(self, text):
+        result = parse_classification(text)
+        assert result.outcome in ParseOutcome
+        if result.outcome is ParseOutcome.OK:
+            assert result.category in Category
+        if result.outcome is ParseOutcome.INVENTED_CATEGORY:
+            assert result.invented_label
+
+    @given(st.sampled_from(list(Category)))
+    def test_every_category_name_parses_back(self, cat):
+        assert parse_classification(f"Category: {cat.value}").category is cat
+
+
+class TestPromptProperties:
+    @given(_msg_text)
+    @settings(max_examples=50)
+    def test_message_always_embedded(self, text):
+        p = build_prompt(text.strip(), config=PromptConfig.minimal())
+        assert text.strip() in p
+
+    @given(_msg_text)
+    @settings(max_examples=30)
+    def test_fuller_prompts_are_longer(self, text):
+        text = text.strip()
+        minimal = build_prompt(text, config=PromptConfig.minimal())
+        rich = build_prompt(
+            text,
+            config=PromptConfig(intro=True, tfidf_hints=False,
+                                format_spec=True, one_shot_example=True),
+        )
+        assert count_tokens(rich) > count_tokens(minimal)
+
+
+class TestGenerativeTotality:
+    @pytest.fixture(scope="class")
+    def llm(self, embeddings):
+        return SimulatedGenerativeLLM(
+            spec=model_spec("falcon-7b"), embeddings=embeddings,
+            max_new_tokens=40,
+        )
+
+    @given(_msg_text)
+    @settings(max_examples=40, deadline=None)
+    def test_classify_total_and_consistent(self, llm, text):
+        """Any message yields a parseable result object deterministically."""
+        a = llm.classify(text.strip())
+        b = llm.classify(text.strip())
+        assert a.response == b.response
+        assert a.timing.total_s > 0
+        assert a.timing.tokens_out <= 40
+        assert a.latent_category in Category
+
+    @given(_msg_text)
+    @settings(max_examples=25, deadline=None)
+    def test_latency_monotone_in_tokens(self, llm, text):
+        t = llm.classify(text.strip()).timing
+        # decode+prefill both grow with tokens: total >= prefill alone
+        assert t.total_s >= t.prefill_s
+
+
+class TestCostModelProperties:
+    CM = InferenceCostModel()
+
+    @given(
+        st.floats(min_value=0.1e9, max_value=60e9),
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=60)
+    def test_latency_positive_and_monotone(self, params, prompt, gen):
+        spec = ModelSpec(name="x", n_params=params)
+        t = self.CM.generation_timing(spec, prompt_tokens=prompt, gen_tokens=gen)
+        assert t.total_s > 0
+        t2 = self.CM.generation_timing(
+            spec, prompt_tokens=prompt + 100, gen_tokens=gen + 10
+        )
+        assert t2.total_s > t.total_s
+
+    # cap at 30e9: the doubled model must still fit the 4×40 GB node
+    @given(st.floats(min_value=0.5e9, max_value=30e9))
+    @settings(max_examples=40)
+    def test_bigger_models_decode_slower(self, params):
+        small = ModelSpec(name="s", n_params=params)
+        big = ModelSpec(name="b", n_params=params * 2)
+        assert (
+            self.CM.decode_seconds_per_token(big)
+            > self.CM.decode_seconds_per_token(small)
+        )
+
+    @given(
+        st.floats(min_value=0.5e9, max_value=30e9),
+        st.integers(min_value=1, max_value=256),
+    )
+    @settings(max_examples=40)
+    def test_batching_never_hurts_throughput(self, params, batch):
+        spec = ModelSpec(name="x", n_params=params)
+        t1 = self.CM.batched_generation_throughput(
+            spec, prompt_tokens=200, gen_tokens=20, batch_size=1
+        )
+        tb = self.CM.batched_generation_throughput(
+            spec, prompt_tokens=200, gen_tokens=20, batch_size=batch
+        )
+        assert tb >= t1 * 0.999

@@ -1,0 +1,167 @@
+"""Unit tests for the subword tokenizer, hardware specs, and cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.llm.costmodel import InferenceCostModel, ModelSpec
+from repro.llm.hardware import PAPER_NODE, A100_SXM4_40GB, InferenceNode
+from repro.llm.models import MODEL_CATALOG, model_spec
+from repro.llm.tokenizer import count_tokens, tokenize_subwords
+
+
+class TestTokenizer:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_short_word_one_piece(self):
+        assert tokenize_subwords("cpu") == ["cpu"]
+
+    def test_long_word_chunked(self):
+        pieces = tokenize_subwords("temperature")
+        assert len(pieces) == 3
+        assert "".join(pieces) == "temperature"
+
+    def test_numbers_digit_pairs(self):
+        assert tokenize_subwords("123456") == ["12", "34", "56"]
+
+    def test_punctuation_separate(self):
+        assert count_tokens("a.b") == 3
+
+    def test_realistic_ratio(self):
+        msg = "CPU 1 Temperature Above Non-Recoverable - Asserted."
+        words = len(msg.split())
+        toks = count_tokens(msg)
+        assert 1.0 <= toks / words <= 3.0
+
+    @given(st.text(max_size=200))
+    def test_never_raises(self, text):
+        assert count_tokens(text) >= 0
+
+    @given(st.text(alphabet="abcdefghij", min_size=1, max_size=50))
+    def test_pieces_reassemble(self, word):
+        assert "".join(tokenize_subwords(word)) == word
+
+
+class TestHardware:
+    def test_paper_node_config(self):
+        assert PAPER_NODE.n_gpus == 4
+        assert PAPER_NODE.gpu is A100_SXM4_40GB
+        assert A100_SXM4_40GB.vram_gb == 40.0
+
+    def test_gpus_needed_small_model(self):
+        # 7b fp16 = 14 GB ≤ one 40 GB GPU
+        assert PAPER_NODE.gpus_needed(14e9) == 1
+
+    def test_gpus_needed_large_model(self):
+        # 40b fp16 = 80 GB → 3 GPUs with headroom
+        assert PAPER_NODE.gpus_needed(80e9) == 3
+
+    def test_model_too_large_raises(self):
+        with pytest.raises(ValueError, match="only"):
+            PAPER_NODE.gpus_needed(500e9)
+
+
+class TestCatalog:
+    def test_paper_models_present(self):
+        assert "tiiuae/falcon-7b" in MODEL_CATALOG
+        assert "tiiuae/falcon-40b" in MODEL_CATALOG
+        assert "facebook/bart-large-mnli" in MODEL_CATALOG
+        assert "meta-llama/Llama-2-70b-chat-hf" in MODEL_CATALOG
+
+    def test_bare_name_lookup(self):
+        assert model_spec("falcon-40b").n_params == 40e9
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            model_spec("gpt-17")
+
+    def test_capability_ordering(self):
+        assert (
+            model_spec("falcon-7b").capability
+            < model_spec("falcon-40b").capability
+            < model_spec("Llama-2-70b-chat-hf").capability
+        )
+
+    def test_llama_quantized_fits_node(self):
+        spec = model_spec("Llama-2-70b-chat-hf")
+        assert PAPER_NODE.gpus_needed(spec.weights_bytes) <= 4
+
+
+class TestCostModel:
+    CM = InferenceCostModel()
+
+    def test_decode_scales_with_model_size(self):
+        small = self.CM.decode_seconds_per_token(model_spec("falcon-7b"))
+        large = self.CM.decode_seconds_per_token(model_spec("falcon-40b"))
+        assert large > small
+
+    def test_prefill_linear_in_tokens(self):
+        m = model_spec("falcon-7b")
+        t1 = self.CM.prefill_seconds(m, 100)
+        t2 = self.CM.prefill_seconds(m, 200)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_generation_timing_composition(self):
+        m = model_spec("falcon-40b")
+        t = self.CM.generation_timing(m, prompt_tokens=200, gen_tokens=20)
+        assert t.total_s == pytest.approx(t.prefill_s + t.decode_s + t.overhead_s)
+        assert t.messages_per_hour == pytest.approx(3600 / t.total_s)
+
+    def test_table3_calibration_falcon7b(self):
+        """Within 15% of the paper's 0.639 s."""
+        t = self.CM.generation_timing(
+            model_spec("falcon-7b"), prompt_tokens=220, gen_tokens=20
+        )
+        assert t.total_s == pytest.approx(0.639, rel=0.15)
+
+    def test_table3_calibration_falcon40b(self):
+        """Within 15% of the paper's 2.184 s."""
+        t = self.CM.generation_timing(
+            model_spec("falcon-40b"), prompt_tokens=220, gen_tokens=20
+        )
+        assert t.total_s == pytest.approx(2.184, rel=0.15)
+
+    def test_table3_calibration_bart(self):
+        """Within 15% of the paper's 0.13359 s."""
+        t = self.CM.zero_shot_timing(
+            model_spec("bart-large-mnli"), text_tokens=25, n_labels=8
+        )
+        assert t.total_s == pytest.approx(0.13359, rel=0.15)
+
+    def test_latency_ordering_matches_paper(self):
+        """bart < falcon-7b < falcon-40b (Table 3's ordering)."""
+        bart = self.CM.zero_shot_timing(
+            model_spec("bart-large-mnli"), text_tokens=25, n_labels=8
+        ).total_s
+        f7 = self.CM.generation_timing(
+            model_spec("falcon-7b"), prompt_tokens=220, gen_tokens=20
+        ).total_s
+        f40 = self.CM.generation_timing(
+            model_spec("falcon-40b"), prompt_tokens=220, gen_tokens=20
+        ).total_s
+        assert bart < f7 < f40
+
+    def test_generative_on_encoder_rejected(self):
+        with pytest.raises(ValueError, match="not generative"):
+            self.CM.generation_timing(
+                model_spec("bart-large-mnli"), prompt_tokens=10, gen_tokens=5
+            )
+
+    def test_zero_shot_on_causal_rejected(self):
+        with pytest.raises(ValueError, match="not an encoder"):
+            self.CM.zero_shot_timing(
+                model_spec("falcon-7b"), text_tokens=10, n_labels=8
+            )
+
+    def test_negative_tokens_rejected(self):
+        m = model_spec("falcon-7b")
+        with pytest.raises(ValueError):
+            self.CM.generation_timing(m, prompt_tokens=-1, gen_tokens=5)
+        with pytest.raises(ValueError):
+            self.CM.generation_timing(m, prompt_tokens=5, gen_tokens=-1)
+
+    def test_zero_shot_cost_linear_in_labels(self):
+        m = model_spec("bart-large-mnli")
+        t4 = self.CM.zero_shot_timing(m, text_tokens=25, n_labels=4).total_s
+        t8 = self.CM.zero_shot_timing(m, text_tokens=25, n_labels=8).total_s
+        assert t8 == pytest.approx(2 * t4, rel=0.01)

@@ -1,0 +1,96 @@
+"""Unit tests for stratified splitting and k-fold CV."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.model_selection import stratified_kfold, train_test_split
+
+
+def imbalanced_y(n_major=90, n_minor=10):
+    return np.asarray(["maj"] * n_major + ["min"] * n_minor)
+
+
+class TestTrainTestSplit:
+    def test_sizes_roughly_respected(self):
+        y = imbalanced_y()
+        X = np.arange(100).reshape(-1, 1)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=0)
+        assert len(yte) == pytest.approx(25, abs=3)
+        assert len(ytr) + len(yte) == 100
+
+    def test_stratification_keeps_minority(self):
+        y = imbalanced_y(n_major=196, n_minor=4)
+        X = np.arange(200).reshape(-1, 1)
+        _xtr, _xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=1)
+        assert "min" in set(ytr) and "min" in set(yte)
+
+    def test_no_row_lost_or_duplicated(self):
+        y = imbalanced_y()
+        X = np.arange(100).reshape(-1, 1)
+        Xtr, Xte, _ytr, _yte = train_test_split(X, y, test_size=0.3, seed=2)
+        combined = sorted(np.concatenate([Xtr.ravel(), Xte.ravel()]).tolist())
+        assert combined == list(range(100))
+
+    def test_sparse_input(self):
+        X = sp.csr_matrix(np.eye(20))
+        y = np.asarray(["a", "b"] * 10)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=0)
+        assert sp.issparse(Xtr) and Xtr.shape[0] == len(ytr)
+
+    def test_list_of_texts_input(self):
+        texts = [f"msg {i}" for i in range(40)]
+        y = np.asarray(["a", "b"] * 20)
+        tr, te, ytr, yte = train_test_split(texts, y, test_size=0.25, seed=0)
+        assert isinstance(tr, list) and len(tr) == len(ytr)
+
+    def test_deterministic_given_seed(self):
+        y = imbalanced_y()
+        X = np.arange(100).reshape(-1, 1)
+        a = train_test_split(X, y, seed=7)
+        b = train_test_split(X, y, seed=7)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[3], b[3])
+
+    def test_different_seeds_differ(self):
+        y = imbalanced_y()
+        X = np.arange(100).reshape(-1, 1)
+        a = train_test_split(X, y, seed=1)
+        b = train_test_split(X, y, seed=2)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError, match="test_size"):
+            train_test_split([1], np.asarray(["a"]), test_size=1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            train_test_split(np.zeros((3, 1)), np.asarray(["a"] * 4))
+
+
+class TestStratifiedKFold:
+    def test_partitions_cover_everything(self):
+        y = imbalanced_y(40, 10)
+        seen = np.zeros(50, dtype=int)
+        for train, test in stratified_kfold(y, n_splits=5, seed=0):
+            seen[test] += 1
+            assert set(train) | set(test) == set(range(50))
+            assert not set(train) & set(test)
+        assert np.all(seen == 1)
+
+    def test_class_mix_per_fold(self):
+        y = imbalanced_y(80, 20)
+        for _train, test in stratified_kfold(y, n_splits=4, seed=0):
+            frac_min = np.mean(y[test] == "min")
+            assert frac_min == pytest.approx(0.2, abs=0.05)
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            list(stratified_kfold(np.asarray(["a", "b"]), n_splits=1))
+
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10)
+    def test_folds_count(self, k):
+        y = np.asarray(["a", "b"] * 20)
+        folds = list(stratified_kfold(y, n_splits=k, seed=0))
+        assert len(folds) == k

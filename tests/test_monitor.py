@@ -1,0 +1,217 @@
+"""Unit tests for the monitoring analyses (§4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.dashboard import render_overview, render_rate_panel, render_top_panel
+from repro.monitor.frequency import BurstDetector
+from repro.monitor.perarch import ArchPeerComparator, PeerVerdict
+from repro.monitor.positional import RackTopology, localize_bursts
+from repro.monitor.frequency import Burst
+
+
+class TestBurstDetector:
+    def flat_with_spike(self, spike=100, at=20, n=40, base=10):
+        counts = np.full(n, base, dtype=float)
+        counts[at] = spike
+        times = np.arange(n) * 60.0
+        return times, counts
+
+    def test_detects_single_spike(self):
+        times, counts = self.flat_with_spike()
+        bursts = BurstDetector().detect(times, counts)
+        assert len(bursts) == 1
+        assert bursts[0].start == 20 * 60.0
+        assert bursts[0].peak_rate == 100
+
+    def test_flat_stream_no_bursts(self):
+        times = np.arange(30) * 60.0
+        counts = np.full(30, 10.0)
+        assert BurstDetector().detect(times, counts) == []
+
+    def test_noisy_but_stable_stream_no_bursts(self):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(20, size=60).astype(float)
+        times = np.arange(60) * 60.0
+        assert BurstDetector(z_threshold=6.0).detect(times, counts) == []
+
+    def test_min_rate_floor(self):
+        # a "spike" of 3 messages on a silent stream is not a burst
+        times = np.arange(20) * 60.0
+        counts = np.zeros(20)
+        counts[10] = 3
+        assert BurstDetector(min_rate=5.0).detect(times, counts) == []
+
+    def test_burst_open_at_series_end(self):
+        times = np.arange(20) * 60.0
+        counts = np.full(20, 5.0)
+        counts[-1] = 200
+        bursts = BurstDetector().detect(times, counts)
+        assert len(bursts) == 1
+        assert bursts[0].end == times[-1] + 60.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            BurstDetector().detect(np.arange(3.0), np.arange(4.0))
+
+    def test_empty_series(self):
+        assert BurstDetector().detect(np.empty(0), np.empty(0)) == []
+
+    def test_long_burst_single_event(self):
+        times = np.arange(40) * 60.0
+        counts = np.full(40, 8.0)
+        counts[20:25] = 90.0
+        bursts = BurstDetector().detect(times, counts)
+        assert len(bursts) == 1
+        assert bursts[0].total_messages == pytest.approx(450, rel=0.1)
+
+
+class TestRackTopology:
+    def test_grid_packing(self):
+        topo = RackTopology.grid([f"n{i}" for i in range(10)], nodes_per_rack=4)
+        assert topo.racks() == ("r00", "r01", "r02")
+        assert len(topo.nodes_in("r00")) == 4
+        assert len(topo.nodes_in("r02")) == 2
+
+    def test_rack_of(self):
+        topo = RackTopology({"ra": ["a1", "a2"], "rb": ["b1"]})
+        assert topo.rack_of("b1") == "rb"
+        with pytest.raises(KeyError):
+            topo.rack_of("zz")
+
+    def test_duplicate_host_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            RackTopology({"ra": ["x"], "rb": ["x"]})
+
+    def test_share_edge_switch(self):
+        topo = RackTopology({"ra": ["a1", "a2"], "rb": ["b1"]})
+        assert topo.share_edge_switch("a1", "a2")
+        assert not topo.share_edge_switch("a1", "b1")
+
+    def test_network_distance(self):
+        topo = RackTopology({"ra": ["a1", "a2"], "rb": ["b1"]})
+        assert topo.network_distance("a1", "a2") == 2  # via rack switch
+        assert topo.network_distance("a1", "b1") == 4  # via core
+
+    def test_invalid_grid_size(self):
+        with pytest.raises(ValueError, match="nodes_per_rack"):
+            RackTopology.grid(["a"], nodes_per_rack=0)
+
+
+class TestLocalizeBursts:
+    def topo(self):
+        return RackTopology({"ra": ["a1", "a2", "a3", "a4"], "rb": ["b1", "b2"]})
+
+    def burst(self, start=100.0, end=200.0):
+        return Burst(start=start, end=end, peak_rate=50, peak_z=10, total_messages=100)
+
+    def test_rack_wide_burst_localized(self):
+        bbh = {h: [self.burst()] for h in ("a1", "a2", "a3")}
+        incidents = localize_bursts(self.topo(), bbh)
+        assert len(incidents) == 1
+        assert incidents[0].rack == "ra"
+        assert incidents[0].fraction_affected == 0.75
+
+    def test_single_node_burst_not_an_incident(self):
+        incidents = localize_bursts(self.topo(), {"a1": [self.burst()]})
+        assert incidents == []
+
+    def test_spurious_early_burst_does_not_mask(self):
+        bbh = {
+            "a1": [self.burst(0.0, 10.0), self.burst(100.0, 200.0)],
+            "a2": [self.burst(100.0, 200.0)],
+            "a3": [self.burst(110.0, 190.0)],
+        }
+        incidents = localize_bursts(self.topo(), bbh)
+        assert len(incidents) == 1
+        assert set(incidents[0].affected_nodes) == {"a1", "a2", "a3"}
+
+    def test_disjoint_windows_not_combined(self):
+        bbh = {
+            "a1": [self.burst(0.0, 10.0)],
+            "a2": [self.burst(500.0, 510.0)],
+            "a3": [self.burst(900.0, 910.0)],
+        }
+        assert localize_bursts(self.topo(), bbh, min_nodes=2) == []
+
+    def test_unknown_hosts_ignored(self):
+        bbh = {"zz": [self.burst()], "a1": [self.burst()], "a2": [self.burst()]}
+        incidents = localize_bursts(self.topo(), bbh)
+        assert incidents and incidents[0].rack == "ra"
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="min_fraction"):
+            localize_bursts(self.topo(), {}, min_fraction=0.0)
+
+
+class TestArchPeerComparator:
+    def comparator(self):
+        arch_of = {f"ep{i}": "epyc" for i in range(6)}
+        arch_of.update({f"pw{i}": "power9" for i in range(3)})
+        return ArchPeerComparator(arch_of=arch_of)
+
+    def test_family_wide_message(self):
+        c = self.comparator()
+        for i in range(6):
+            c.observe_message(f"ep{i}", f"fan FAN1 reading invalid on slot {i}")
+        assert c.check_message("ep0", "fan FAN1 reading invalid on slot 99") \
+            is PeerVerdict.FAMILY_WIDE
+
+    def test_singleton_message_anomalous(self):
+        c = self.comparator()
+        c.observe_message("ep0", "catastrophic PSU failure detected")
+        assert c.check_message("ep0", "catastrophic PSU failure detected") \
+            is PeerVerdict.ANOMALOUS
+
+    def test_cross_family_isolation(self):
+        c = self.comparator()
+        for i in range(3):
+            c.observe_message(f"pw{i}", "power9 family quirk message")
+        # epyc node asking about a power9-only shape: anomalous for epyc
+        assert c.check_message("ep0", "power9 family quirk message") \
+            is PeerVerdict.ANOMALOUS
+
+    def test_reading_outlier(self):
+        c = self.comparator()
+        for i in range(1, 6):
+            c.observe_reading(f"ep{i}", "Inlet_Temp", 24.0 + 0.1 * i)
+        assert c.check_reading("ep0", "Inlet_Temp", 95.0) is PeerVerdict.ANOMALOUS
+        assert c.check_reading("ep0", "Inlet_Temp", 24.3) is PeerVerdict.FAMILY_WIDE
+
+    def test_no_peers(self):
+        c = self.comparator()
+        assert c.check_reading("ep0", "Unknown_Sensor", 1.0) is PeerVerdict.NO_PEERS
+
+    def test_unknown_host_raises(self):
+        with pytest.raises(KeyError, match="architecture"):
+            self.comparator().observe_message("mystery9", "hello")
+
+    def test_invalid_peer_fraction(self):
+        with pytest.raises(ValueError, match="peer_fraction"):
+            ArchPeerComparator(arch_of={}, peer_fraction=2.0)
+
+
+class TestDashboards:
+    def test_rate_panel_sparkline(self):
+        out = render_rate_panel([0, 60, 120], [1, 5, 2], title="rate")
+        assert "rate" in out and "max=5" in out
+
+    def test_rate_panel_downsamples(self):
+        out = render_rate_panel(list(range(200)), [1] * 199 + [50], width=40)
+        assert "max=50" in out  # peak survives max-downsampling
+
+    def test_top_panel(self):
+        out = render_top_panel([("cn001", 10), ("cn002", 5)], title="hosts")
+        assert "cn001" in out and "#" in out
+
+    def test_top_panel_empty(self):
+        assert "no data" in render_top_panel([], title="hosts")
+
+    def test_overview_renders(self, corpus):
+        from repro.stream.opensearch import LogStore
+
+        store = LogStore()
+        for m in corpus.messages[:100]:
+            store.index(m)
+        out = render_overview(store, interval_s=86400.0)
+        assert "documents" in out and "top hosts" in out

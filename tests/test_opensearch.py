@@ -1,0 +1,167 @@
+"""Unit tests for the inverted-index log store."""
+
+import pytest
+
+from repro.core.message import Severity, SyslogMessage
+from repro.core.taxonomy import Category
+from repro.stream.opensearch import LogStore
+
+
+def msg(t, host="cn001", app="kernel", text="x"):
+    return SyslogMessage(timestamp=float(t), hostname=host, app=app, text=text,
+                         severity=Severity.INFO)
+
+
+@pytest.fixture()
+def store():
+    s = LogStore(n_shards=3)
+    s.index(msg(10, "cn001", "kernel", "CPU5 temperature above threshold, throttled"))
+    s.index(msg(20, "cn002", "sshd", "Connection closed by 1.2.3.4 port 22 [preauth]"))
+    s.index(msg(30, "cn001", "kernel", "usb 1-2: new USB device number 9"))
+    s.index(msg(40, "ep001", "slurmd", "node cn042 not responding please investigate"))
+    return s
+
+
+class TestIndexing:
+    def test_len(self, store):
+        assert len(store) == 4
+
+    def test_shard_round_robin(self, store):
+        assert store.shard_counts() == [2, 1, 1]
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            LogStore(n_shards=0)
+
+    def test_bulk_index(self):
+        s = LogStore()
+        assert s.bulk_index([msg(1), msg(2)])
+        assert len(s) == 2
+
+    def test_index_stats(self, store):
+        stats = store.index_stats()
+        assert stats["docs"] == 4
+        assert stats["unique_terms"] > 5
+        assert stats["postings"] >= stats["unique_terms"]
+
+
+class TestQueries:
+    def test_term_query_token(self, store):
+        assert store.term_query("throttled").total == 1
+
+    def test_term_query_hostname(self, store):
+        assert store.term_query("cn001").total >= 2
+
+    def test_term_query_app(self, store):
+        assert store.term_query("sshd").total == 1
+
+    def test_term_query_masked_generalizes(self, store):
+        # masked indexing means "cpu<num>" shape matches regardless of id
+        s = LogStore()
+        s.index(msg(1, text="CPU5 throttled"))
+        s.index(msg(2, text="CPU99 throttled"))
+        assert s.term_query("throttled").total == 2
+
+    def test_term_query_time_filter(self, store):
+        assert store.term_query("kernel", t0=25.0).total == 1
+
+    def test_term_query_limit(self, store):
+        r = store.term_query("kernel", limit=1)
+        assert len(r.docs) == 1 and r.total == 2
+
+    def test_all_terms_query(self, store):
+        assert store.all_terms_query(["usb", "device"]).total == 1
+        assert store.all_terms_query(["usb", "preauth"]).total == 0
+
+    def test_all_terms_empty_raises(self, store):
+        with pytest.raises(ValueError, match="at least one"):
+            store.all_terms_query([])
+
+    def test_phrase_query(self, store):
+        assert store.phrase_query("temperature above threshold").total == 1
+        # same tokens, wrong order: no phrase hit
+        assert store.phrase_query("threshold above temperature").total == 0
+
+    def test_time_range(self, store):
+        r = store.time_range(15.0, 35.0)
+        assert r.total == 2
+        assert all(15 <= d.message.timestamp < 35 for d in r.docs)
+
+    def test_get_by_id(self, store):
+        assert store.get(0).message.timestamp == 10.0
+
+
+class TestAggregations:
+    def test_date_histogram_counts(self, store):
+        buckets = store.date_histogram(interval_s=10.0)
+        assert sum(b.count for b in buckets) == 4
+
+    def test_date_histogram_includes_empty_buckets(self):
+        s = LogStore()
+        s.index(msg(0))
+        s.index(msg(35))
+        buckets = s.date_histogram(interval_s=10.0)
+        assert len(buckets) == 4
+        assert [b.count for b in buckets] == [1, 0, 0, 1]
+
+    def test_date_histogram_term_filter(self, store):
+        buckets = store.date_histogram(interval_s=10.0, term="sshd")
+        assert sum(b.count for b in buckets) == 1
+
+    def test_date_histogram_invalid_interval(self, store):
+        with pytest.raises(ValueError, match="interval"):
+            store.date_histogram(interval_s=0.0)
+
+    def test_terms_aggregation_hostname(self, store):
+        top = dict(store.terms_aggregation("hostname"))
+        assert top["cn001"] == 2
+
+    def test_terms_aggregation_category(self, store):
+        store.set_category(0, Category.THERMAL)
+        top = dict(store.terms_aggregation("category"))
+        assert top == {"Thermal Issue": 1}
+
+    def test_terms_aggregation_unknown_field(self, store):
+        with pytest.raises(ValueError, match="aggregate"):
+            store.terms_aggregation("nonexistent")
+
+    def test_set_category_preserves_message(self, store):
+        store.set_category(1, Category.SSH)
+        doc = store.get(1)
+        assert doc.category is Category.SSH
+        assert doc.message.app == "sshd"
+
+
+class TestSeverityFeatures:
+    @pytest.fixture()
+    def sev_store(self):
+        s = LogStore()
+        for i, sev in enumerate([Severity.INFO, Severity.WARNING,
+                                 Severity.ERROR, Severity.INFO]):
+            s.index(SyslogMessage(
+                timestamp=float(i * 10), hostname="cn001", app="kernel",
+                text=f"event number {i}", severity=sev,
+            ))
+        return s
+
+    def test_max_severity_filter(self, sev_store):
+        # WARNING-or-worse: warning + error = 2
+        r = sev_store.term_query("kernel", max_severity=Severity.WARNING)
+        assert r.total == 2
+        assert all(d.message.severity <= Severity.WARNING for d in r.docs)
+
+    def test_max_severity_error_only(self, sev_store):
+        assert sev_store.term_query("kernel", max_severity=Severity.ERROR).total == 1
+
+    def test_no_filter_returns_all(self, sev_store):
+        assert sev_store.term_query("kernel").total == 4
+
+    def test_severity_histogram(self, sev_store):
+        hist = sev_store.severity_histogram()
+        assert hist[Severity.INFO] == 2
+        assert hist[Severity.WARNING] == 1
+        assert hist[Severity.ERROR] == 1
+
+    def test_severity_histogram_time_bounded(self, sev_store):
+        hist = sev_store.severity_histogram(t0=5.0, t1=25.0)
+        assert sum(hist.values()) == 2

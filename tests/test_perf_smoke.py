@@ -1,0 +1,82 @@
+"""Performance-regression smoke tests.
+
+Generous wall-clock ceilings on operations that have quadratic failure
+modes lurking nearby (pairwise edit distances, per-document list
+inserts, per-node tree scans).  These are not benchmarks — the bounds
+are 10×+ looser than observed, so only an accidental complexity
+regression trips them.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.message import Severity, SyslogMessage
+from repro.stream.opensearch import LogStore
+from repro.textproc.drain import DrainTemplateMiner
+from repro.textproc.tfidf import TfidfVectorizer
+
+
+def _clocked(fn, budget_s: float, label: str):
+    t0 = time.perf_counter()
+    result = fn()
+    dt = time.perf_counter() - t0
+    assert dt < budget_s, f"{label} took {dt:.2f}s (budget {budget_s}s)"
+    return result
+
+
+class TestScalingSmoke:
+    def test_bulk_random_order_indexing_is_linearish(self):
+        """LogStore must not degrade to O(n²) on shuffled bulk loads."""
+        rng = np.random.default_rng(0)
+        msgs = [
+            SyslogMessage(timestamp=float(t), hostname=f"cn{i % 20:03d}",
+                          app="kernel", text=f"event {i} code {i * 3}",
+                          severity=Severity.INFO)
+            for i, t in enumerate(rng.uniform(0, 1e6, size=20_000))
+        ]
+        store = LogStore()
+        _clocked(lambda: store.bulk_index(msgs), 10.0, "bulk index 20k shuffled")
+        _clocked(lambda: store.time_range(0, 5e5), 2.0, "time_range")
+        _clocked(lambda: store.date_histogram(interval_s=1000.0), 2.0,
+                 "date_histogram")
+
+    def test_drain_scales_to_thousands(self, corpus):
+        miner = DrainTemplateMiner()
+        _clocked(lambda: miner.fit(corpus.texts), 5.0, "drain over corpus")
+
+    def test_tfidf_vectorize_thousands(self, corpus):
+        vec = TfidfVectorizer(max_features=2000)
+        _clocked(lambda: vec.fit_transform(corpus.texts), 15.0,
+                 "tfidf fit_transform")
+
+    def test_banded_levenshtein_faster_than_full(self):
+        """The threshold cutoff must actually cut work on far strings."""
+        from repro.textproc.distance import levenshtein, levenshtein_within
+
+        a = "x" * 400
+        b = "y" * 400
+        t0 = time.perf_counter()
+        for _ in range(200):
+            levenshtein_within(a, b, 5)
+        banded = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(200):
+            levenshtein(a, b)
+        full = time.perf_counter() - t0
+        assert banded < full
+
+    def test_event_engine_throughput(self):
+        from repro.stream.events import EventEngine
+
+        eng = EventEngine()
+        counter = [0]
+
+        def bump():
+            counter[0] += 1
+
+        for i in range(50_000):
+            eng.schedule(float(i % 100), bump)
+        _clocked(lambda: eng.run(), 8.0, "50k events")
+        assert counter[0] == 50_000

@@ -1,0 +1,125 @@
+"""Unit tests for the classification pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.buckets.blacklist import BlacklistFilter
+from repro.core.pipeline import ClassificationPipeline
+from repro.core.taxonomy import Category
+from repro.ml import ComplementNB, LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus):
+    pipe = ClassificationPipeline(classifier=LogisticRegression(max_iter=100))
+    pipe.fit(corpus.texts, corpus.labels)
+    return pipe
+
+
+class TestFit:
+    def test_requires_classifier(self, corpus):
+        with pytest.raises(ValueError, match="classifier"):
+            ClassificationPipeline().fit(corpus.texts, corpus.labels)
+
+    def test_length_mismatch(self):
+        pipe = ClassificationPipeline(classifier=ComplementNB())
+        with pytest.raises(ValueError, match="lengths differ"):
+            pipe.fit(["a"], [])
+
+    def test_classify_before_fit(self):
+        pipe = ClassificationPipeline(classifier=ComplementNB())
+        with pytest.raises(RuntimeError, match="before fit"):
+            pipe.classify("anything")
+
+
+class TestClassify:
+    def test_thermal_example(self, fitted):
+        r = fitted.classify("Warning: Socket 2 - CPU 23 throttling")
+        assert r.category is Category.THERMAL
+
+    def test_ssh_example(self, fitted):
+        r = fitted.classify("Connection closed by 10.3.2.1 port 50000 [preauth]")
+        assert r.category is Category.SSH
+
+    def test_confidence_populated_for_proba_models(self, fitted):
+        r = fitted.classify("Out of memory: Killed process 4242 (stress)")
+        assert r.confidence is not None and 0.0 <= r.confidence <= 1.0
+
+    def test_no_proba_model_has_none_confidence(self, corpus):
+        from repro.ml import LinearSVC
+
+        pipe = ClassificationPipeline(classifier=LinearSVC())
+        pipe.fit(corpus.texts[:400], corpus.labels[:400])
+        assert pipe.classify("usb 1-2: new device").confidence is None
+
+    def test_batch_matches_singles(self, fitted, corpus):
+        texts = corpus.texts[:10]
+        batch = [r.category for r in fitted.classify_batch(texts)]
+        singles = [fitted.classify(t).category for t in texts]
+        assert batch == singles
+
+    def test_accuracy_on_training_corpus(self, fitted, corpus):
+        preds = fitted.classify_batch(corpus.texts[:300])
+        acc = np.mean([
+            r.category == l for r, l in zip(preds, corpus.labels[:300])
+        ])
+        assert acc > 0.97
+
+
+class TestThroughputAccounting:
+    def test_service_time_accumulates(self, fitted, corpus):
+        before = fitted.n_classified
+        fitted.classify_batch(corpus.texts[:20])
+        assert fitted.n_classified == before + 20
+        assert fitted.service_seconds > 0.0
+
+    def test_messages_per_hour_positive(self, fitted, corpus):
+        fitted.classify_batch(corpus.texts[:10])
+        assert fitted.messages_per_hour() > 0
+
+
+class TestWithBlacklist:
+    def test_noise_filtered_before_model(self, corpus):
+        pipe = ClassificationPipeline(
+            classifier=LogisticRegression(max_iter=100),
+            blacklist=BlacklistFilter(threshold=3),
+        )
+        pipe.fit(corpus.texts, corpus.labels)
+        noise_text = next(
+            t for t, l in zip(corpus.texts, corpus.labels)
+            if l is Category.UNIMPORTANT
+        )
+        r = pipe.classify(noise_text)
+        assert r.category is Category.UNIMPORTANT
+        assert r.filtered
+
+    def test_blacklist_shrinks_training_noise(self, corpus):
+        pipe = ClassificationPipeline(
+            classifier=LogisticRegression(max_iter=100),
+            blacklist=BlacklistFilter(threshold=3),
+            blacklist_coverage=0.9,
+        )
+        pipe.fit(corpus.texts, corpus.labels)
+        # the classifier keeps a residual Unimportant class for the
+        # long tail the filter misses...
+        assert Category.UNIMPORTANT.value in pipe.classifier.classes_.tolist()
+        # ...but most noise shapes were blacklisted
+        assert len(pipe.blacklist.store) > 0
+
+    def test_full_coverage_removes_unimportant_class(self, corpus):
+        pipe = ClassificationPipeline(
+            classifier=LogisticRegression(max_iter=100),
+            blacklist=BlacklistFilter(threshold=3),
+            blacklist_coverage=1.0,
+        )
+        pipe.fit(corpus.texts, corpus.labels)
+        assert Category.UNIMPORTANT.value not in pipe.classifier.classes_.tolist()
+
+    def test_invalid_blacklist_coverage(self, corpus):
+        pipe = ClassificationPipeline(
+            classifier=LogisticRegression(max_iter=100),
+            blacklist=BlacklistFilter(threshold=3),
+            blacklist_coverage=0.0,
+        )
+        with pytest.raises(ValueError, match="blacklist_coverage"):
+            pipe.fit(corpus.texts, corpus.labels)

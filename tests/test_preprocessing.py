@@ -1,0 +1,43 @@
+"""Unit tests for label encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.preprocessing import LabelEncoder
+
+
+class TestLabelEncoder:
+    def test_fit_transform_roundtrip(self):
+        enc = LabelEncoder()
+        y = ["b", "a", "c", "a"]
+        codes = enc.fit_transform(y)
+        assert codes.dtype == np.int64
+        assert enc.inverse_transform(codes).tolist() == y
+
+    def test_sorted_class_order(self):
+        enc = LabelEncoder().fit(["z", "a", "m"])
+        assert enc.classes_.tolist() == ["a", "m", "z"]
+
+    def test_unseen_label_raises(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform(["c"])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            LabelEncoder().transform(["a"])
+
+    def test_inverse_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            LabelEncoder().inverse_transform([0])
+
+    def test_inverse_out_of_range(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="range"):
+            enc.inverse_transform([5])
+
+    @given(st.lists(st.sampled_from(["x", "y", "z", "w"]), min_size=1, max_size=30))
+    def test_roundtrip_property(self, y):
+        enc = LabelEncoder()
+        assert enc.inverse_transform(enc.fit_transform(y)).tolist() == y

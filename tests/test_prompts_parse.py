@@ -1,0 +1,102 @@
+"""Unit tests for prompt construction and response parsing."""
+
+import pytest
+
+from repro.core.taxonomy import Category
+from repro.llm.parse import ParseOutcome, parse_classification
+from repro.llm.prompts import ONE_SHOT_EXAMPLE, PromptConfig, build_prompt
+
+HINTS = {
+    Category.THERMAL: ["processor", "throttled", "sensor", "cpu", "temperature"],
+    Category.SSH: ["closed", "preauth", "connection", "port", "user"],
+}
+
+
+class TestBuildPrompt:
+    def test_full_prompt_contains_all_elements(self):
+        p = build_prompt("CPU hot", config=PromptConfig.full(), hints=HINTS)
+        assert "heterogeneous" in p  # intro
+        assert '"Thermal Issue"' in p  # category list
+        assert "throttled" in p  # tfidf hints
+        assert "exactly one line" in p  # format spec
+        assert ONE_SHOT_EXAMPLE[0] in p  # example
+        assert 'Message: "CPU hot"' in p
+
+    def test_minimal_prompt(self):
+        p = build_prompt("CPU hot", config=PromptConfig.minimal())
+        assert "heterogeneous" not in p
+        assert "exactly one line" not in p
+        assert '"Thermal Issue"' in p  # categories always listed
+
+    def test_hints_required_when_enabled(self):
+        with pytest.raises(ValueError, match="hints"):
+            build_prompt("x", config=PromptConfig.full(), hints=None)
+
+    def test_category_subset(self):
+        p = build_prompt(
+            "x",
+            config=PromptConfig.minimal(),
+            categories=(Category.THERMAL, Category.USB),
+        )
+        assert '"Thermal Issue"' in p and '"USB-Device"' in p
+        assert '"Memory Issue"' not in p
+
+    def test_figure1_style_prompt(self):
+        """The paper's Figure 1 prompt shape is constructible."""
+        p = build_prompt(
+            "Warning: Socket 2 - CPU 23 throttling",
+            config=PromptConfig(intro=False, tfidf_hints=False,
+                                format_spec=False, one_shot_example=False),
+            categories=(Category.THERMAL, Category.INTRUSION,
+                        Category.HARDWARE, Category.UNIMPORTANT),
+        )
+        assert p.startswith("Classify the given syslog message")
+
+
+class TestParse:
+    def test_marker_line(self):
+        r = parse_classification("Category: Thermal Issue")
+        assert r.outcome is ParseOutcome.OK
+        assert r.category is Category.THERMAL
+
+    def test_marker_with_quotes_and_noise(self):
+        r = parse_classification('Category: "Memory Issue". Because reasons.')
+        assert r.category is Category.MEMORY
+
+    def test_invented_category_detected(self):
+        r = parse_classification("Category: CPU Overheating")
+        assert r.outcome is ParseOutcome.INVENTED_CATEGORY
+        assert r.invented_label == "CPU Overheating"
+
+    def test_prose_mention(self):
+        r = parse_classification(
+            'The message would fall under the category of "Thermal Issue" because...'
+        )
+        assert r.category is Category.THERMAL
+
+    def test_bare_label_line(self):
+        r = parse_classification("Unimportant")
+        assert r.category is Category.UNIMPORTANT
+
+    def test_bare_invented_label(self):
+        r = parse_classification("Security Breach Event")
+        assert r.outcome is ParseOutcome.INVENTED_CATEGORY
+
+    def test_unparseable_roleplay(self):
+        r = parse_classification(
+            "let me think about this step by step and consider every angle..."
+        )
+        assert r.outcome is ParseOutcome.UNPARSEABLE
+
+    def test_empty(self):
+        assert parse_classification("").outcome is ParseOutcome.UNPARSEABLE
+
+    def test_marker_preferred_over_later_mentions(self):
+        r = parse_classification(
+            "Category: SSH-Connection\nThis is not a Thermal Issue at all."
+        )
+        assert r.category is Category.SSH
+
+    def test_case_insensitive_marker(self):
+        r = parse_classification("CATEGORY: thermal issue")
+        assert r.category is Category.THERMAL

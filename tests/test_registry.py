@@ -1,0 +1,72 @@
+"""Unit tests for the model registry."""
+
+import pytest
+
+from repro.core.registry import ModelRegistry
+
+
+class TestRegistry:
+    def test_register_assigns_versions(self):
+        reg = ModelRegistry()
+        r1 = reg.register("clf", object())
+        r2 = reg.register("clf", object())
+        assert (r1.version, r2.version) == (1, 2)
+
+    def test_active_defaults_to_latest(self):
+        reg = ModelRegistry()
+        reg.register("clf", "v1-model")
+        reg.register("clf", "v2-model")
+        assert reg.active("clf").model == "v2-model"
+
+    def test_promote_pins_version(self):
+        reg = ModelRegistry()
+        reg.register("clf", "v1-model")
+        reg.register("clf", "v2-model")
+        reg.promote("clf", 1)
+        assert reg.active("clf").model == "v1-model"
+        # later registrations don't displace the pinned version
+        reg.register("clf", "v3-model")
+        assert reg.active("clf").model == "v1-model"
+
+    def test_promote_unknown_version(self):
+        reg = ModelRegistry()
+        reg.register("clf", object())
+        with pytest.raises(KeyError, match="version"):
+            reg.promote("clf", 9)
+
+    def test_active_unknown_name(self):
+        with pytest.raises(KeyError, match="registered"):
+            ModelRegistry().active("nope")
+
+    def test_history_in_order(self):
+        reg = ModelRegistry()
+        for i in range(3):
+            reg.register("m", f"model-{i}")
+        assert [r.model for r in reg.history("m")] == ["model-0", "model-1", "model-2"]
+
+    def test_names_sorted(self):
+        reg = ModelRegistry()
+        reg.register("zeta", object())
+        reg.register("alpha", object())
+        assert reg.names() == ("alpha", "zeta")
+
+    def test_best_by_metric(self):
+        reg = ModelRegistry()
+        reg.register("m", "a", metrics={"f1": 0.9})
+        reg.register("m", "b", metrics={"f1": 0.95})
+        reg.register("m", "c", metrics={"f1": 0.85})
+        assert reg.best("m", "f1").model == "b"
+        assert reg.best("m", "f1", higher_is_better=False).model == "c"
+
+    def test_best_missing_metric(self):
+        reg = ModelRegistry()
+        reg.register("m", "a", metrics={"acc": 1.0})
+        with pytest.raises(KeyError, match="metric"):
+            reg.best("m", "f1")
+
+    def test_metrics_copied(self):
+        reg = ModelRegistry()
+        metrics = {"f1": 0.5}
+        rec = reg.register("m", "a", metrics=metrics)
+        metrics["f1"] = 0.0
+        assert rec.metrics["f1"] == 0.5

@@ -1,0 +1,82 @@
+"""Unit tests for the imbalance resamplers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ml.resample import (
+    adasyn_like_oversample,
+    random_oversample,
+    random_undersample,
+)
+
+
+def imbalanced(n_maj=50, n_min=5, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([
+        rng.normal(0, 1, (n_maj, 3)),
+        rng.normal(5, 1, (n_min, 3)),
+    ])
+    y = np.asarray(["maj"] * n_maj + ["min"] * n_min)
+    return X, y
+
+
+class TestRandomOversample:
+    def test_balances_classes(self):
+        X, y = imbalanced()
+        Xr, yr = random_oversample(X, y, seed=0)
+        _classes, counts = np.unique(yr, return_counts=True)
+        assert counts[0] == counts[1] == 50
+
+    def test_rows_come_from_original(self):
+        X, y = imbalanced()
+        Xr, yr = random_oversample(X, y, seed=0)
+        original = {tuple(row) for row in X}
+        assert all(tuple(row) in original for row in Xr)
+
+    def test_sparse_support(self):
+        X, y = imbalanced()
+        Xr, yr = random_oversample(sp.csr_matrix(X), y, seed=0)
+        assert sp.issparse(Xr) and Xr.shape[0] == len(yr)
+
+
+class TestRandomUndersample:
+    def test_balances_to_minority(self):
+        X, y = imbalanced()
+        Xr, yr = random_undersample(X, y, seed=0)
+        _classes, counts = np.unique(yr, return_counts=True)
+        assert counts.tolist() == [5, 5]
+
+    def test_no_duplicates_created(self):
+        X, y = imbalanced()
+        Xr, _yr = random_undersample(X, y, seed=0)
+        assert len({tuple(r) for r in Xr}) == len(Xr)
+
+
+class TestAdasynLike:
+    def test_balances_classes(self):
+        X, y = imbalanced()
+        Xr, yr = adasyn_like_oversample(X, y, seed=0)
+        _c, counts = np.unique(yr, return_counts=True)
+        assert counts[0] == counts[1]
+
+    def test_synthetic_rows_interpolate_minority(self):
+        X, y = imbalanced()
+        Xr, yr = adasyn_like_oversample(X, y, seed=0)
+        minority = Xr[yr == "min"]
+        # synthetic minority points stay in the minority cluster's range
+        lo, hi = X[y == "min"].min(axis=0), X[y == "min"].max(axis=0)
+        assert (minority >= lo - 1e-9).all() and (minority <= hi + 1e-9).all()
+
+    def test_singleton_class_falls_back_to_duplication(self):
+        X = np.vstack([np.zeros((5, 2)), np.ones((1, 2))])
+        y = np.asarray(["a"] * 5 + ["b"])
+        Xr, yr = adasyn_like_oversample(X, y, seed=0)
+        assert (yr == "b").sum() == 5
+
+    def test_sparse_support(self):
+        X, y = imbalanced()
+        Xr, yr = adasyn_like_oversample(sp.csr_matrix(np.abs(X)), y, seed=0)
+        assert sp.issparse(Xr)
+        _c, counts = np.unique(yr, return_counts=True)
+        assert counts[0] == counts[1]

@@ -1,0 +1,129 @@
+"""Unit tests for the adaptive-retraining controller and newcomer vendor."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ClassificationPipeline
+from repro.core.retrain import RetrainController
+from repro.core.taxonomy import Category
+from repro.datagen.newcomer import (
+    NEWCOMER_TEMPLATES,
+    NEWCOMER_VENDOR,
+    generate_newcomer_messages,
+)
+from repro.datagen.vendors import VENDORS
+from repro.ml import ComplementNB
+from repro.textproc.tfidf import TfidfVectorizer
+
+
+class TestNewcomerVendor:
+    def test_not_in_established_vendors(self):
+        assert NEWCOMER_VENDOR not in VENDORS
+        assert all(v.node_prefix != NEWCOMER_VENDOR.node_prefix for v in VENDORS)
+
+    def test_templates_cover_all_categories(self):
+        cats = {t.category for t in NEWCOMER_TEMPLATES}
+        assert cats == set(Category)
+
+    def test_generate_shapes(self):
+        msgs, labels = generate_newcomer_messages(200, seed=0)
+        assert len(msgs) == len(labels) == 200
+        assert all(m.hostname.startswith("fx") for m in msgs)
+        assert Category.UNIMPORTANT in labels and Category.THERMAL in labels
+
+    def test_vocabulary_is_genuinely_new(self):
+        """The newcomer's discriminative tokens are OOV for a vectorizer
+        trained on the established vendors."""
+        from repro.datagen.generator import CorpusGenerator
+
+        base = CorpusGenerator(scale=0.005, seed=0).generate()
+        vec = TfidfVectorizer()
+        vec.fit(base.texts)
+        msgs, _labels = generate_newcomer_messages(100, seed=1)
+        oov_rates = []
+        for m in msgs:
+            toks = vec.analyze(m.text)
+            if toks:
+                oov_rates.append(
+                    sum(t not in vec.vocabulary for t in toks) / len(toks)
+                )
+        assert np.mean(oov_rates) > 0.3
+
+    def test_deterministic(self):
+        a = generate_newcomer_messages(50, seed=3)
+        b = generate_newcomer_messages(50, seed=3)
+        assert [m.text for m in a[0]] == [m.text for m in b[0]]
+
+
+def _factory():
+    return ClassificationPipeline(
+        vectorizer=TfidfVectorizer(max_features=1000),
+        classifier=ComplementNB(),
+    )
+
+
+class TestRetrainController:
+    def make(self, corpus, **kw):
+        truth = dict(zip(corpus.texts, corpus.labels))
+
+        def labeler(texts):
+            return [truth.get(t, Category.UNIMPORTANT) for t in texts]
+
+        defaults = dict(window=100, label_budget=20)
+        defaults.update(kw)
+        return RetrainController(
+            pipeline_factory=_factory,
+            base_texts=corpus.texts[:500],
+            base_labels=list(corpus.labels[:500]),
+            labeler=labeler,
+            **defaults,
+        )
+
+    def test_initial_model_registered(self, corpus):
+        ctrl = self.make(corpus)
+        assert ctrl.model_version == 1
+        assert ctrl.registry.active("syslog-pipeline").model is ctrl.active_pipeline
+
+    def test_no_drift_no_retrain(self, corpus):
+        ctrl = self.make(corpus)
+        for text in corpus.texts[:250]:  # in-distribution traffic
+            ctrl.classify(text)
+        assert ctrl.events == []
+        assert ctrl.model_version == 1
+
+    def test_newcomer_triggers_retrain(self, corpus):
+        ctrl = self.make(corpus)
+        msgs, labels = generate_newcomer_messages(200, seed=5)
+        truth = {m.text: l for m, l in zip(msgs, labels)}
+        ctrl.labeler = lambda texts: [truth.get(t, Category.UNIMPORTANT) for t in texts]
+        for m in msgs:
+            ctrl.classify(m.text)
+        assert ctrl.events
+        assert ctrl.model_version > 1
+        assert ctrl.total_labels_requested <= 20 * len(ctrl.events)
+
+    def test_cooldown_limits_retrain_rate(self, corpus):
+        ctrl = self.make(corpus, cooldown_windows=5)
+        msgs, labels = generate_newcomer_messages(600, seed=6)
+        truth = {m.text: l for m, l in zip(msgs, labels)}
+        ctrl.labeler = lambda texts: [truth.get(t, Category.UNIMPORTANT) for t in texts]
+        for m in msgs:
+            ctrl.classify(m.text)
+        assert len(ctrl.events) <= 1
+
+    def test_labeler_contract_enforced(self, corpus):
+        ctrl = self.make(corpus)
+        ctrl.labeler = lambda texts: []  # broken oracle
+        msgs, _labels = generate_newcomer_messages(150, seed=7)
+        with pytest.raises(RuntimeError, match="labeler returned"):
+            for m in msgs:
+                ctrl.classify(m.text)
+
+    def test_mismatched_base_rejected(self, corpus):
+        with pytest.raises(ValueError, match="lengths differ"):
+            RetrainController(
+                pipeline_factory=_factory,
+                base_texts=corpus.texts[:10],
+                base_labels=list(corpus.labels[:5]),
+                labeler=lambda t: [],
+            )

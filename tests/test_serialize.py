@@ -1,0 +1,119 @@
+"""Unit tests for pickle-free model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.buckets.blacklist import BlacklistFilter
+from repro.core.pipeline import ClassificationPipeline
+from repro.core.serialize import (
+    load_classifier,
+    load_pipeline,
+    save_classifier,
+    save_pipeline,
+)
+from repro.ml import (
+    ComplementNB,
+    KNeighborsClassifier,
+    LinearSVC,
+    LogisticRegression,
+    MultinomialNB,
+    NearestCentroid,
+    RandomForestClassifier,
+    RidgeClassifier,
+    SGDClassifier,
+)
+
+ROUNDTRIP_FACTORIES = [
+    ("logreg", lambda: LogisticRegression(max_iter=50)),
+    ("ridge", lambda: RidgeClassifier()),
+    ("svc", lambda: LinearSVC()),
+    ("sgd", lambda: SGDClassifier(epochs=5)),
+    ("cnb", lambda: ComplementNB()),
+    ("mnb", lambda: MultinomialNB()),
+    ("centroid", lambda: NearestCentroid()),
+    ("knn", lambda: KNeighborsClassifier(n_neighbors=3)),
+    ("forest", lambda: RandomForestClassifier(n_estimators=5, max_depth=8)),
+]
+
+
+class TestClassifierRoundtrip:
+    @pytest.mark.parametrize("name,factory", ROUNDTRIP_FACTORIES,
+                             ids=[n for n, _f in ROUNDTRIP_FACTORIES])
+    def test_predictions_identical(self, name, factory, toy_Xy, tmp_path):
+        X, y = toy_Xy
+        Xp = np.abs(X)
+        clf = factory().fit(Xp, y)
+        save_classifier(clf, tmp_path / name)
+        loaded = load_classifier(tmp_path / name)
+        assert np.array_equal(clf.predict(Xp), loaded.predict(Xp))
+        assert loaded.classes_.tolist() == clf.classes_.tolist()
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            save_classifier(LogisticRegression(), tmp_path / "x")
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        class Weird:
+            classes_ = np.asarray(["a"])
+
+        with pytest.raises(TypeError, match="cannot serialize"):
+            save_classifier(Weird(), tmp_path / "x")
+
+    def test_bad_format_version(self, toy_Xy, tmp_path):
+        X, y = toy_Xy
+        clf = NearestCentroid().fit(X, y)
+        save_classifier(clf, tmp_path / "m")
+        manifest = (tmp_path / "m" / "manifest.json")
+        import json
+
+        data = json.loads(manifest.read_text())
+        data["format_version"] = 999
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="format version"):
+            load_classifier(tmp_path / "m")
+
+    def test_hyperparameters_preserved(self, toy_Xy, tmp_path):
+        X, y = toy_Xy
+        clf = LogisticRegression(C=0.5, max_iter=77).fit(X, y)
+        save_classifier(clf, tmp_path / "m")
+        loaded = load_classifier(tmp_path / "m")
+        assert loaded.C == 0.5 and loaded.max_iter == 77
+
+
+class TestPipelineRoundtrip:
+    def test_roundtrip_predictions(self, corpus, tmp_path):
+        pipe = ClassificationPipeline(classifier=ComplementNB())
+        pipe.fit(corpus.texts, corpus.labels)
+        save_pipeline(pipe, tmp_path / "pipe")
+        loaded = load_pipeline(tmp_path / "pipe")
+        texts = corpus.texts[:50]
+        orig = [r.category for r in pipe.classify_batch(texts)]
+        back = [r.category for r in loaded.classify_batch(texts)]
+        assert orig == back
+
+    def test_roundtrip_with_blacklist(self, corpus, tmp_path):
+        pipe = ClassificationPipeline(
+            classifier=LogisticRegression(max_iter=80),
+            blacklist=BlacklistFilter(threshold=3),
+        )
+        pipe.fit(corpus.texts, corpus.labels)
+        save_pipeline(pipe, tmp_path / "pipe")
+        loaded = load_pipeline(tmp_path / "pipe")
+        assert loaded.blacklist is not None
+        assert len(loaded.blacklist.store) == len(pipe.blacklist.store)
+        texts = corpus.texts[:50]
+        orig = [(r.category, r.filtered) for r in pipe.classify_batch(texts)]
+        back = [(r.category, r.filtered) for r in loaded.classify_batch(texts)]
+        assert orig == back
+
+    def test_unfitted_pipeline_rejected(self, tmp_path):
+        pipe = ClassificationPipeline(classifier=ComplementNB())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            save_pipeline(pipe, tmp_path / "pipe")
+
+    def test_no_pickle_on_disk(self, corpus, tmp_path):
+        pipe = ClassificationPipeline(classifier=ComplementNB())
+        pipe.fit(corpus.texts, corpus.labels)
+        save_pipeline(pipe, tmp_path / "pipe")
+        files = [p.suffix for p in (tmp_path / "pipe").rglob("*") if p.is_file()]
+        assert set(files) <= {".json", ".npz"}

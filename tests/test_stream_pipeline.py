@@ -1,0 +1,152 @@
+"""Unit tests for syslogd, fluentd, and the Tivan assembly."""
+
+import pytest
+
+from repro.core.message import Severity, SyslogMessage
+from repro.core.taxonomy import Category
+from repro.datagen.workload import generate_stream
+from repro.stream.events import EventEngine
+from repro.stream.fluentd import FluentdForwarder
+from repro.stream.opensearch import LogStore
+from repro.stream.syslogd import SyslogDaemon, SyslogRelay
+from repro.stream.tivan import ClassifierStage, TivanCluster
+
+
+def msg(t=0.0, host="cn001", text="hello"):
+    return SyslogMessage(timestamp=t, hostname=host, app="test", text=text,
+                         severity=Severity.INFO)
+
+
+class TestRelay:
+    def test_forwards_to_downstream(self):
+        got = []
+        relay = SyslogRelay(downstream=lambda m: (got.append(m), True)[1])
+        relay.receive(msg())
+        assert relay.n_forwarded == 1 and got
+
+    def test_counts_drops(self):
+        relay = SyslogRelay(downstream=lambda m: False)
+        relay.receive(msg())
+        assert relay.n_dropped == 1 and relay.n_forwarded == 0
+
+
+class TestDaemon:
+    def test_only_replays_own_hostname(self):
+        relay = SyslogRelay(downstream=lambda m: True)
+        daemon = SyslogDaemon(hostname="cn001", relay=relay)
+        eng = EventEngine()
+        daemon.load_trace(eng, [msg(1.0, "cn001"), msg(2.0, "cn999")])
+        eng.run()
+        assert daemon.n_emitted == 1
+        assert relay.n_received == 1
+
+
+class TestFluentd:
+    def make(self, sink=None, **kw):
+        eng = EventEngine()
+        store: list = []
+        ok = sink if sink is not None else (lambda batch: (store.extend(batch), True)[1])
+        fwd = FluentdForwarder(engine=eng, sink=ok, **kw)
+        return eng, fwd, store
+
+    def test_offer_and_flush(self):
+        _eng, fwd, store = self.make(batch_size=10)
+        for i in range(7):
+            fwd.offer(msg(float(i)))
+        assert fwd.flush() == 7
+        assert len(store) == 7 and fwd.buffered == 0
+
+    def test_batch_size_respected(self):
+        _eng, fwd, store = self.make(batch_size=3)
+        for i in range(7):
+            fwd.offer(msg(float(i)))
+        assert fwd.flush() == 3
+        assert fwd.buffered == 4
+
+    def test_backpressure(self):
+        _eng, fwd, _store = self.make(buffer_limit=2)
+        assert fwd.offer(msg()) and fwd.offer(msg())
+        assert not fwd.offer(msg())
+        assert fwd.stats.rejected == 1
+
+    def test_failed_flush_sets_retry_backoff(self):
+        _eng, fwd, _ = self.make(sink=lambda batch: False)
+        fwd.offer(msg())
+        assert fwd.flush() == 0
+        assert fwd.stats.failed_flushes == 1
+        assert fwd._retry_delay > 0
+
+    def test_drain_raises_on_stuck_sink(self):
+        _eng, fwd, _ = self.make(sink=lambda batch: False)
+        fwd.offer(msg())
+        with pytest.raises(RuntimeError, match="stalled"):
+            fwd.drain()
+
+    def test_periodic_flush_via_engine(self):
+        eng, fwd, store = self.make(flush_interval_s=1.0)
+        fwd.start()
+        for i in range(5):
+            fwd.offer(msg(float(i)))
+        eng.run(until=3.0)
+        assert len(store) == 5
+
+
+class TestTivanCluster:
+    def test_end_to_end_counts(self):
+        ev = generate_stream(duration_s=30, background_rate=10, seed=0)
+        tc = TivanCluster()
+        tc.load_events(ev)
+        rep = tc.run(40)
+        assert rep.produced == len(ev)
+        assert rep.indexed == rep.relay_received - rep.relay_dropped
+        assert rep.indexed == len(tc.store)
+
+    def test_fast_classifier_keeps_up(self):
+        ev = generate_stream(duration_s=30, background_rate=10, seed=1)
+        tc = TivanCluster()
+        tc.load_events(ev)
+        tc.attach_classifier(ClassifierStage(service_time_s=0.001))
+        rep = tc.run(40)
+        assert rep.keeping_up
+        assert rep.final_backlog < 20
+
+    def test_slow_classifier_backlogs(self):
+        ev = generate_stream(duration_s=30, background_rate=10, seed=2)
+        tc = TivanCluster()
+        tc.load_events(ev)
+        tc.attach_classifier(ClassifierStage(service_time_s=2.0))
+        rep = tc.run(40)
+        assert not rep.keeping_up
+        assert rep.final_backlog > 100
+
+    def test_classifier_stage_labels_documents(self):
+        ev = generate_stream(duration_s=10, background_rate=5, seed=3)
+        tc = TivanCluster()
+        tc.load_events(ev)
+        tc.attach_classifier(
+            ClassifierStage(service_time_s=0.001,
+                            classify=lambda text: Category.UNIMPORTANT)
+        )
+        rep = tc.run(20)
+        labelled = sum(
+            1 for i in range(len(tc.store)) if tc.store.get(i).category is not None
+        )
+        assert labelled == rep.classified > 0
+
+    def test_invalid_duration(self):
+        tc = TivanCluster()
+        with pytest.raises(ValueError, match="duration"):
+            tc.run(0.0)
+
+    def test_invalid_service_time(self):
+        with pytest.raises(ValueError, match="service_time"):
+            ClassifierStage(service_time_s=0.0)
+
+    def test_backlog_timeline_sampled(self):
+        ev = generate_stream(duration_s=30, background_rate=5, seed=4)
+        tc = TivanCluster()
+        tc.load_events(ev)
+        tc.attach_classifier(ClassifierStage(service_time_s=0.01))
+        rep = tc.run(30, sample_every_s=5.0)
+        assert len(rep.backlog_timeline) >= 5
+        assert all(t <= 30 for t, _b in rep.backlog_timeline)

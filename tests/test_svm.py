@@ -1,0 +1,57 @@
+"""Specific tests for LinearSVC's two solvers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import LinearSVC
+
+
+class TestSolvers:
+    def test_primal_and_dual_agree_on_separable(self, toy_Xy):
+        X, y = toy_Xy
+        primal = LinearSVC(solver="primal").fit(X, y)
+        dual = LinearSVC(solver="dual", max_iter=50).fit(X, y)
+        agree = (primal.predict(X) == dual.predict(X)).mean()
+        assert agree > 0.97
+
+    def test_unknown_solver(self):
+        with pytest.raises(ValueError, match="solver"):
+            LinearSVC(solver="quantum").fit(np.eye(4), np.asarray(["a", "b"] * 2))
+
+    def test_invalid_C(self):
+        with pytest.raises(ValueError, match="C must be positive"):
+            LinearSVC(C=-1).fit(np.eye(4), np.asarray(["a", "b"] * 2))
+
+    def test_margin_signs(self):
+        # well-separated binary data: correct class has the higher margin
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(-3, 0.5, (25, 2)), rng.normal(3, 0.5, (25, 2))])
+        y = np.repeat(["lo", "hi"], 25)
+        clf = LinearSVC().fit(X, y)
+        scores = clf.decision_function(X)
+        # column order is sorted classes: ['hi', 'lo']
+        hi_rows = scores[y == "hi"]
+        assert np.all(hi_rows[:, 0] > hi_rows[:, 1])
+
+    def test_dual_deterministic_given_seed(self, toy_Xy):
+        X, y = toy_Xy
+        a = LinearSVC(solver="dual", seed=3, max_iter=10).fit(X, y)
+        b = LinearSVC(solver="dual", seed=3, max_iter=10).fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)
+
+    def test_dual_respects_box_constraint_implicitly(self, toy_Xy):
+        # the learned weights stay bounded even with many epochs
+        X, y = toy_Xy
+        clf = LinearSVC(solver="dual", C=0.1, max_iter=30).fit(X, y)
+        assert np.isfinite(clf.coef_).all()
+
+    def test_larger_C_fits_harder(self):
+        # noisy data: large C tracks training data more closely
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, (80, 3))
+        y = np.where(X[:, 0] + 0.5 * rng.normal(size=80) > 0, "p", "n")
+        hard = LinearSVC(C=100.0).fit(X, y)
+        soft = LinearSVC(C=0.001).fit(X, y)
+        acc_hard = (hard.predict(X) == y).mean()
+        acc_soft = (soft.predict(X) == y).mean()
+        assert acc_hard >= acc_soft

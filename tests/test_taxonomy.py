@@ -1,0 +1,73 @@
+"""Unit tests for the issue taxonomy."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    ACTIONABLE_CATEGORIES,
+    CATEGORIES,
+    TAXONOMY,
+    Category,
+)
+
+
+class TestCategories:
+    def test_eight_categories(self):
+        assert len(CATEGORIES) == 8
+
+    def test_paper_names_verbatim(self):
+        names = {c.value for c in Category}
+        assert names == {
+            "Hardware Issue",
+            "Intrusion Detection",
+            "Memory Issue",
+            "SSH-Connection",
+            "Slurm Issues",
+            "Thermal Issue",
+            "USB-Device",
+            "Unimportant",
+        }
+
+    def test_every_category_has_spec(self):
+        assert set(TAXONOMY) == set(Category)
+
+    def test_specs_have_descriptions_and_actions(self):
+        for spec in TAXONOMY.values():
+            assert spec.description and spec.action
+
+    def test_unimportant_not_alerting(self):
+        assert not TAXONOMY[Category.UNIMPORTANT].alert_default
+
+    def test_actionable_excludes_unimportant(self):
+        assert Category.UNIMPORTANT not in ACTIONABLE_CATEGORIES
+        assert len(ACTIONABLE_CATEGORIES) == 7
+
+    def test_str(self):
+        assert str(Category.THERMAL) == "Thermal Issue"
+
+
+class TestFromName:
+    def test_exact(self):
+        assert Category.from_name("Thermal Issue") is Category.THERMAL
+
+    def test_case_insensitive(self):
+        assert Category.from_name("thermal issue") is Category.THERMAL
+
+    def test_enum_member_name(self):
+        assert Category.from_name("MEMORY") is Category.MEMORY
+
+    def test_singular_plural_variants(self):
+        assert Category.from_name("Slurm Issue") is Category.SLURM
+        assert Category.from_name("Thermal Issues") is Category.THERMAL
+
+    def test_first_word_match(self):
+        assert Category.from_name("thermal") is Category.THERMAL
+
+    def test_hyphen_tolerance(self):
+        assert Category.from_name("SSH Connection") is Category.SSH
+
+    def test_invented_category_raises(self):
+        with pytest.raises(KeyError):
+            Category.from_name("CPU Overheating Catastrophe Event")
+
+    def test_whitespace_stripped(self):
+        assert Category.from_name("  Unimportant  ") is Category.UNIMPORTANT

@@ -1,0 +1,142 @@
+"""Unit tests for telemetry generation and sensor-sweep analysis."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.telemetry import (
+    FamilyQuirk,
+    FaultySensor,
+    RackHeat,
+    TelemetryGenerator,
+)
+from repro.monitor.positional import RackTopology
+from repro.monitor.sensors import SensorSweepAnalyzer
+
+ARCH_OF = {f"cn{i:03d}": "x86-bdw" for i in range(32)}
+ARCH_OF.update({f"ep{i:03d}": "x86-epyc" for i in range(8)})
+ARCH_OF.update({f"tx{i:03d}": "arm-tx2" for i in range(6)})
+
+
+class TestGenerator:
+    def test_sweep_coverage(self):
+        gen = TelemetryGenerator(arch_of={"a": "x", "b": "x"}, interval_s=60)
+        samples = gen.generate(180)
+        # 3 sweeps × 2 hosts × 3 sensors
+        assert len(samples) == 3 * 2 * 3
+        assert {s.hostname for s in samples} == {"a", "b"}
+
+    def test_deterministic(self):
+        gen1 = TelemetryGenerator(arch_of=ARCH_OF, seed=5)
+        gen2 = TelemetryGenerator(arch_of=ARCH_OF, seed=5)
+        a = gen1.generate(300)
+        b = gen2.generate(300)
+        assert [(s.hostname, s.value) for s in a] == [(s.hostname, s.value) for s in b]
+
+    def test_arch_offsets_differ(self):
+        gen = TelemetryGenerator(arch_of=ARCH_OF, seed=0)
+        samples = gen.generate(600)
+        by_arch = {}
+        for s in samples:
+            if s.sensor == "CPU_Temp":
+                by_arch.setdefault(ARCH_OF[s.hostname], []).append(s.value)
+        means = {a: np.mean(v) for a, v in by_arch.items()}
+        assert max(means.values()) - min(means.values()) > 1.0
+
+    def test_faulty_sensor_applies_after_start(self):
+        gen = TelemetryGenerator(
+            arch_of={"a": "x", "b": "x"}, interval_s=60,
+            faulty=[FaultySensor("a", "CPU_Temp", start=120, stuck_value=99.0)],
+        )
+        vals = {
+            (s.timestamp, s.hostname): s.value
+            for s in gen.generate(300) if s.sensor == "CPU_Temp"
+        }
+        assert vals[(0.0, "a")] != 99.0
+        assert vals[(120.0, "a")] == 99.0
+        assert vals[(240.0, "b")] != 99.0
+
+    def test_rack_heat_window(self):
+        gen = TelemetryGenerator(
+            arch_of={"a": "x", "b": "x", "c": "x"}, interval_s=60,
+            rack_heat=[RackHeat(("a",), start=60, duration=120, delta=50.0)],
+        )
+        inlet = {
+            (s.timestamp, s.hostname): s.value
+            for s in gen.generate(300) if s.sensor == "Inlet_Temp"
+        }
+        assert inlet[(120.0, "a")] - inlet[(120.0, "b")] > 30
+        assert abs(inlet[(240.0, "a")] - inlet[(240.0, "b")]) < 30
+
+    def test_quirk_overrides_everything(self):
+        gen = TelemetryGenerator(
+            arch_of={"a": "x"}, interval_s=60,
+            quirks=[FamilyQuirk("x", "FAN1", 0.0)],
+        )
+        fans = [s.value for s in gen.generate(300) if s.sensor == "FAN1"]
+        assert all(v == 0.0 for v in fans)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="interval"):
+            TelemetryGenerator(arch_of={}, interval_s=0)
+        with pytest.raises(ValueError, match="unknown sensors"):
+            TelemetryGenerator(arch_of={}, sensors=("Quantum_Flux",))
+        with pytest.raises(ValueError, match="duration"):
+            TelemetryGenerator(arch_of={"a": "x"}).generate(0)
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    gen = TelemetryGenerator(
+        arch_of=ARCH_OF, seed=1,
+        faulty=[FaultySensor("ep003", "CPU_Temp", start=600, stuck_value=125.0)],
+        rack_heat=[RackHeat(tuple(f"cn{i:03d}" for i in range(8)),
+                            start=600, duration=3000, delta=14.0)],
+        quirks=[FamilyQuirk("arm-tx2", "FAN1", 0.0)],
+    )
+    ana = SensorSweepAnalyzer(arch_of=ARCH_OF)
+    ana.ingest(gen.generate(3600))
+    return ana
+
+
+class TestAnalyzer:
+    def test_faulty_sensor_flagged(self, analyzed):
+        flagged = {(f.hostname, f.sensor) for f in analyzed.node_anomalies()}
+        assert ("ep003", "CPU_Temp") in flagged
+
+    def test_rack_heat_nodes_flagged(self, analyzed):
+        flagged = {f.hostname for f in analyzed.node_anomalies()
+                   if f.sensor == "Inlet_Temp"}
+        assert flagged == {f"cn{i:03d}" for i in range(8)}
+
+    def test_no_false_positives(self, analyzed):
+        flagged = {(f.hostname, f.sensor) for f in analyzed.node_anomalies()}
+        expected = {("ep003", "CPU_Temp")} | {
+            (f"cn{i:03d}", "Inlet_Temp") for i in range(8)
+        }
+        assert flagged == expected
+
+    def test_rack_escalation(self, analyzed):
+        topo = RackTopology.grid(
+            [h for h in ARCH_OF if h.startswith("cn")], nodes_per_rack=8
+        )
+        incidents = analyzed.rack_incidents(topo)
+        assert incidents
+        rack, sensor, hosts = incidents[0]
+        assert rack == "r00" and sensor == "Inlet_Temp" and len(hosts) == 8
+
+    def test_family_quirk_suppressed_not_flagged(self, analyzed):
+        # the arm-tx2 FAN1=0 family: never a node anomaly...
+        assert not any(
+            f.sensor == "FAN1" and ARCH_OF[f.hostname] == "arm-tx2"
+            for f in analyzed.node_anomalies()
+        )
+        # ...but reported as a quirk when the value is implausible
+        quirks = analyzed.family_quirks(alarm_bands={"FAN1": (1000.0, 20000.0)})
+        assert ("arm-tx2", "FAN1", 0.0) in quirks
+
+    def test_unmanaged_hosts_ignored(self):
+        ana = SensorSweepAnalyzer(arch_of={"a": "x"})
+        from repro.datagen.telemetry import TelemetrySample
+
+        ana.ingest([TelemetrySample(0.0, "ghost", "CPU_Temp", 999.0)])
+        assert ana.node_anomalies() == []

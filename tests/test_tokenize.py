@@ -1,0 +1,87 @@
+"""Unit tests for the syslog tokenizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.textproc.tokenize import Tokenizer, tokenize
+
+
+class TestBasics:
+    def test_whitespace_split(self):
+        assert tokenize("cpu clock throttled") == ["cpu", "clock", "throttled"]
+
+    def test_lowercases_by_default(self):
+        assert tokenize("CPU Clock THROTTLED") == ["cpu", "clock", "throttled"]
+
+    def test_strips_edge_punctuation(self):
+        assert tokenize("throttled.") == ["throttled"]
+        assert tokenize("(warning)") == ["warning"]
+        assert tokenize('"quoted"') == ["quoted"]
+
+    def test_preserves_internal_punctuation(self):
+        assert tokenize("192.168.0.1") == ["192.168.0.1"]
+        assert tokenize("xhci_hcd") == ["xhci_hcd"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n  ") == []
+
+    def test_placeholder_tokens_survive(self):
+        assert tokenize("cpu <num> throttled") == ["cpu", "<num>", "throttled"]
+
+    def test_colon_stripped_from_edges(self):
+        assert tokenize("Warning: CPU throttling") == ["warning", "cpu", "throttling"]
+
+
+class TestKeyValueSplitting:
+    def test_equals_pair(self):
+        assert tokenize("RealMemory=1024") == ["realmemory", "1024"]
+
+    def test_kv_comma_list(self):
+        toks = tokenize("idVendor=dead, idProduct=beef")
+        assert "idvendor" in toks and "dead" in toks
+        assert "idproduct" in toks and "beef" in toks
+
+    def test_colon_pair(self):
+        assert tokenize("channel:2") == ["channel", "2"]
+
+    def test_timestamp_not_split(self):
+        # 12:34:56 must not be mistaken for key:value
+        assert tokenize("at 12:34:56 today") == ["at", "12:34:56", "today"]
+
+    def test_disable_kv_split(self):
+        t = Tokenizer(split_kv=False)
+        assert t.tokenize("a=b") == ["a=b"]
+
+
+class TestConfiguration:
+    def test_no_lowercase(self):
+        t = Tokenizer(lowercase=False)
+        assert t.tokenize("CPU throttled") == ["CPU", "throttled"]
+
+    def test_min_len_filter(self):
+        t = Tokenizer(min_len=3)
+        assert t.tokenize("a bb ccc dddd") == ["ccc", "dddd"]
+
+    def test_callable_interface(self):
+        t = Tokenizer()
+        assert t("one two") == ["one", "two"]
+
+
+class TestProperties:
+    @given(st.text(max_size=200))
+    def test_never_raises_and_no_empty_tokens(self, text):
+        toks = tokenize(text)
+        assert all(isinstance(t, str) and t for t in toks)
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=127), min_size=1, max_size=30))
+    def test_simple_words_roundtrip(self, word):
+        # a plain alphanumeric word tokenizes to itself (or its kv parts)
+        toks = tokenize(word)
+        assert "".join(toks).replace(" ", "") != "" or not word.strip()
+
+    @given(st.lists(st.sampled_from(["cpu", "error", "node42", "throttled"]), min_size=1, max_size=8))
+    def test_join_then_tokenize(self, words):
+        assert tokenize(" ".join(words)) == [w.lower() for w in words]

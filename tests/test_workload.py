@@ -1,0 +1,93 @@
+"""Unit tests for arrival processes and stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.taxonomy import Category
+from repro.datagen.workload import (
+    BurstArrivals,
+    Incident,
+    PoissonArrivals,
+    generate_stream,
+)
+
+
+class TestPoissonArrivals:
+    def test_rate_matches_expectation(self):
+        rng = np.random.default_rng(0)
+        times = PoissonArrivals(rate=10.0).times(0.0, 100.0, rng)
+        assert len(times) == pytest.approx(1000, rel=0.15)
+
+    def test_sorted_and_in_range(self):
+        rng = np.random.default_rng(1)
+        times = PoissonArrivals(rate=5.0).times(10.0, 20.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 10.0 and times.max() < 20.0
+
+    def test_zero_rate(self):
+        rng = np.random.default_rng(2)
+        assert len(PoissonArrivals(rate=0.0).times(0, 100, rng)) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(rate=-1.0).times(0, 1, np.random.default_rng(0))
+
+    def test_empty_window(self):
+        rng = np.random.default_rng(3)
+        assert len(PoissonArrivals(rate=5.0).times(10.0, 10.0, rng)) == 0
+
+
+class TestBurstArrivals:
+    def test_decaying_intensity(self):
+        rng = np.random.default_rng(0)
+        times = BurstArrivals(peak_rate=20.0, decay_s=10.0).times(0.0, 60.0, rng)
+        early = (times < 10).sum()
+        late = (times >= 30).sum()
+        assert early > late
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            BurstArrivals(peak_rate=0.0, decay_s=1.0).times(0, 1, rng)
+        with pytest.raises(ValueError):
+            BurstArrivals(peak_rate=1.0, decay_s=0.0).times(0, 1, rng)
+
+
+class TestGenerateStream:
+    def test_sorted_by_time(self):
+        ev = generate_stream(duration_s=60, background_rate=10, seed=0)
+        ts = [e.message.timestamp for e in ev]
+        assert ts == sorted(ts)
+
+    def test_background_mostly_unimportant(self):
+        ev = generate_stream(duration_s=120, background_rate=20, seed=1)
+        frac = np.mean([e.label is Category.UNIMPORTANT for e in ev])
+        assert frac > 0.85
+
+    def test_incident_events_tagged(self):
+        inc = Incident("x", Category.THERMAL, start=10, duration=20,
+                       hostnames=("cn001",), peak_rate=5.0)
+        ev = generate_stream(duration_s=60, background_rate=1, seed=2,
+                             incidents=[inc])
+        tagged = [e for e in ev if e.incident == "x"]
+        assert tagged
+        assert all(e.label is Category.THERMAL for e in tagged)
+        assert all(e.message.hostname == "cn001" for e in tagged)
+        assert all(10 <= e.message.timestamp < 31 for e in tagged)
+
+    def test_custom_mix(self):
+        ev = generate_stream(
+            duration_s=60, background_rate=10, seed=3,
+            background_mix={Category.SSH: 1.0},
+        )
+        assert all(e.label is Category.SSH for e in ev)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError, match="positive total"):
+            generate_stream(duration_s=10, background_rate=1, seed=0,
+                            background_mix={Category.SSH: 0.0})
+
+    def test_deterministic(self):
+        a = generate_stream(duration_s=30, background_rate=5, seed=7)
+        b = generate_stream(duration_s=30, background_rate=5, seed=7)
+        assert [e.message.text for e in a] == [e.message.text for e in b]

@@ -10,6 +10,9 @@ Subpackages
 -----------
 ``repro.core``
     Taxonomy, message model, classification pipeline, alerting, drift.
+``repro.runtime``
+    Batch-first hot path: columnar message batches, sharded parallel
+    classification, per-stage timing.
 ``repro.textproc``
     Tokenization, masking normalization, lemmatization, TF-IDF,
     edit distances.

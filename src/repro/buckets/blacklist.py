@@ -49,25 +49,33 @@ class BlacklistFilter:
         self.store = BucketStore(self.threshold)
         self._normalizer = MaskingNormalizer() if self.premask else None
 
-    def _prep(self, text: str) -> str:
+    def shape(self, text: str) -> str:
+        """The comparison key for ``text``: its masked *shape* when
+        ``premask`` is on, the raw text otherwise.
+
+        Two messages with the same shape hit the same blacklist bucket,
+        so this is what administrators (and
+        :meth:`ClassificationPipeline.fit`'s coverage budgeting) count
+        when deciding which noise shapes to blacklist.
+        """
         return self._normalizer.normalize(text) if self._normalizer else text
 
     def blacklist(self, exemplar: str) -> None:
         """Add one known-noise exemplar."""
-        self.store.add(self._prep(exemplar))
+        self.store.add(self.shape(exemplar))
 
     def blacklist_many(self, exemplars) -> None:
         """Add many exemplars (e.g. all masked shapes labelled Unimportant)."""
         seen: set[str] = set()
         for e in exemplars:
-            key = self._prep(e)
+            key = self.shape(e)
             if key not in seen:
                 seen.add(key)
                 self.store.add(key)
 
     def matches(self, text: str) -> bool:
         """True when ``text`` matches a blacklisted shape (no counters)."""
-        return self.store.find(self._prep(text)) is not None
+        return self.store.find(self.shape(text)) is not None
 
     def is_noise(self, text: str) -> bool:
         """Like :meth:`matches`, but updates the filter counters."""

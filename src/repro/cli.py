@@ -48,6 +48,14 @@ def _ml():
     return ml
 
 
+def _positive_int(value: str) -> int:
+    """Argparse type for options that must be a positive integer."""
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {n}")
+    return n
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
@@ -74,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model-dir", type=Path, required=True)
     p.add_argument("--input", type=Path, default=None,
                    help="file of messages, one per line (default: stdin)")
+    p.add_argument("--batch-size", type=_positive_int, default=500,
+                   help="messages classified per batch (input is "
+                        "streamed, never fully buffered)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="shard batches across this many worker processes")
+    p.add_argument("--jsonl", action="store_true",
+                   help="emit one JSON object per message instead of "
+                        "the human-readable line format")
+    p.add_argument("--timing", action="store_true",
+                   help="print the per-stage timing report to stderr")
 
     p = sub.add_parser("evaluate", help="train/test evaluation on a corpus")
     p.add_argument("--corpus", type=Path, required=True)
@@ -81,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--test-size", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-features", type=int, default=2000)
+    p.add_argument("--batch-size", type=_positive_int, default=1000,
+                   help="test messages classified per batch")
+    p.add_argument("--timing", action="store_true",
+                   help="print the per-stage timing report to stderr")
 
     p = sub.add_parser("tables", help="regenerate a paper artifact")
     p.add_argument("artifact", choices=["table1", "table2", "table3", "fig3"])
@@ -181,30 +203,52 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _emit_result(result, *, jsonl: bool) -> None:
+    if jsonl:
+        print(json.dumps({
+            "text": result.text,
+            "category": result.category.value,
+            "confidence": result.confidence,
+            "filtered": result.filtered,
+        }))
+        return
+    conf = f" ({result.confidence:.2f})" if result.confidence is not None else ""
+    flag = " [blacklisted]" if result.filtered else ""
+    print(f"{result.category.value}{conf}{flag}\t{result.text}")
+
+
 def _cmd_classify(args) -> int:
+    from contextlib import ExitStack, nullcontext
+
     from repro.core.serialize import load_pipeline
+    from repro.runtime import MessageBatch, ShardedExecutor
 
     pipe = load_pipeline(args.model_dir)
-    stream = args.input.open() if args.input else sys.stdin
-    try:
-        for line in stream:
-            text = line.rstrip("\n")
-            if not text:
-                continue
-            result = pipe.classify(text)
-            conf = f" ({result.confidence:.2f})" if result.confidence is not None else ""
-            flag = " [blacklisted]" if result.filtered else ""
-            print(f"{result.category.value}{conf}{flag}\t{text}")
-    finally:
-        if args.input:
-            stream.close()
+    with ExitStack() as stack:
+        runner = pipe
+        if args.workers > 1:
+            runner = stack.enter_context(
+                ShardedExecutor(pipe, n_workers=args.workers,
+                                chunk_size=max(1, args.batch_size // args.workers),
+                                min_parallel=args.batch_size)
+            )
+        stream = stack.enter_context(
+            args.input.open() if args.input else nullcontext(sys.stdin)
+        )
+        for batch in MessageBatch.read_lines(stream, args.batch_size):
+            for result in runner.classify_batch(batch):
+                _emit_result(result, jsonl=args.jsonl)
+    if args.timing:
+        print(pipe.timing_report().render(), file=sys.stderr)
     return 0
 
 
 def _cmd_evaluate(args) -> int:
     import numpy as np
 
+    from repro.core.pipeline import ClassificationPipeline
     from repro.ml import classification_report, train_test_split, weighted_f1_score
+    from repro.runtime import MessageBatch
     from repro.textproc.tfidf import TfidfVectorizer
 
     texts, labels = _read_corpus(args.corpus)
@@ -212,12 +256,20 @@ def _cmd_evaluate(args) -> int:
     tr_txt, te_txt, y_tr, y_te = train_test_split(
         texts, y, test_size=args.test_size, seed=args.seed
     )
-    vec = TfidfVectorizer(max_features=args.max_features)
-    clf = _CLASSIFIERS[args.classifier]()
-    clf.fit(vec.fit_transform(list(tr_txt)), y_tr)
-    pred = clf.predict(vec.transform(list(te_txt)))
+    pipe = ClassificationPipeline(
+        vectorizer=TfidfVectorizer(max_features=args.max_features),
+        classifier=_CLASSIFIERS[args.classifier](),
+    )
+    pipe.fit(list(tr_txt), list(y_tr))
+    pred = np.asarray([
+        r.category.value
+        for chunk in MessageBatch.of_texts(te_txt).chunks(args.batch_size)
+        for r in pipe.classify_batch(chunk)
+    ])
     print(classification_report(y_te, pred))
     print(f"\nweighted F1: {weighted_f1_score(y_te, pred):.4f}")
+    if args.timing:
+        print(pipe.timing_report().render(), file=sys.stderr)
     return 0
 
 
@@ -290,7 +342,10 @@ def _run_simulation(args):
     cluster.load_events(events)
     cluster.attach_classifier(ClassifierStage(
         service_time_s=max(pipe.mean_service_time, 1e-4),
-        classify=lambda text: pipe.classify(text).category,
+        classify_batch=lambda texts: [
+            r.category for r in pipe.classify_batch(texts)
+        ],
+        batch_size=64,
     ))
     report = cluster.run(duration + 30.0)
     return cluster, report

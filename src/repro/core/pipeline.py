@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.taxonomy import Category
+from repro.runtime.batch import MessageBatch
+from repro.runtime.timing import StageReport, StageTimer
 from repro.textproc.tfidf import TfidfVectorizer
 
 __all__ = ["ClassificationPipeline", "PipelineResult"]
@@ -78,6 +80,8 @@ class ClassificationPipeline:
     #: cumulative wall-clock seconds spent classifying (excl. fit)
     service_seconds: float = field(default=0.0, init=False)
     n_classified: int = field(default=0, init=False)
+    #: per-stage (filter/normalize/vectorize/predict/route) accounting
+    timer: StageTimer = field(default_factory=StageTimer, init=False, repr=False)
 
     def fit(self, texts: Sequence[str], labels: Sequence[Category]) -> "ClassificationPipeline":
         """Fit vectorizer and classifier on a labelled corpus.
@@ -107,7 +111,7 @@ class ClassificationPipeline:
             from collections import Counter
 
             noise = [t for t, lab in zip(texts, y) if lab == Category.UNIMPORTANT.value]
-            shapes = Counter(self.blacklist._prep(t) for t in noise)
+            shapes = Counter(self.blacklist.shape(t) for t in noise)
             budget = self.blacklist_coverage * len(noise)
             covered = 0
             selected: list[str] = []
@@ -126,42 +130,69 @@ class ClassificationPipeline:
         return self
 
     def classify(self, text: str) -> PipelineResult:
-        """Classify one message."""
-        return self.classify_batch([text])[0]
+        """Classify one message (a batch of one on the batch-first path)."""
+        return self.classify_batch(MessageBatch.of_texts((text,)))[0]
 
-    def classify_batch(self, texts: Sequence[str]) -> list[PipelineResult]:
-        """Classify a batch, tracking service time for throughput math."""
+    def classify_batch(
+        self, batch: MessageBatch | Sequence[str]
+    ) -> list[PipelineResult]:
+        """Classify a batch, tracking service time for throughput math.
+
+        This is the runtime primitive: the batch flows through each
+        stage — blacklist filter, normalize/tokenize, vectorize,
+        predict, route — as one columnar unit, with per-stage
+        wall-clock accounting in :attr:`timer` (see
+        :meth:`timing_report`).  Accepts a
+        :class:`~repro.runtime.batch.MessageBatch` or any sequence of
+        message texts.
+        """
         if not self._fitted:
             raise RuntimeError("ClassificationPipeline used before fit")
+        batch = MessageBatch.coerce(batch)
         t0 = time.perf_counter()
-        texts = list(texts)
+        texts = batch.texts
         results: list[PipelineResult | None] = [None] * len(texts)
         to_model: list[int] = []
         if self.blacklist is not None:
-            for i, t in enumerate(texts):
-                if self.blacklist.is_noise(t):
-                    results[i] = PipelineResult(
-                        text=t, category=Category.UNIMPORTANT, filtered=True
-                    )
-                else:
-                    to_model.append(i)
+            with self.timer.stage("filter", len(texts)):
+                for i, t in enumerate(texts):
+                    if self.blacklist.is_noise(t):
+                        results[i] = PipelineResult(
+                            text=t, category=Category.UNIMPORTANT, filtered=True
+                        )
+                    else:
+                        to_model.append(i)
         else:
             to_model = list(range(len(texts)))
         if to_model:
-            X = self.vectorizer.transform([texts[i] for i in to_model])
-            preds = self.classifier.predict(X)
-            probs = None
-            if hasattr(self.classifier, "predict_proba"):
-                probs = self.classifier.predict_proba(X).max(axis=1)
-            for j, i in enumerate(to_model):
-                results[i] = PipelineResult(
-                    text=texts[i],
-                    category=_as_category(preds[j]),
-                    confidence=float(probs[j]) if probs is not None else None,
-                )
+            model_texts = [texts[i] for i in to_model]
+            with self.timer.stage("normalize", len(to_model)):
+                docs = self.vectorizer.analyze_batch(model_texts)
+            with self.timer.stage("vectorize", len(to_model)):
+                X = self.vectorizer.transform_analyzed(docs)
+            with self.timer.stage("predict", len(to_model)):
+                preds = self.classifier.predict(X)
+                probs = None
+                if hasattr(self.classifier, "predict_proba"):
+                    probs = self.classifier.predict_proba(X).max(axis=1)
+            with self.timer.stage("route", len(to_model)):
+                for j, i in enumerate(to_model):
+                    results[i] = PipelineResult(
+                        text=texts[i],
+                        category=_as_category(preds[j]),
+                        confidence=float(probs[j]) if probs is not None else None,
+                    )
         self.service_seconds += time.perf_counter() - t0
         self.n_classified += len(texts)
         return results  # type: ignore[return-value]
+
+    def timing_report(self) -> StageReport:
+        """Per-stage breakdown of time spent classifying so far."""
+        return self.timer.report()
+
+    def reset_timing(self) -> None:
+        """Zero the per-stage accounting (service totals are kept)."""
+        self.timer.reset()
 
     @property
     def mean_service_time(self) -> float:

@@ -1,0 +1,163 @@
+"""Sharded parallel classification over process workers.
+
+§5's feasibility bar is >1M messages/hour; one Python process tops out
+well below the hardware's capacity because the preprocessing chain is
+pure-Python and GIL-bound.  :class:`ShardedExecutor` scatters a
+:class:`~repro.runtime.batch.MessageBatch` into order-preserving chunks
+across a ``ProcessPoolExecutor`` whose workers hold their own copy of
+the fitted pipeline (initialized exactly once per worker, not per
+chunk), then gathers the per-chunk results back in order.
+
+Small batches are not worth a round-trip through pickle: below
+``min_parallel`` messages — or with ``n_workers=1`` — the executor
+degrades to the plain serial batch path, so callers can route *every*
+batch through one object and let it pick the strategy.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from time import perf_counter
+
+from repro.runtime.batch import MessageBatch
+
+__all__ = ["ShardedExecutor"]
+
+# Per-worker singleton: the fitted pipeline each process classifies
+# with.  Set once by the pool initializer; fork start methods inherit
+# the parent's object for free, spawn start methods receive it pickled.
+_WORKER_PIPELINE = None
+
+
+def _init_worker(pipeline, model_dir) -> None:
+    global _WORKER_PIPELINE
+    if pipeline is not None:
+        _WORKER_PIPELINE = pipeline
+    else:
+        from repro.core.serialize import load_pipeline
+
+        _WORKER_PIPELINE = load_pipeline(model_dir)
+
+
+def _classify_chunk(texts: tuple[str, ...]):
+    assert _WORKER_PIPELINE is not None, "worker used before initialization"
+    return _WORKER_PIPELINE.classify_batch(MessageBatch(texts=texts))
+
+
+class ShardedExecutor:
+    """Chunked multi-process ``classify_batch`` with serial fallback.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted :class:`~repro.core.pipeline.ClassificationPipeline`.
+        With a ``fork`` start method the workers inherit it without
+        serialization; otherwise it must pickle (all supported
+        estimators do).
+    model_dir:
+        Alternative to ``pipeline``: a :func:`save_pipeline` directory
+        each worker loads on initialization.  Exactly one of
+        ``pipeline`` / ``model_dir`` is required.
+    n_workers:
+        Process count; ``None`` means ``os.cpu_count()``.  ``1``
+        disables the pool entirely (pure serial).
+    chunk_size:
+        Messages per scattered work item.
+    min_parallel:
+        Batches smaller than this run serially — scatter/gather
+        overhead (pickling texts out, results back) dominates below a
+        few thousand messages.
+
+    The pool is created lazily on the first large-enough batch and
+    workers are initialized exactly once; use as a context manager (or
+    call :meth:`close`) to release the processes.
+    """
+
+    def __init__(
+        self,
+        pipeline=None,
+        *,
+        model_dir: str | Path | None = None,
+        n_workers: int | None = None,
+        chunk_size: int = 2000,
+        min_parallel: int = 4000,
+    ) -> None:
+        if (pipeline is None) == (model_dir is None):
+            raise ValueError("provide exactly one of pipeline / model_dir")
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self._pipeline = pipeline
+        self._model_dir = model_dir
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.min_parallel = min_parallel
+        self._pool: ProcessPoolExecutor | None = None
+        #: batches that went through the pool vs the serial path
+        self.n_sharded_batches = 0
+        self.n_serial_batches = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    @property
+    def pipeline(self):
+        """The parent-side pipeline (lazy-loaded from ``model_dir``)."""
+        if self._pipeline is None:
+            from repro.core.serialize import load_pipeline
+
+            self._pipeline = load_pipeline(self._model_dir)
+        return self._pipeline
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_worker,
+                initargs=(self._pipeline, self._model_dir),
+            )
+        return self._pool
+
+    # -- classification ------------------------------------------------
+
+    def classify_batch(self, batch: MessageBatch | Sequence[str]):
+        """Classify a batch, sharding across workers when it pays off.
+
+        Returns the same ``list[PipelineResult]`` as
+        :meth:`ClassificationPipeline.classify_batch`, in input order.
+        Service-time accounting (``service_seconds``/``n_classified``
+        and the ``shard`` timer stage) lands on the parent pipeline
+        either way, so ``messages_per_hour()`` reflects the strategy
+        actually used.
+        """
+        batch = MessageBatch.coerce(batch)
+        if self.n_workers == 1 or len(batch) < self.min_parallel:
+            self.n_serial_batches += 1
+            return self.pipeline.classify_batch(batch)
+        self.n_sharded_batches += 1
+        t0 = perf_counter()
+        pool = self._ensure_pool()
+        chunks = [c.texts for c in batch.chunks(self.chunk_size)]
+        results = [r for chunk in pool.map(_classify_chunk, chunks)
+                   for r in chunk]
+        elapsed = perf_counter() - t0
+        pipe = self.pipeline
+        pipe.service_seconds += elapsed
+        pipe.n_classified += len(batch)
+        pipe.timer.add("shard", elapsed, len(batch))
+        return results

@@ -26,7 +26,7 @@ from repro.stream.opensearch import (
     QueryResult,
     DateHistogramBucket,
 )
-from repro.stream.tivan import TivanCluster, IngestReport
+from repro.stream.tivan import TivanCluster, IngestReport, ClassifierStage
 from repro.stream.capacity import CapacityPlanner, CapacityPlan, ClusterSpec, PAPER_CLUSTER
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "DateHistogramBucket",
     "TivanCluster",
     "IngestReport",
+    "ClassifierStage",
     "CapacityPlanner",
     "CapacityPlan",
     "ClusterSpec",

@@ -196,6 +196,11 @@ class Lemmatizer:
         """Lemmatize a token list."""
         return [self.lemmatize(t) for t in tokens]
 
+    def lemmatize_docs(self, docs: list[list[str]]) -> list[list[str]]:
+        """Lemmatize a whole column of token lists (batch-first hot
+        path); the memo cache is shared across the batch."""
+        return [self.lemmatize_tokens(doc) for doc in docs]
+
 
 _DEFAULT = Lemmatizer()
 

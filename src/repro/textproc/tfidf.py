@@ -81,14 +81,29 @@ class TfidfVectorizer:
     def analyze(self, text: str) -> list[str]:
         """Run the preprocessing chain on one message, returning tokens
         (including n-grams when ``ngram_range`` extends past unigrams)."""
+        return self.analyze_batch([text])[0]
+
+    def analyze_batch(self, messages: Sequence[str]) -> list[list[str]]:
+        """Run the preprocessing chain column-wise over a batch.
+
+        Each stage — masking normalization, tokenization, lemmatization,
+        n-gram expansion — runs once over the whole column, which is
+        what lets the batch-first pipeline (``repro.runtime``) time the
+        stages separately and keep per-call overhead off the hot path.
+        """
+        texts = list(messages)
         if self._normalizer is not None:
-            text = self._normalizer.normalize(text)
-        tokens = self._tokenizer.tokenize(text)
+            texts = self._normalizer.normalize_many(texts)
+        docs = self._tokenizer.tokenize_many(texts)
         if self._lemmatizer is not None:
-            tokens = self._lemmatizer.lemmatize_tokens(tokens)
+            docs = self._lemmatizer.lemmatize_docs(docs)
         lo, hi = self.ngram_range
         if hi == 1:
-            return tokens if lo == 1 else []
+            return docs if lo == 1 else [[] for _ in docs]
+        return [self._expand_ngrams(tokens) for tokens in docs]
+
+    def _expand_ngrams(self, tokens: list[str]) -> list[str]:
+        lo, hi = self.ngram_range
         out: list[str] = []
         for n in range(lo, hi + 1):
             if n == 1:
@@ -104,7 +119,7 @@ class TfidfVectorizer:
 
     def fit(self, messages: Sequence[str]) -> "TfidfVectorizer":
         """Learn vocabulary and IDF weights from ``messages``."""
-        docs = [self.analyze(m) for m in messages]
+        docs = self.analyze_batch(messages)
         self.vocabulary = build_vocabulary(
             docs,
             min_df=self.min_df,
@@ -130,9 +145,20 @@ class TfidfVectorizer:
         RuntimeError
             If called before :meth:`fit`.
         """
+        return self.transform_analyzed(self.analyze_batch(messages))
+
+    def transform_analyzed(self, docs: Sequence[Sequence[str]]) -> sp.csr_matrix:
+        """Vectorize pre-analyzed token documents (the weighting half of
+        :meth:`transform`, split out so the batch-first pipeline can
+        time normalization and vectorization as separate stages).
+
+        Raises
+        ------
+        RuntimeError
+            If called before :meth:`fit`.
+        """
         if self.vocabulary is None or self.idf_ is None:
             raise RuntimeError("TfidfVectorizer.transform called before fit")
-        docs = [self.analyze(m) for m in messages]
         counts = self._count_matrix(docs).astype(np.float64)
         if self.sublinear_tf:
             counts.data = 1.0 + np.log(counts.data)

@@ -13,6 +13,7 @@ punctuation and breaks ``k=v`` / ``k:v`` pairs, which keeps identifiers
 from __future__ import annotations
 
 import re
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 __all__ = ["Tokenizer", "tokenize"]
@@ -61,6 +62,10 @@ class Tokenizer:
         if self.min_len > 1:
             out = [t for t in out if len(t) >= self.min_len]
         return out
+
+    def tokenize_many(self, texts: Sequence[str]) -> list[list[str]]:
+        """Tokenize a whole column of messages (batch-first hot path)."""
+        return [self.tokenize(t) for t in texts]
 
     def _emit(self, raw: str, out: list[str]) -> None:
         tok = raw.strip(_EDGE_PUNCT)

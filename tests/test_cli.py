@@ -66,6 +66,45 @@ class TestTrainClassify:
         assert main(["classify", "--model-dir", str(model_dir)]) == 0
         assert capsys.readouterr().out.startswith("USB-Device")
 
+    def test_classify_jsonl_output(self, model_dir, tmp_path, capsys):
+        inp = tmp_path / "msgs.txt"
+        inp.write_text(
+            "Warning: Socket 2 - CPU 23 throttling\n"
+            "\n"
+            "Connection closed by 9.9.9.9 port 1234 [preauth]\n"
+        )
+        assert main(["classify", "--model-dir", str(model_dir),
+                     "--input", str(inp), "--jsonl", "--batch-size", "1"]) == 0
+        rows = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert len(rows) == 2
+        assert rows[0]["category"] == "Thermal Issue"
+        assert {"text", "category", "confidence", "filtered"} <= set(rows[0])
+
+    def test_classify_timing_report(self, model_dir, tmp_path, capsys):
+        inp = tmp_path / "msgs.txt"
+        inp.write_text("Warning: Socket 2 - CPU 23 throttling\n" * 5)
+        assert main(["classify", "--model-dir", str(model_dir),
+                     "--input", str(inp), "--timing"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 5
+        for stage in ("normalize", "vectorize", "predict", "route", "total"):
+            assert stage in captured.err
+
+    def test_classify_batch_chunking_matches_unchunked(
+        self, model_dir, tmp_path, capsys
+    ):
+        inp = tmp_path / "msgs.txt"
+        inp.write_text(
+            "Warning: Socket 2 - CPU 23 throttling\n"
+            "usb 1-2: new USB device number 9\n" * 3
+        )
+        assert main(["classify", "--model-dir", str(model_dir),
+                     "--input", str(inp), "--batch-size", "2"]) == 0
+        chunked = capsys.readouterr().out
+        assert main(["classify", "--model-dir", str(model_dir),
+                     "--input", str(inp), "--batch-size", "500"]) == 0
+        assert capsys.readouterr().out == chunked
+
     def test_train_with_blacklist(self, corpus_file, tmp_path, capsys):
         d = tmp_path / "bl-model"
         assert main(["train", "--corpus", str(corpus_file), "--model-dir",
@@ -92,6 +131,20 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert "weighted F1:" in out
         assert "Thermal Issue" in out
+
+    def test_batch_size_does_not_change_result(self, corpus_file, capsys):
+        assert main(["evaluate", "--corpus", str(corpus_file),
+                     "--classifier", "cnb", "--batch-size", "64"]) == 0
+        small = capsys.readouterr().out
+        assert main(["evaluate", "--corpus", str(corpus_file),
+                     "--classifier", "cnb", "--batch-size", "100000"]) == 0
+        assert capsys.readouterr().out == small
+
+    def test_timing_report_on_stderr(self, corpus_file, capsys):
+        assert main(["evaluate", "--corpus", str(corpus_file),
+                     "--classifier", "cnb", "--timing"]) == 0
+        captured = capsys.readouterr()
+        assert "vectorize" in captured.err and "predict" in captured.err
 
 
 class TestTables:

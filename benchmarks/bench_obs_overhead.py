@@ -1,0 +1,96 @@
+"""OBS — instrumentation overhead on the classify_batch hot path.
+
+The observability layer (repro.obs) rides on every batch: per-stage
+StageTimer mirroring into histograms, batch/message counters, and one
+end-to-end latency observation.  The design budget is <3% throughput
+cost versus instrumentation compiled down to nothing, which this bench
+checks by timing the same pipeline over the same batch against a
+:class:`~repro.obs.NullRegistry` (no-op metrics) and a live
+:class:`~repro.obs.MetricsRegistry`.
+
+Rounds are interleaved null/live and min-of-rounds is compared, so a
+background hiccup lands on both sides instead of biasing one.
+
+Environment knobs: ``REPRO_BENCH_OBS_N`` (messages per round, default
+20000), ``REPRO_BENCH_OBS_ROUNDS`` (round pairs, default 5).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import BENCH_SEED, emit
+
+from repro.core.pipeline import ClassificationPipeline
+from repro.datagen.generator import CorpusGenerator
+from repro.experiments.common import format_table
+from repro.ml import ComplementNB
+from repro.obs import MetricsRegistry, NullRegistry, use_registry
+from repro.runtime import MessageBatch
+
+N_MESSAGES = int(os.environ.get("REPRO_BENCH_OBS_N", "20000"))
+N_ROUNDS = int(os.environ.get("REPRO_BENCH_OBS_ROUNDS", "5"))
+OVERHEAD_BUDGET_PCT = 3.0
+
+
+def _time_round(pipe: ClassificationPipeline, batch: MessageBatch) -> float:
+    t0 = time.perf_counter()
+    pipe.classify_batch(batch)
+    return time.perf_counter() - t0
+
+
+def test_obs_overhead(benchmark):
+    corpus = CorpusGenerator(scale=0.02, seed=BENCH_SEED).generate()
+    pipe = ClassificationPipeline(classifier=ComplementNB())
+    pipe.fit(corpus.texts, corpus.labels)
+    texts = (corpus.texts * (N_MESSAGES // len(corpus.texts) + 1))[:N_MESSAGES]
+    batch = MessageBatch.of_texts(texts)
+
+    # warm both paths (imports, registry family creation, caches)
+    with use_registry(NullRegistry()):
+        pipe.classify_batch(batch)
+    with use_registry(MetricsRegistry()):
+        pipe.classify_batch(batch)
+
+    null_times: list[float] = []
+    live_times: list[float] = []
+    live_registry = MetricsRegistry()
+    for _ in range(N_ROUNDS):
+        with use_registry(NullRegistry()):
+            null_times.append(_time_round(pipe, batch))
+        with use_registry(live_registry):
+            live_times.append(_time_round(pipe, batch))
+
+    null_s, live_s = min(null_times), min(live_times)
+    overhead_pct = (live_s - null_s) / null_s * 100.0
+    null_rate, live_rate = len(batch) / null_s, len(batch) / live_s
+
+    benchmark.pedantic(
+        lambda: _time_round(pipe, batch), rounds=1, iterations=1
+    )
+    benchmark.extra_info["n_messages"] = len(batch)
+    benchmark.extra_info["null_msg_per_s"] = round(null_rate)
+    benchmark.extra_info["live_msg_per_s"] = round(live_rate)
+    benchmark.extra_info["overhead_pct"] = round(overhead_pct, 3)
+
+    rows = [
+        ["null registry (no-op)", f"{null_s * 1e3:.1f}", f"{null_rate:,.0f}", "-"],
+        ["live registry", f"{live_s * 1e3:.1f}", f"{live_rate:,.0f}",
+         f"{overhead_pct:+.2f}%"],
+    ]
+    emit(
+        f"Observability overhead — {len(batch):,} messages × "
+        f"{N_ROUNDS} rounds (min)",
+        format_table(["registry", "ms/round", "msg/s", "overhead"], rows)
+        + f"\nbudget: <{OVERHEAD_BUDGET_PCT:.0f}%  "
+        + ("PASS" if overhead_pct < OVERHEAD_BUDGET_PCT else "FAIL"),
+    )
+
+    # sanity: the live registry actually recorded the rounds
+    messages = live_registry.get("repro_pipeline_messages_total")
+    assert messages is not None and messages.value() > 0
+    assert overhead_pct < OVERHEAD_BUDGET_PCT, (
+        f"instrumentation overhead {overhead_pct:.2f}% exceeds "
+        f"{OVERHEAD_BUDGET_PCT:.0f}% budget"
+    )

@@ -11,6 +11,7 @@ Subcommands
 ``classify``   classify messages (file or stdin) with a saved pipeline
 ``evaluate``   train/test evaluation report on a JSONL corpus
 ``tables``     regenerate paper artifacts (table1|table2|table3|fig3)
+``metrics``    pretty-print a metrics snapshot file (.prom or .json)
 
 Example
 -------
@@ -92,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "the human-readable line format")
     p.add_argument("--timing", action="store_true",
                    help="print the per-stage timing report to stderr")
+    p.add_argument("--metrics-out", type=Path, default=None,
+                   help="write a metrics snapshot on exit (Prometheus "
+                        "text for .prom/.txt, JSON otherwise)")
 
     p = sub.add_parser("evaluate", help="train/test evaluation on a corpus")
     p.add_argument("--corpus", type=Path, required=True)
@@ -103,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="test messages classified per batch")
     p.add_argument("--timing", action="store_true",
                    help="print the per-stage timing report to stderr")
+    p.add_argument("--metrics-out", type=Path, default=None,
+                   help="write a metrics snapshot on exit (Prometheus "
+                        "text for .prom/.txt, JSON otherwise)")
+
+    p = sub.add_parser(
+        "metrics",
+        help="pretty-print a metrics snapshot written with --metrics-out",
+    )
+    p.add_argument("snapshot", type=Path,
+                   help="snapshot file (.prom/.txt Prometheus text, "
+                        "or the JSON form)")
 
     p = sub.add_parser("tables", help="regenerate a paper artifact")
     p.add_argument("artifact", choices=["table1", "table2", "table3", "fig3"])
@@ -121,6 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--incident", action="store_true",
                    help="inject a cold-aisle thermal incident mid-run")
+    p.add_argument("--metrics-out", type=Path, default=None,
+                   help="write a metrics snapshot on exit (Prometheus "
+                        "text for .prom/.txt, JSON otherwise)")
 
     p = sub.add_parser(
         "report",
@@ -203,6 +221,17 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _write_metrics(path: Path) -> None:
+    """Write the process registry to ``path`` (format by extension)."""
+    from repro.obs import write_snapshot
+    from repro.obs.wellknown import declare_all
+
+    # declare the full schema first so every snapshot carries all
+    # well-known families, zero-valued where a subsystem never ran
+    declare_all()
+    print(f"wrote metrics snapshot to {write_snapshot(path)}", file=sys.stderr)
+
+
 def _emit_result(result, *, jsonl: bool) -> None:
     if jsonl:
         print(json.dumps({
@@ -240,6 +269,8 @@ def _cmd_classify(args) -> int:
                 _emit_result(result, jsonl=args.jsonl)
     if args.timing:
         print(pipe.timing_report().render(), file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
     return 0
 
 
@@ -270,6 +301,22 @@ def _cmd_evaluate(args) -> int:
     print(f"\nweighted F1: {weighted_f1_score(y_te, pred):.4f}")
     if args.timing:
         print(pipe.timing_report().render(), file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.monitor.dashboard import render_metrics_panel
+    from repro.obs import load_snapshot
+
+    if not args.snapshot.exists():
+        raise SystemExit(f"{args.snapshot}: no such snapshot file")
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except ValueError as e:
+        raise SystemExit(f"{args.snapshot}: {e}")
+    print(render_metrics_panel(snapshot, title=str(args.snapshot)))
     return 0
 
 
@@ -362,6 +409,8 @@ def _cmd_simulate(args) -> int:
     )
     print()
     print(render_overview(cluster.store, interval_s=max(args.duration / 12, 1.0)))
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
     return 0
 
 
@@ -397,6 +446,7 @@ _HANDLERS = {
     "train": _cmd_train,
     "classify": _cmd_classify,
     "evaluate": _cmd_evaluate,
+    "metrics": _cmd_metrics,
     "tables": _cmd_tables,
     "simulate": _cmd_simulate,
     "assist": _cmd_assist,
@@ -407,7 +457,15 @@ _HANDLERS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro-syslog metrics f | head`);
+        # the downstream closing early is not an error worth a traceback
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,7 +20,6 @@ paper's argument for the approach).
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -182,9 +182,24 @@ class ClassificationPipeline:
                         category=_as_category(preds[j]),
                         confidence=float(probs[j]) if probs is not None else None,
                     )
-        self.service_seconds += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        self.service_seconds += elapsed
         self.n_classified += len(texts)
+        self._record_batch_metrics(len(texts), len(texts) - len(to_model), elapsed)
         return results  # type: ignore[return-value]
+
+    def _record_batch_metrics(
+        self, n_messages: int, n_filtered: int, elapsed: float
+    ) -> None:
+        """Mirror one batch into the metrics registry (once per batch)."""
+        from repro.obs import wellknown
+
+        registry = self.timer.registry
+        wellknown.pipeline_batches(registry).inc()
+        wellknown.pipeline_messages(registry).inc(n_messages)
+        if n_filtered:
+            wellknown.pipeline_filtered(registry).inc(n_filtered)
+        wellknown.pipeline_batch_seconds(registry).observe(elapsed)
 
     def timing_report(self) -> StageReport:
         """Per-stage breakdown of time spent classifying so far."""

@@ -10,7 +10,7 @@ are evaluated offline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ModelRegistry", "ModelRecord"]
 

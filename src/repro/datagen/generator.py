@@ -11,11 +11,11 @@ by rejection sampling (matching "unique messages" in the table).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.message import Severity, SyslogMessage
+from repro.core.message import SyslogMessage
 from repro.core.taxonomy import Category
 from repro.datagen.templates import MessageTemplate, fill_slots, templates_for
 from repro.datagen.vendors import VENDORS, VendorProfile

@@ -20,7 +20,7 @@ test-bed with three injectable phenomena:
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np

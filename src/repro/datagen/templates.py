@@ -21,7 +21,7 @@ edit-distance bucketing.
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 import string
 
 import numpy as np

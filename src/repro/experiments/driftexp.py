@@ -24,7 +24,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.buckets.bucketer import LevenshteinBucketClassifier
-from repro.core.taxonomy import Category
 from repro.datagen.firmware import FirmwareDrift
 from repro.datagen.generator import CorpusGenerator
 from repro.datagen.templates import TEMPLATES

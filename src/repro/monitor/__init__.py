@@ -27,6 +27,7 @@ from repro.monitor.dashboard import (
     render_top_panel,
     render_overview,
     render_confusion,
+    render_metrics_panel,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "render_top_panel",
     "render_overview",
     "render_confusion",
+    "render_metrics_panel",
 ]

@@ -18,6 +18,7 @@ __all__ = [
     "render_top_panel",
     "render_overview",
     "render_confusion",
+    "render_metrics_panel",
 ]
 
 _BARS = " ▁▂▃▄▅▆▇█"
@@ -101,6 +102,80 @@ def render_confusion(
                 mark = _BARS[min(int(shade[i, j] * (len(_BARS) - 1)), len(_BARS) - 1)]
                 cells.append(f"{v}{mark}".rjust(w))
         lines.append(name.rjust(w) + " " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt_metric_value(v: float) -> str:
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def render_metrics_panel(source, *, title: str = "metrics") -> str:
+    """Live registry state as a terminal panel (the Grafana stand-in).
+
+    ``source`` is a :class:`repro.obs.MetricsRegistry` or a snapshot
+    dict (:meth:`MetricsRegistry.snapshot`, or a file loaded with
+    :func:`repro.obs.load_snapshot`).  Counters show cumulative value
+    plus a per-second rate over the registry's uptime when known;
+    histograms render a sparkline over their log-scale buckets with
+    count/mean and interpolated p50/p95/p99.
+    """
+    from repro.obs.metrics import histogram_quantile
+
+    snapshot = source.snapshot() if hasattr(source, "snapshot") else source
+    uptime = snapshot.get("uptime_seconds")
+    header = title
+    if uptime is not None:
+        header += f"  (uptime {uptime:.1f}s)"
+    lines = [header]
+    name_rows: list[tuple[str, str]] = []
+    for metric in snapshot["metrics"]:
+        kind = metric["type"]
+        for sample in metric["samples"]:
+            label = f"{metric['name']}{_fmt_labels(sample.get('labels', {}))}"
+            if kind == "histogram":
+                count = sample.get("count", 0)
+                if not count:
+                    name_rows.append((label, "(no observations)"))
+                    continue
+                # cumulative -> per-bucket counts for the sparkline,
+                # trimmed to the occupied range so shape is visible
+                buckets = [
+                    (float("inf") if edge == "+Inf" else float(edge), n)
+                    for edge, n in sample["buckets"]
+                ]
+                per_bucket = [
+                    n - (buckets[i - 1][1] if i else 0)
+                    for i, (_e, n) in enumerate(buckets)
+                ]
+                occupied = [i for i, n in enumerate(per_bucket) if n > 0]
+                lo, hi = occupied[0], occupied[-1]
+                spark = _sparkline(per_bucket[lo:hi + 1])
+                mean = sample["sum"] / count
+                p50, p95, p99 = (histogram_quantile(buckets, q)
+                                 for q in (0.5, 0.95, 0.99))
+                name_rows.append((
+                    label,
+                    f"[{spark}] n={count} mean={mean:.3g} "
+                    f"p50={p50:.3g} p95={p95:.3g} p99={p99:.3g}",
+                ))
+            else:
+                value = sample["value"]
+                text = _fmt_metric_value(value)
+                if kind == "counter" and uptime:
+                    text += f"  ({value / uptime:.2f}/s)"
+                name_rows.append((label, text))
+    if not name_rows:
+        return header + "\n(no metrics)"
+    name_w = max(len(n) for n, _ in name_rows)
+    lines += [f"{name:<{name_w}}  {body}" for name, body in name_rows]
     return "\n".join(lines)
 
 

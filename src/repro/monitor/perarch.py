@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from collections import defaultdict
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -1,0 +1,66 @@
+"""Observability: metrics registry and trace spans.
+
+The paper's deliverable is a monitored pipeline — Grafana panels over
+OpenSearch (§4.2) — and the ROADMAP's "as fast as the hardware allows"
+claim needs live counters and latency histograms, not after-the-fact
+reports.  This package is the telemetry layer the rest of the repo
+writes into:
+
+- :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` families with labels in a thread-safe
+  :class:`MetricsRegistry`; Prometheus text and JSON snapshot
+  exposition; :class:`NullRegistry` to zero out instrumentation cost,
+- :mod:`repro.obs.trace` — :class:`Span` / :class:`Tracer` with
+  parent links and cross-process propagation (the sharded executor
+  stitches worker spans into one trace),
+- :mod:`repro.obs.wellknown` — the single home of every metric family
+  the pipeline, executor, and Tivan stream layer emit.
+
+Instrumented code resolves the process-wide default registry/tracer at
+write time, so swapping them (:func:`use_registry`,
+:func:`set_default_tracer`) redirects all telemetry without re-wiring.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_latency_buckets,
+    default_registry,
+    histogram_quantile,
+    load_snapshot,
+    parse_prometheus,
+    set_default_registry,
+    use_registry,
+    write_snapshot,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    default_tracer,
+    render_trace,
+    set_default_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "default_latency_buckets",
+    "default_registry",
+    "set_default_registry",
+    "use_registry",
+    "histogram_quantile",
+    "parse_prometheus",
+    "write_snapshot",
+    "load_snapshot",
+    "Span",
+    "Tracer",
+    "default_tracer",
+    "set_default_tracer",
+    "render_trace",
+]

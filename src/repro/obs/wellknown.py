@@ -1,0 +1,202 @@
+"""The repo's well-known metric families, defined once.
+
+Instrumented modules (pipeline, executor, stream layer) resolve their
+families through these helpers so names, help strings, and label sets
+cannot drift between the writer and the exposition.  Every helper is
+get-or-create against the given registry (default: the process-wide
+one), and :func:`declare_all` registers the full schema at once so a
+snapshot carries zero-valued samples for subsystems that have not run
+yet — a scrape of a freshly started process already shows every panel.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "stage_seconds",
+    "stage_items",
+    "pipeline_batches",
+    "pipeline_messages",
+    "pipeline_filtered",
+    "pipeline_batch_seconds",
+    "shard_dispatch_seconds",
+    "shard_queue_wait_seconds",
+    "shard_messages",
+    "shard_chunks",
+    "fluentd_buffer_depth",
+    "fluentd_flush_size",
+    "fluentd_flushed_messages",
+    "relay_received",
+    "relay_dropped",
+    "classifier_backlog",
+    "declare_all",
+]
+
+
+def _reg(registry: MetricsRegistry | None) -> MetricsRegistry:
+    return registry if registry is not None else default_registry()
+
+
+# -- classification pipeline ------------------------------------------
+
+
+def stage_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: wall-clock seconds per pipeline stage per batch."""
+    return _reg(registry).histogram(
+        "repro_pipeline_stage_seconds",
+        "Wall-clock seconds per pipeline stage per batch",
+        labels=("stage",),
+    )
+
+
+def stage_items(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages processed per pipeline stage."""
+    return _reg(registry).counter(
+        "repro_pipeline_stage_items_total",
+        "Messages processed per pipeline stage",
+        labels=("stage",),
+    )
+
+
+def pipeline_batches(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: batches classified."""
+    return _reg(registry).counter(
+        "repro_pipeline_batches_total", "Batches classified"
+    )
+
+
+def pipeline_messages(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages classified."""
+    return _reg(registry).counter(
+        "repro_pipeline_messages_total", "Messages classified"
+    )
+
+
+def pipeline_filtered(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages short-circuited by the blacklist pre-filter."""
+    return _reg(registry).counter(
+        "repro_pipeline_filtered_total",
+        "Messages short-circuited by the blacklist pre-filter",
+    )
+
+
+def pipeline_batch_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: end-to-end classify_batch wall-clock seconds."""
+    return _reg(registry).histogram(
+        "repro_pipeline_batch_seconds",
+        "End-to-end classify_batch wall-clock seconds",
+    )
+
+
+# -- sharded executor --------------------------------------------------
+
+
+def shard_dispatch_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: submit-to-result round-trip per scattered chunk."""
+    return _reg(registry).histogram(
+        "repro_shard_dispatch_seconds",
+        "Submit-to-result round-trip seconds per scattered chunk",
+    )
+
+
+def shard_queue_wait_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: chunk round-trip minus worker busy time."""
+    return _reg(registry).histogram(
+        "repro_shard_queue_wait_seconds",
+        "Round-trip minus worker busy time per chunk (queueing + pickling)",
+    )
+
+
+def shard_messages(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages classified, labelled by worker process."""
+    return _reg(registry).counter(
+        "repro_shard_messages_total",
+        "Messages classified per worker process",
+        labels=("worker",),
+    )
+
+
+def shard_chunks(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: chunks scattered, labelled by worker process."""
+    return _reg(registry).counter(
+        "repro_shard_chunks_total",
+        "Chunks scattered per worker process",
+        labels=("worker",),
+    )
+
+
+# -- stream layer (Tivan) ---------------------------------------------
+
+
+def fluentd_buffer_depth(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: messages buffered in the Fluentd forwarder."""
+    return _reg(registry).gauge(
+        "repro_stream_fluentd_buffer_depth",
+        "Messages buffered in the Fluentd forwarder",
+    )
+
+
+def fluentd_flush_size(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: messages written by the most recent flush."""
+    return _reg(registry).gauge(
+        "repro_stream_fluentd_flush_size",
+        "Messages written by the most recent flush",
+    )
+
+
+def fluentd_flushed_messages(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages flushed to the store."""
+    return _reg(registry).counter(
+        "repro_stream_fluentd_flushed_total",
+        "Messages flushed to the store by the forwarder",
+    )
+
+
+def relay_received(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages received by the primary syslog relay."""
+    return _reg(registry).counter(
+        "repro_stream_relay_received_total",
+        "Messages received by the primary syslog relay",
+    )
+
+
+def relay_dropped(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: relay drops under downstream backpressure."""
+    return _reg(registry).counter(
+        "repro_stream_relay_dropped_total",
+        "Messages dropped by the relay under downstream backpressure",
+    )
+
+
+def classifier_backlog(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: indexed documents awaiting classification."""
+    return _reg(registry).gauge(
+        "repro_stream_classifier_backlog",
+        "Indexed documents awaiting classification (engine-clock sampled)",
+    )
+
+
+def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Register every well-known family; returns the registry.
+
+    Called before writing a snapshot so the exposition always carries
+    the full schema — unlabeled gauges/counters show a zero sample even
+    when their subsystem never ran in this process.
+    """
+    registry = _reg(registry)
+    for factory in (
+        stage_seconds, stage_items, pipeline_batches, pipeline_messages,
+        pipeline_filtered, pipeline_batch_seconds, shard_dispatch_seconds,
+        shard_queue_wait_seconds, shard_messages, shard_chunks,
+        fluentd_buffer_depth, fluentd_flush_size, fluentd_flushed_messages,
+        relay_received, relay_dropped, classifier_backlog,
+    ):
+        factory(registry)
+    return registry

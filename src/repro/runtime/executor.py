@@ -23,6 +23,7 @@ from pathlib import Path
 from time import perf_counter
 
 from repro.runtime.batch import MessageBatch
+from repro.runtime.timing import StageReport
 
 __all__ = ["ShardedExecutor"]
 
@@ -42,9 +43,34 @@ def _init_worker(pipeline, model_dir) -> None:
         _WORKER_PIPELINE = load_pipeline(model_dir)
 
 
-def _classify_chunk(texts: tuple[str, ...]):
+def _classify_chunk(texts: tuple[str, ...], span_ctx: dict | None = None):
+    """Classify one chunk in a worker; returns results plus telemetry.
+
+    The worker times itself, snapshots its pipeline's per-chunk stage
+    report, and records a span parented on the context the dispatching
+    process sent over — all of it returned by value so the parent can
+    stitch the telemetry back together (worker-process registries are
+    invisible to the parent).
+    """
+    from repro.obs.trace import Tracer
+
     assert _WORKER_PIPELINE is not None, "worker used before initialization"
-    return _WORKER_PIPELINE.classify_batch(MessageBatch(texts=texts))
+    tracer = Tracer()
+    _WORKER_PIPELINE.reset_timing()
+    t0 = perf_counter()
+    with tracer.span(
+        "shard.worker_chunk", parent=span_ctx,
+        n_messages=len(texts), worker_pid=os.getpid(),
+    ):
+        results = _WORKER_PIPELINE.classify_batch(MessageBatch(texts=texts))
+    busy_s = perf_counter() - t0
+    return (
+        results,
+        _WORKER_PIPELINE.timing_report().as_dict(),
+        tracer.export(),
+        os.getpid(),
+        busy_s,
+    )
 
 
 class ShardedExecutor:
@@ -70,6 +96,12 @@ class ShardedExecutor:
         Batches smaller than this run serially — scatter/gather
         overhead (pickling texts out, results back) dominates below a
         few thousand messages.
+    tracer:
+        Optional :class:`repro.obs.Tracer` for the sharded path's trace
+        spans; ``None`` uses the process default.  Each sharded batch
+        becomes one trace: a ``shard.classify_batch`` root in this
+        process with every worker's ``shard.worker_chunk`` stitched in
+        as children.
 
     The pool is created lazily on the first large-enough batch and
     workers are initialized exactly once; use as a context manager (or
@@ -84,6 +116,7 @@ class ShardedExecutor:
         n_workers: int | None = None,
         chunk_size: int = 2000,
         min_parallel: int = 4000,
+        tracer=None,
     ) -> None:
         if (pipeline is None) == (model_dir is None):
             raise ValueError("provide exactly one of pipeline / model_dir")
@@ -96,6 +129,7 @@ class ShardedExecutor:
         self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         self.chunk_size = chunk_size
         self.min_parallel = min_parallel
+        self.tracer = tracer
         self._pool: ProcessPoolExecutor | None = None
         #: batches that went through the pool vs the serial path
         self.n_sharded_batches = 0
@@ -144,20 +178,58 @@ class ShardedExecutor:
         and the ``shard`` timer stage) lands on the parent pipeline
         either way, so ``messages_per_hour()`` reflects the strategy
         actually used.
+
+        The sharded path is fully observable: workers return their
+        per-chunk stage reports (merged into the parent pipeline's
+        timer, and therefore into the metrics registry — per-stage item
+        counters come out identical to a serial run), per-worker
+        message counters, dispatch/queue-wait histograms, and child
+        spans stitched under one ``shard.classify_batch`` trace.
         """
+        from repro.obs import wellknown
+        from repro.obs.trace import default_tracer
+
         batch = MessageBatch.coerce(batch)
         if self.n_workers == 1 or len(batch) < self.min_parallel:
             self.n_serial_batches += 1
             return self.pipeline.classify_batch(batch)
         self.n_sharded_batches += 1
+        tracer = self.tracer if self.tracer is not None else default_tracer()
+        pipe = self.pipeline
+        registry = pipe.timer.registry
         t0 = perf_counter()
         pool = self._ensure_pool()
         chunks = [c.texts for c in batch.chunks(self.chunk_size)]
-        results = [r for chunk in pool.map(_classify_chunk, chunks)
-                   for r in chunk]
+        results: list = []
+        with tracer.span(
+            "shard.classify_batch",
+            n_messages=len(batch), n_chunks=len(chunks),
+            n_workers=self.n_workers,
+        ) as root:
+            ctx = root.context()
+            futures = [
+                (pool.submit(_classify_chunk, texts, ctx), perf_counter(),
+                 len(texts))
+                for texts in chunks
+            ]
+            dispatch_hist = wellknown.shard_dispatch_seconds(registry)
+            wait_hist = wellknown.shard_queue_wait_seconds(registry)
+            msg_counter = wellknown.shard_messages(registry)
+            chunk_counter = wellknown.shard_chunks(registry)
+            for future, t_submit, n_texts in futures:
+                chunk_results, report_dict, spans, pid, busy_s = future.result()
+                roundtrip = perf_counter() - t_submit
+                dispatch_hist.observe(roundtrip)
+                wait_hist.observe(max(0.0, roundtrip - busy_s))
+                msg_counter.inc(n_texts, worker=str(pid))
+                chunk_counter.inc(worker=str(pid))
+                pipe.timer.merge(StageReport.from_dict(report_dict))
+                tracer.adopt(spans)
+                results.extend(chunk_results)
         elapsed = perf_counter() - t0
-        pipe = self.pipeline
         pipe.service_seconds += elapsed
         pipe.n_classified += len(batch)
         pipe.timer.add("shard", elapsed, len(batch))
+        n_filtered = sum(1 for r in results if r.filtered)
+        pipe._record_batch_metrics(len(batch), n_filtered, elapsed)
         return results

@@ -9,6 +9,14 @@ CLI (``repro-syslog classify --timing``) and
 :meth:`~repro.core.pipeline.ClassificationPipeline.timing_report` can
 show a breakdown without any measurable overhead on the hot path
 (one clock read per stage per batch, not per message).
+
+Since the :mod:`repro.obs` metrics registry landed, ``StageTimer`` is a
+thin adapter over it: every :meth:`StageTimer.add` both updates the
+local accumulators (so ``timing_report()`` keeps its historical
+behaviour) and mirrors the interval into the well-known
+``repro_pipeline_stage_seconds`` histogram and
+``repro_pipeline_stage_items_total`` counter, so live exposition
+(``--metrics-out``) and the one-shot report always agree.
 """
 
 from __future__ import annotations
@@ -80,21 +88,42 @@ class StageReport:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageReport":
+        """Rebuild a report serialized with :meth:`as_dict`.
+
+        This is how shard workers return their per-chunk stage
+        accounting to the parent process.
+        """
+        return cls(
+            stages={
+                name: StageStat(d["seconds"], d["calls"], d["items"])
+                for name, d in data["stages"].items()
+            },
+            total_seconds=data["total_seconds"],
+        )
+
     def render(self) -> str:
-        """Human-readable table of the per-stage breakdown."""
+        """Human-readable table of the per-stage breakdown.
+
+        Stages timed with ``items=0`` show ``-`` for throughput — an
+        untimed column, not a measured zero.
+        """
         if not self.stages:
             return "no stages timed"
-        name_w = max(len(n) for n in self.stages) + 2
-        lines = [f"{'stage':<{name_w}}{'seconds':>10}  {'%':>5}  "
+        name_w = max(max(len(n) for n in self.stages), len("total")) + 2
+        lines = [f"{'stage':<{name_w}}{'seconds':>10}  {'%':>6}  "
                  f"{'items':>9}  {'items/s':>12}"]
         total = self.total_seconds or 1.0
         for name, s in self.stages.items():
+            rate = f"{s.items_per_second:.1f}" if s.items > 0 else "-"
             lines.append(
                 f"{name:<{name_w}}{s.seconds:>10.4f}  "
-                f"{100.0 * s.seconds / total:>5.1f}  {s.items:>9}  "
-                f"{s.items_per_second:>12.1f}"
+                f"{100.0 * s.seconds / total:>6.1f}  {s.items:>9}  "
+                f"{rate:>12}"
             )
-        lines.append(f"{'total':<{name_w}}{self.total_seconds:>10.4f}")
+        lines.append(f"{'total':<{name_w}}{self.total_seconds:>10.4f}  "
+                     f"{100.0:>6.1f}")
         return "\n".join(lines)
 
 
@@ -112,9 +141,17 @@ class StageTimer:
 
     Timers are cheap enough to leave permanently attached (two
     ``perf_counter`` calls per stage per *batch*).
+
+    Every recorded interval is also mirrored into the metrics registry
+    (``registry``, or the process default when ``None``) as a
+    ``repro_pipeline_stage_seconds`` observation and a
+    ``repro_pipeline_stage_items_total`` increment, making this class
+    the adapter between the historical report API and live exposition.
     """
 
     _stats: dict[str, StageStat] = field(default_factory=dict, repr=False)
+    #: metrics registry to mirror into; ``None`` = process default
+    registry: object = field(default=None, repr=False)
 
     @contextmanager
     def stage(self, name: str, items: int = 0):
@@ -128,14 +165,29 @@ class StageTimer:
     def add(self, name: str, seconds: float, items: int = 0) -> None:
         """Record an externally-timed interval (e.g. from a worker)."""
         self._stats.setdefault(name, StageStat()).add(seconds, items)
+        self._mirror(name, seconds, items)
+
+    def _mirror(self, name: str, seconds: float, items: int) -> None:
+        from repro.obs import wellknown
+
+        wellknown.stage_seconds(self.registry).observe(seconds, stage=name)
+        if items:
+            wellknown.stage_items(self.registry).inc(items, stage=name)
 
     def merge(self, report: StageReport) -> None:
-        """Fold another timer's report in (used to absorb shard timings)."""
+        """Fold another timer's report in (used to absorb shard timings).
+
+        Each merged stage lands in the registry as one histogram
+        observation of its summed seconds — coarser than the per-batch
+        observations the originating process made, but item counters
+        stay exactly equivalent to having run the stages locally.
+        """
         for name, s in report.stages.items():
             stat = self._stats.setdefault(name, StageStat())
             stat.seconds += s.seconds
             stat.calls += s.calls
             stat.items += s.items
+            self._mirror(name, s.seconds, s.items)
 
     def reset(self) -> None:
         """Drop all accumulated stats."""

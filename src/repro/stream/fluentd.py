@@ -65,6 +65,15 @@ class FluentdForwarder:
     _retry_delay: float = field(default=0.0, init=False, repr=False)
     _started: bool = field(default=False, init=False, repr=False)
 
+    def __post_init__(self) -> None:
+        # resolved once — offer() runs per message, so the registry
+        # lookup must not sit on that path
+        from repro.obs import wellknown
+
+        self._m_buffer_depth = wellknown.fluentd_buffer_depth()
+        self._m_flush_size = wellknown.fluentd_flush_size()
+        self._m_flushed = wellknown.fluentd_flushed_messages()
+
     def start(self) -> None:
         """Begin the periodic flush cycle."""
         if not self._started:
@@ -79,6 +88,7 @@ class FluentdForwarder:
         self._buffer.append(message)
         self.stats.accepted += 1
         self.stats.max_buffer_seen = max(self.stats.max_buffer_seen, len(self._buffer))
+        self._m_buffer_depth.set(len(self._buffer))
         return True
 
     def _flush_tick(self) -> None:
@@ -97,6 +107,9 @@ class FluentdForwarder:
             self.stats.flushed_batches += 1
             self.stats.flushed_messages += len(batch)
             self._retry_delay = 0.0
+            self._m_buffer_depth.set(len(self._buffer))
+            self._m_flush_size.set(len(batch))
+            self._m_flushed.inc(len(batch))
             return len(batch)
         self.stats.failed_flushes += 1
         self._retry_delay = min(

@@ -39,13 +39,22 @@ class SyslogRelay:
     n_forwarded: int = field(default=0, init=False)
     n_dropped: int = field(default=0, init=False)
 
+    def __post_init__(self) -> None:
+        # cached: receive() runs once per message
+        from repro.obs import wellknown
+
+        self._m_received = wellknown.relay_received()
+        self._m_dropped = wellknown.relay_dropped()
+
     def receive(self, message: SyslogMessage) -> None:
         """Accept one message from a node daemon."""
         self.n_received += 1
+        self._m_received.inc()
         if self.downstream(message):
             self.n_forwarded += 1
         else:
             self.n_dropped += 1
+            self._m_dropped.inc()
 
 
 @dataclass

@@ -15,7 +15,6 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
-from repro.core.message import SyslogMessage
 from repro.core.taxonomy import Category
 from repro.datagen.workload import StreamEvent
 from repro.stream.events import EventEngine
@@ -72,7 +71,14 @@ class ClassifierStage:
 
 @dataclass
 class IngestReport:
-    """Outcome of one simulated run."""
+    """Outcome of one simulated run.
+
+    ``indexed``/``final_backlog`` are snapshotted at the simulation
+    horizon, *before* the settle drain — documents drained afterwards
+    arrived too late to be classified inside the run and are reported
+    separately as ``drained`` (counting them into the backlog would
+    penalize the classifier for work it was never offered).
+    """
 
     duration_s: float
     produced: int
@@ -83,6 +89,8 @@ class IngestReport:
     final_backlog: int
     #: (sim time, classifier backlog) samples
     backlog_timeline: list[tuple[float, int]]
+    #: messages flushed to the store by the post-horizon settle drain
+    drained: int = 0
 
     @property
     def keeping_up(self) -> bool:
@@ -150,19 +158,23 @@ class TivanCluster:
             self.engine.schedule(0.0, self._classifier_tick)
         self._schedule_sampler(sample_every_s, duration_s)
         self.engine.run(until=duration_s)
-        # settle: drain remaining buffered messages into the index
-        if self.forwarder.buffered:
-            self.forwarder.drain()
+        # snapshot at the horizon first: the settle drain below indexes
+        # messages the classifier was never offered during the run, and
+        # counting them into final_backlog would flip keeping_up
+        indexed_at_horizon = len(self.store)
         classified = self._stage.n_done if self._stage else 0
+        # settle: drain remaining buffered messages into the index
+        drained = self.forwarder.drain() if self.forwarder.buffered else 0
         return IngestReport(
             duration_s=duration_s,
             produced=getattr(self, "_n_produced", 0),
             relay_received=self.relay.n_received,
             relay_dropped=self.relay.n_dropped,
-            indexed=len(self.store),
+            indexed=indexed_at_horizon,
             classified=classified,
-            final_backlog=len(self.store) - classified,
+            final_backlog=indexed_at_horizon - classified,
             backlog_timeline=list(self._backlog_samples),
+            drained=drained,
         )
 
     # -- internals ---------------------------------------------------------
@@ -170,10 +182,15 @@ class TivanCluster:
     def _schedule_sampler(self, every: float, horizon: float) -> None:
         if every <= 0:
             raise ValueError(f"sample_every_s must be positive, got {every}")
+        from repro.obs import wellknown
+
+        backlog_gauge = wellknown.classifier_backlog()
 
         def sample() -> None:
             done = self._stage.n_done if self._stage else 0
-            self._backlog_samples.append((self.engine.now, len(self.store) - done))
+            backlog = len(self.store) - done
+            self._backlog_samples.append((self.engine.now, backlog))
+            backlog_gauge.set(backlog)
             if self.engine.now + every <= horizon:
                 self.engine.schedule(every, sample)
 

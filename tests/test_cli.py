@@ -195,6 +195,57 @@ class TestSimulate:
         assert "categories" in out
 
 
+class TestMetrics:
+    def test_classify_writes_prometheus_file(self, model_dir, tmp_path, capsys):
+        from repro.obs import MetricsRegistry, use_registry
+
+        inp = tmp_path / "msgs.txt"
+        inp.write_text("Warning: Socket 2 - CPU 23 throttling\n" * 5)
+        out = tmp_path / "m.prom"
+        # fresh registry: the process default carries counts from every
+        # earlier test in this module
+        with use_registry(MetricsRegistry()):
+            assert main(["classify", "--model-dir", str(model_dir),
+                         "--input", str(inp), "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert "# TYPE repro_pipeline_stage_seconds histogram" in text
+        assert 'repro_pipeline_stage_seconds_bucket{stage="predict",le="+Inf"}' in text
+        assert "repro_pipeline_messages_total 5" in text
+        # the full schema is declared even for subsystems that never ran
+        assert "repro_stream_fluentd_buffer_depth 0" in text
+
+    def test_classify_writes_json_snapshot(self, model_dir, tmp_path, capsys):
+        import json as _json
+
+        inp = tmp_path / "msgs.txt"
+        inp.write_text("usb 1-2: new USB device number 9\n")
+        out = tmp_path / "m.json"
+        assert main(["classify", "--model-dir", str(model_dir),
+                     "--input", str(inp), "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        snap = _json.loads(out.read_text())
+        assert {m["name"] for m in snap["metrics"]} >= {
+            "repro_pipeline_stage_seconds", "repro_pipeline_messages_total"
+        }
+
+    def test_metrics_subcommand_renders_file(self, model_dir, tmp_path, capsys):
+        inp = tmp_path / "msgs.txt"
+        inp.write_text("Warning: Socket 2 - CPU 23 throttling\n" * 3)
+        prom = tmp_path / "m.prom"
+        assert main(["classify", "--model-dir", str(model_dir),
+                     "--input", str(inp), "--metrics-out", str(prom)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_pipeline_stage_seconds{stage=predict}" in out
+        assert "n=" in out and "p95=" in out
+
+    def test_metrics_subcommand_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such snapshot"):
+            main(["metrics", str(tmp_path / "nope.prom")])
+
+
 class TestAssist:
     def test_summary_task(self, model_dir, capsys):
         assert main(["assist", "summary", "--model-dir", str(model_dir)]) == 0

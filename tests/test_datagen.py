@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.taxonomy import Category
 from repro.datagen.firmware import FirmwareDrift
-from repro.datagen.generator import TABLE2_COUNTS, CorpusGenerator
+from repro.datagen.generator import CorpusGenerator
 from repro.datagen.templates import (
     SLOT_FILLERS,
     TEMPLATES,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.textproc.drain import DrainTemplateMiner, LogTemplate
+from repro.textproc.drain import DrainTemplateMiner
 
 
 class TestBasics:

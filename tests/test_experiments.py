@@ -1,6 +1,5 @@
 """Integration tests over the experiment runners (small scales)."""
 
-import numpy as np
 import pytest
 
 from repro.core.taxonomy import Category

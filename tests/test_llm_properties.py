@@ -1,6 +1,5 @@
 """Property tests across the LLM simulator stack."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

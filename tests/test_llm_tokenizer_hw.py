@@ -3,8 +3,8 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.llm.costmodel import InferenceCostModel, ModelSpec
-from repro.llm.hardware import PAPER_NODE, A100_SXM4_40GB, InferenceNode
+from repro.llm.costmodel import InferenceCostModel
+from repro.llm.hardware import PAPER_NODE, A100_SXM4_40GB
 from repro.llm.models import MODEL_CATALOG, model_spec
 from repro.llm.tokenizer import count_tokens, tokenize_subwords
 

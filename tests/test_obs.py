@@ -1,0 +1,535 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the metrics registry (bucket semantics, exposition formats,
+thread safety, pickling), trace spans (nesting, cross-process
+export/adopt, propagation through the ShardedExecutor), the StageTimer
+adapter, and the serial-vs-sharded metric equivalence the executor
+guarantees.
+"""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.core.pipeline import ClassificationPipeline
+from repro.ml import ComplementNB
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Span,
+    Tracer,
+    default_latency_buckets,
+    default_registry,
+    histogram_quantile,
+    load_snapshot,
+    parse_prometheus,
+    render_trace,
+    set_default_tracer,
+    use_registry,
+    wellknown,
+    write_snapshot,
+)
+from repro.runtime import ShardedExecutor, StageTimer
+from repro.runtime.timing import StageReport, StageStat
+
+
+# -- histogram bucket semantics --------------------------------------------
+
+
+class TestHistogramBuckets:
+    def test_boundary_value_lands_in_edge_bucket(self):
+        """Prometheus `le` semantics: a value equal to an edge counts
+        in that edge's bucket, not the next one."""
+        h = Histogram("h", buckets=[1.0, 2.0, 5.0])
+        h.observe(2.0)
+        child = h._child(())
+        assert child.bucket_counts == [0, 1, 0, 0]
+
+    def test_underflow_lands_in_first_bucket(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        h.observe(0.0001)
+        assert h._child(()).bucket_counts == [1, 0, 0]
+
+    def test_overflow_lands_in_inf_bucket(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        h.observe(99.0)
+        assert h._child(()).bucket_counts == [0, 0, 1]
+
+    def test_cumulative_counts(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        for v in (0.5, 1.5, 1.7, 99.0):
+            h.observe(v)
+        cum = h._child(()).cumulative()
+        assert cum == [(1.0, 1), (2.0, 3), (float("inf"), 4)]
+
+    def test_sum_and_count(self):
+        h = Histogram("h", buckets=[1.0])
+        h.observe(0.25)
+        h.observe(0.75)
+        child = h._child(())
+        assert child.count == 2
+        assert child.sum == pytest.approx(1.0)
+
+    def test_default_latency_buckets_shape(self):
+        edges = default_latency_buckets()
+        assert len(edges) == 24
+        assert edges[0] == pytest.approx(1e-6)
+        assert edges[-1] == pytest.approx(50.0)
+        assert list(edges) == sorted(edges)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", buckets=[2.0, 1.0])
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=[])
+
+
+# -- registry ---------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("m")
+
+    def test_label_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels=("a",))
+        with pytest.raises(ValueError, match="labels"):
+            reg.counter("m", labels=("b",))
+
+    def test_invalid_metric_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("0bad")
+
+    def test_wrong_label_set_on_use_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("m", labels=("shard",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc(worker="1")
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+    def test_unlabeled_family_has_zero_sample(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help me")
+        snap = reg.snapshot()
+        assert snap["metrics"][0]["samples"] == [{"labels": {}, "value": 0.0}]
+
+    def test_labeled_family_starts_empty(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels=("x",))
+        assert reg.snapshot()["metrics"][0]["samples"] == []
+
+    def test_thread_safe_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c", labels=("t",))
+
+        def spin():
+            for _ in range(1000):
+                c.inc(t="a")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(t="a") == 8000
+
+    def test_pickle_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h", buckets=[1.0]).observe(0.5)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.counter("c").value() == 3
+        clone.counter("c").inc()  # recreated locks must work
+        assert clone.counter("c").value() == 4
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.collect() == []
+
+    def test_use_registry_restores_previous(self):
+        before = default_registry()
+        with use_registry(MetricsRegistry()) as reg:
+            assert default_registry() is reg
+        assert default_registry() is before
+
+    def test_null_registry_forgets_everything(self):
+        reg = NullRegistry()
+        c = reg.counter("c")
+        c.inc(100)
+        c.labels(x="y").inc()
+        reg.histogram("h").observe(1.0)
+        reg.gauge("g").set(5)
+        assert c.value() == 0.0
+        assert reg.collect() == []
+
+
+# -- exposition -------------------------------------------------------------
+
+
+class TestExposition:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "Jobs run", labels=("kind",)).inc(
+            3, kind="batch"
+        )
+        reg.gauge("depth", "Queue depth").set(7)
+        h = reg.histogram("lat", "Latency", buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(2.0)
+        return reg
+
+    def test_prometheus_golden(self):
+        text = self.make_registry().to_prometheus()
+        assert text == (
+            "# HELP jobs_total Jobs run\n"
+            "# TYPE jobs_total counter\n"
+            'jobs_total{kind="batch"} 3\n'
+            "# HELP depth Queue depth\n"
+            "# TYPE depth gauge\n"
+            "depth 7\n"
+            "# HELP lat Latency\n"
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 1\n'
+            'lat_bucket{le="1"} 2\n'
+            'lat_bucket{le="+Inf"} 3\n'
+            "lat_sum 2.55\n"
+            "lat_count 3\n"
+        )
+
+    def test_prometheus_parse_roundtrip(self):
+        reg = self.make_registry()
+        parsed = parse_prometheus(reg.to_prometheus())
+        original = reg.snapshot()
+        by_name = {m["name"]: m for m in parsed["metrics"]}
+        assert set(by_name) == {"jobs_total", "depth", "lat"}
+        assert by_name["jobs_total"]["type"] == "counter"
+        assert by_name["jobs_total"]["samples"][0] == {
+            "labels": {"kind": "batch"}, "value": 3.0
+        }
+        assert by_name["depth"]["samples"][0]["value"] == 7.0
+        lat = by_name["lat"]["samples"][0]
+        want = original["metrics"][2]["samples"][0]
+        assert lat["count"] == want["count"]
+        assert lat["sum"] == pytest.approx(want["sum"])
+        assert lat["buckets"] == [[0.1, 1], [1.0, 2], ["+Inf", 3]]
+
+    def test_label_escaping_roundtrip(self):
+        reg = MetricsRegistry()
+        nasty = 'a"b\\c\nd'
+        reg.counter("c", labels=("x",)).inc(x=nasty)
+        parsed = parse_prometheus(reg.to_prometheus())
+        assert parsed["metrics"][0]["samples"][0]["labels"]["x"] == nasty
+
+    def test_json_snapshot_is_json_serializable(self):
+        snap = self.make_registry().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_write_and_load_prom(self, tmp_path):
+        path = write_snapshot(tmp_path / "m.prom", self.make_registry())
+        snap = load_snapshot(path)
+        assert {m["name"] for m in snap["metrics"]} == {
+            "jobs_total", "depth", "lat"
+        }
+
+    def test_write_and_load_json(self, tmp_path):
+        path = write_snapshot(tmp_path / "m.json", self.make_registry())
+        snap = load_snapshot(path)
+        assert snap["uptime_seconds"] is not None
+        assert len(snap["metrics"]) == 3
+
+
+class TestHistogramQuantile:
+    def test_interpolates_inside_bucket(self):
+        # 100 values uniform in (0, 1]: p50 should be ~0.5
+        buckets = [(0.5, 50), (1.0, 100), (float("inf"), 100)]
+        assert histogram_quantile(buckets, 0.5) == pytest.approx(0.5)
+        assert histogram_quantile(buckets, 0.75) == pytest.approx(0.75)
+
+    def test_clamps_to_last_finite_edge(self):
+        buckets = [(1.0, 0), (float("inf"), 10)]
+        assert histogram_quantile(buckets, 0.99) == 1.0
+
+    def test_empty_and_invalid(self):
+        assert histogram_quantile([], 0.5) == 0.0
+        assert histogram_quantile([(1.0, 0), (float("inf"), 0)], 0.5) == 0.0
+        with pytest.raises(ValueError, match="quantile"):
+            histogram_quantile([(1.0, 1)], 1.5)
+
+
+# -- spans ------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_sets_parent_and_trace(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+        assert root.parent_id is None
+        assert len(tracer.finished) == 2
+        assert all(s.end_s is not None for s in tracer.finished)
+
+    def test_id_formats(self):
+        with Tracer().span("s") as span:
+            assert len(span.trace_id) == 32
+            assert len(span.span_id) == 16
+
+    def test_explicit_parent_dict(self):
+        tracer = Tracer()
+        ctx = {"trace_id": "t" * 32, "span_id": "s" * 16}
+        with tracer.span("child", parent=ctx) as span:
+            assert span.trace_id == ctx["trace_id"]
+            assert span.parent_id == ctx["span_id"]
+
+    def test_error_attribute_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.finished[0].attributes["error"] == "RuntimeError"
+
+    def test_export_adopt_roundtrip(self):
+        worker = Tracer()
+        with worker.span("work", n=5):
+            pass
+        exported = worker.export()
+        assert worker.finished == []
+        parent = Tracer()
+        parent.adopt(exported)
+        span = parent.finished[0]
+        assert isinstance(span, Span)
+        assert span.name == "work"
+        assert span.attributes == {"n": 5}
+
+    def test_render_trace_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        text = render_trace(tracer.finished)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  leaf")
+        assert render_trace([]) == "(no spans)"
+
+    def test_traces_groups_by_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        groups = tracer.traces()
+        assert len(groups) == 2  # two independent roots, two traces
+
+
+# -- StageTimer adapter -----------------------------------------------------
+
+
+class TestStageTimerAdapter:
+    def test_add_mirrors_into_registry(self):
+        reg = MetricsRegistry()
+        timer = StageTimer(registry=reg)
+        timer.add("vectorize", 0.25, items=100)
+        timer.add("vectorize", 0.35, items=50)
+        hist = wellknown.stage_seconds(reg)
+        child = hist.labels(stage="vectorize")
+        assert child.count == 2
+        assert child.sum == pytest.approx(0.6)
+        assert wellknown.stage_items(reg).value(stage="vectorize") == 150
+        # local report unchanged by the mirroring
+        rep = timer.report()
+        assert rep.stages["vectorize"].items == 150
+        assert rep.stages["vectorize"].seconds == pytest.approx(0.6)
+
+    def test_merge_mirrors_equivalent_items(self):
+        worker_reg = MetricsRegistry()
+        worker = StageTimer(registry=worker_reg)
+        worker.add("predict", 0.1, items=40)
+        worker.add("predict", 0.2, items=60)
+
+        parent_reg = MetricsRegistry()
+        parent = StageTimer(registry=parent_reg)
+        parent.merge(worker.report())
+
+        assert (wellknown.stage_items(parent_reg).value(stage="predict")
+                == wellknown.stage_items(worker_reg).value(stage="predict")
+                == 100)
+        # merge folds the summed seconds in as one observation
+        assert wellknown.stage_seconds(parent_reg).labels(
+            stage="predict"
+        ).sum == pytest.approx(0.3)
+
+    def test_default_registry_used_when_none(self):
+        with use_registry(MetricsRegistry()) as reg:
+            StageTimer().add("route", 0.01, items=5)
+            assert wellknown.stage_items(reg).value(stage="route") == 5
+
+
+class TestStageReportRender:
+    def test_dash_for_zero_item_stages(self):
+        rep = StageReport(
+            stages={
+                "shard": StageStat(seconds=1.0, calls=1, items=100),
+                "gather": StageStat(seconds=0.5, calls=1, items=0),
+            },
+            total_seconds=1.5,
+        )
+        lines = rep.render().splitlines()
+        gather = next(l for l in lines if l.startswith("gather"))
+        assert gather.rstrip().endswith("-")
+        shard = next(l for l in lines if l.startswith("shard"))
+        assert shard.rstrip().endswith("100.0")
+
+    def test_percent_column_aligned(self):
+        rep = StageReport(
+            stages={"a": StageStat(seconds=1.0, calls=1, items=10)},
+            total_seconds=1.0,
+        )
+        lines = rep.render().splitlines()
+        header, row, total = lines
+        col = header.index("%")
+        assert row[col] == "0"      # "100.0" right-aligned ends under "%"
+        assert total[col] == "0"
+        assert "100.0" in total
+
+    def test_empty_report(self):
+        assert StageReport(stages={}, total_seconds=0.0).render() == (
+            "no stages timed"
+        )
+
+
+# -- pipeline / executor integration ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def obs_pipeline(corpus):
+    pipe = ClassificationPipeline(classifier=ComplementNB())
+    pipe.fit(corpus.texts[:600], corpus.labels[:600])
+    return pipe
+
+
+class TestPipelineMetrics:
+    def test_classify_batch_records_metrics(self, obs_pipeline, corpus):
+        with use_registry(MetricsRegistry()) as reg:
+            obs_pipeline.classify_batch(corpus.texts[:80])
+        assert wellknown.pipeline_messages(reg).value() == 80
+        assert wellknown.pipeline_batches(reg).value() == 1
+        assert wellknown.pipeline_batch_seconds(reg)._child(()).count == 1
+        for stage in ("normalize", "vectorize", "predict", "route"):
+            assert wellknown.stage_items(reg).value(stage=stage) == 80
+
+    def test_serial_and_sharded_counts_equivalent(self, obs_pipeline, corpus):
+        probe = corpus.texts[:120]
+        with use_registry(MetricsRegistry()) as serial_reg:
+            obs_pipeline.classify_batch(probe)
+        with use_registry(MetricsRegistry()) as shard_reg:
+            with ShardedExecutor(
+                obs_pipeline, n_workers=2, chunk_size=40, min_parallel=0
+            ) as ex:
+                ex.classify_batch(probe)
+        serial_items = wellknown.stage_items(serial_reg)
+        shard_items = wellknown.stage_items(shard_reg)
+        for stage in ("normalize", "vectorize", "predict", "route"):
+            assert (shard_items.value(stage=stage)
+                    == serial_items.value(stage=stage) == 120)
+        assert (wellknown.pipeline_messages(shard_reg).value()
+                == wellknown.pipeline_messages(serial_reg).value() == 120)
+        # per-worker counters account for every message exactly once
+        per_worker = [
+            child.value
+            for _labels, child in wellknown.shard_messages(shard_reg).samples()
+        ]
+        assert sum(per_worker) == 120
+        assert wellknown.shard_dispatch_seconds(shard_reg)._child(()).count == 3
+
+    def test_span_propagation_across_workers(self, obs_pipeline, corpus):
+        tracer = Tracer()
+        with ShardedExecutor(
+            obs_pipeline, n_workers=2, chunk_size=40, min_parallel=0,
+            tracer=tracer,
+        ) as ex:
+            ex.classify_batch(corpus.texts[:120])
+        spans = tracer.finished
+        roots = [s for s in spans if s.name == "shard.classify_batch"]
+        workers = [s for s in spans if s.name == "shard.worker_chunk"]
+        assert len(roots) == 1
+        assert len(workers) == 3
+        root = roots[0]
+        assert {s.trace_id for s in spans} == {root.trace_id}
+        assert all(s.parent_id == root.span_id for s in workers)
+        assert all(s.end_s is not None for s in spans)
+        assert sum(s.attributes["n_messages"] for s in workers) == 120
+        tree = render_trace(spans)
+        assert tree.splitlines()[0].startswith("shard.classify_batch")
+
+
+# -- dashboard panel --------------------------------------------------------
+
+
+class TestMetricsPanel:
+    def test_renders_counters_and_histograms(self):
+        from repro.monitor.dashboard import render_metrics_panel
+
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels=("k",)).inc(5, k="x")
+        h = reg.histogram("lat", buckets=[0.1, 1.0])
+        for v in (0.05, 0.5, 0.7):
+            h.observe(v)
+        reg.histogram("never", buckets=[1.0])
+        text = render_metrics_panel(reg, title="panel")
+        assert text.startswith("panel")
+        assert 'c_total{k=x}' in text
+        assert "n=3" in text and "p95=" in text
+        assert "(no observations)" in text
+
+    def test_renders_parsed_prometheus_snapshot(self):
+        from repro.monitor.dashboard import render_metrics_panel
+
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(4)
+        snap = parse_prometheus(reg.to_prometheus())
+        assert "depth" in render_metrics_panel(snap)
+
+    def test_empty_registry(self):
+        from repro.monitor.dashboard import render_metrics_panel
+
+        assert "(no metrics)" in render_metrics_panel(MetricsRegistry())
+
+
+# keep the process-default tracer clean for other test modules: the
+# sharded tests above leave adopted spans in it otherwise
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_default_tracer():
+    previous = set_default_tracer(Tracer())
+    yield
+    set_default_tracer(previous)

@@ -10,7 +10,6 @@ regression trips them.
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.message import Severity, SyslogMessage
 from repro.stream.opensearch import LogStore

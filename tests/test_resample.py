@@ -1,7 +1,6 @@
 """Unit tests for the imbalance resamplers."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.ml.resample import (

@@ -7,7 +7,6 @@ from repro.core.taxonomy import Category
 from repro.datagen.workload import generate_stream
 from repro.stream.events import EventEngine
 from repro.stream.fluentd import FluentdForwarder
-from repro.stream.opensearch import LogStore
 from repro.stream.syslogd import SyslogDaemon, SyslogRelay
 from repro.stream.tivan import ClassifierStage, TivanCluster
 
@@ -150,3 +149,20 @@ class TestTivanCluster:
         rep = tc.run(30, sample_every_s=5.0)
         assert len(rep.backlog_timeline) >= 5
         assert all(t <= 30 for t, _b in rep.backlog_timeline)
+
+    def test_settle_drain_not_counted_as_backlog(self):
+        """Messages the settle drain indexes after the horizon were
+        never offered to the classifier: they must show up in
+        ``drained``, not in ``final_backlog`` / ``keeping_up``."""
+        ev = generate_stream(duration_s=30, background_rate=10, seed=5)
+        # first flush tick would land after the horizon: everything the
+        # relay forwards is still buffered when the run ends
+        tc = TivanCluster(flush_interval_s=100.0)
+        tc.load_events(ev)
+        tc.attach_classifier(ClassifierStage(service_time_s=0.001))
+        rep = tc.run(40)
+        assert rep.indexed == 0
+        assert rep.final_backlog == 0
+        assert rep.keeping_up
+        assert rep.drained == rep.relay_received - rep.relay_dropped > 0
+        assert len(tc.store) == rep.indexed + rep.drained

@@ -1,6 +1,5 @@
 """Unit tests for the syslog tokenizer."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.textproc.tokenize import Tokenizer, tokenize

@@ -136,6 +136,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--incident", action="store_true",
                    help="inject a cold-aisle thermal incident mid-run")
+    p.add_argument("--fault-plan", type=Path, default=None,
+                   help="JSON fault plan armed on the stream and "
+                        "classification layers (see repro.faults)")
+    p.add_argument("--overflow", choices=["block", "drop_oldest", "dead_letter"],
+                   default="block",
+                   help="forwarder policy when the buffer is full")
+    p.add_argument("--flush-retries", type=_positive_int, default=None,
+                   help="bounded flush retry budget; a head batch "
+                        "failing this many times in a row is "
+                        "dead-lettered (default: retry forever)")
+    p.add_argument("--degrade-backlog", type=_positive_int, default=None,
+                   help="classifier backlog at which the cluster sheds "
+                        "load to the cheap blacklist path")
     p.add_argument("--metrics-out", type=Path, default=None,
                    help="write a metrics snapshot on exit (Prometheus "
                         "text for .prom/.txt, JSON otherwise)")
@@ -239,10 +252,13 @@ def _emit_result(result, *, jsonl: bool) -> None:
             "category": result.category.value,
             "confidence": result.confidence,
             "filtered": result.filtered,
+            "quarantined": result.quarantined,
         }))
         return
     conf = f" ({result.confidence:.2f})" if result.confidence is not None else ""
     flag = " [blacklisted]" if result.filtered else ""
+    if result.quarantined:
+        flag = " [quarantined]"
     print(f"{result.category.value}{conf}{flag}\t{result.text}")
 
 
@@ -363,13 +379,27 @@ def _cmd_tables(args) -> int:
 
 
 def _run_simulation(args):
-    """Shared stream-simulation setup for simulate/assist."""
+    """Shared stream-simulation setup for simulate/assist.
+
+    Returns ``(cluster, report, injector)``; the injector is ``None``
+    unless ``--fault-plan`` armed one.
+    """
     from repro.core.serialize import load_pipeline
     from repro.core.taxonomy import Category
     from repro.datagen.workload import Incident, generate_stream
+    from repro.faults import FaultInjector, FaultPlan
     from repro.stream.tivan import ClassifierStage, TivanCluster
 
     pipe = load_pipeline(args.model_dir)
+    injector = None
+    plan_path = getattr(args, "fault_plan", None)
+    if plan_path is not None:
+        try:
+            plan = FaultPlan.from_file(plan_path)
+        except (OSError, ValueError, KeyError) as e:
+            raise SystemExit(f"{plan_path}: bad fault plan: {e}")
+        injector = FaultInjector(plan)
+        pipe.fault_injector = injector
     incidents = []
     if getattr(args, "incident", True):
         incidents.append(Incident(
@@ -385,28 +415,54 @@ def _run_simulation(args):
         duration_s=duration, background_rate=rate,
         incidents=incidents, seed=args.seed,
     )
-    cluster = TivanCluster()
+    cluster = TivanCluster(
+        overflow=getattr(args, "overflow", "block"),
+        flush_retry_limit=getattr(args, "flush_retries", None),
+        degrade_backlog=getattr(args, "degrade_backlog", None),
+        fault_injector=injector,
+    )
     cluster.load_events(events)
+
+    def cheap_batch(texts):
+        # degraded path: no model inference — everything fails closed
+        # to UNIMPORTANT so the queue keeps draining
+        return [Category.UNIMPORTANT for _ in texts]
+
     cluster.attach_classifier(ClassifierStage(
         service_time_s=max(pipe.mean_service_time, 1e-4),
         classify_batch=lambda texts: [
             r.category for r in pipe.classify_batch(texts)
         ],
         batch_size=64,
+        cheap_classify_batch=cheap_batch,
     ))
     report = cluster.run(duration + 30.0)
-    return cluster, report
+    return cluster, report, injector
 
 
 def _cmd_simulate(args) -> int:
     from repro.monitor.dashboard import render_overview
 
-    cluster, report = _run_simulation(args)
+    cluster, report, injector = _run_simulation(args)
     print(
         f"produced={report.produced} indexed={report.indexed} "
         f"classified={report.classified} backlog={report.final_backlog} "
         f"keeping_up={report.keeping_up}"
     )
+    stats = cluster.forwarder.stats
+    if injector is not None or report.degrade_transitions:
+        print(
+            f"faults: injected={dict(injector.fire_counts()) if injector else {}} "
+            f"failed_flushes={stats.failed_flushes} "
+            f"abandoned={stats.abandoned_messages} "
+            f"evicted={stats.evicted} "
+            f"dead_lettered={len(cluster.forwarder.dead_letters)}"
+        )
+    if report.degrade_transitions:
+        print(
+            f"degraded: classified_degraded={report.classified_degraded} "
+            f"transitions={report.degrade_transitions}"
+        )
     print()
     print(render_overview(cluster.store, interval_s=max(args.duration / 12, 1.0)))
     if args.metrics_out:
@@ -419,7 +475,7 @@ def _cmd_assist(args) -> int:
     from repro.llm.models import model_spec
 
     args.duration, args.rate, args.incident = 600.0, 5.0, True
-    cluster, _report = _run_simulation(args)
+    cluster, _report, _injector = _run_simulation(args)
     assistant = AdminAssistant(spec=model_spec(args.llm))
     if args.task == "summary":
         reply = assistant.summarize_status(cluster.store)

@@ -17,11 +17,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.taxonomy import Category
+from repro.faults.dlq import DeadLetterQueue
+from repro.faults.plan import SITE_POISON, InjectedFault
 from repro.runtime.batch import MessageBatch
 from repro.runtime.timing import StageReport, StageTimer
 from repro.textproc.tfidf import TfidfVectorizer
 
 __all__ = ["ClassificationPipeline", "PipelineResult"]
+
+#: dead-letter site for messages condemned by the salvage path
+QUARANTINE_SITE = "pipeline.quarantine"
 
 
 @dataclass(frozen=True)
@@ -39,12 +44,17 @@ class PipelineResult:
         probabilities; ``None`` otherwise.
     filtered:
         True when the blacklist pre-filter short-circuited the message.
+    quarantined:
+        True when the message poisoned the model path and was
+        dead-lettered instead of classified; the category is the
+        fail-closed UNIMPORTANT default, not a prediction.
     """
 
     text: str
     category: Category
     confidence: float | None = None
     filtered: bool = False
+    quarantined: bool = False
 
 
 @dataclass
@@ -69,13 +79,23 @@ class ClassificationPipeline:
         mirrors operations — administrators blacklist the top
         offenders — and leaves the classifier a residual Unimportant
         class for the long tail the filter misses.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector`; when armed at
+        ``pipeline.poison`` it condemns individual messages so the
+        quarantine path can be exercised deterministically.  Never
+        consulted when ``None`` (the production default).
     """
 
     vectorizer: TfidfVectorizer = field(default_factory=TfidfVectorizer)
     classifier: object = None
     blacklist: object = None
     blacklist_coverage: float = 0.9
+    fault_injector: object = None
 
+    #: poison messages parked here with their exception context
+    dead_letters: DeadLetterQueue = field(
+        default_factory=DeadLetterQueue, init=False, repr=False
+    )
     _fitted: bool = field(default=False, init=False, repr=False)
     #: cumulative wall-clock seconds spent classifying (excl. fit)
     service_seconds: float = field(default=0.0, init=False)
@@ -145,6 +165,14 @@ class ClassificationPipeline:
         :meth:`timing_report`).  Accepts a
         :class:`~repro.runtime.batch.MessageBatch` or any sequence of
         message texts.
+
+        Poison messages do not abort the batch: when the columnar model
+        path raises (undecodable input, a predict failure, or an
+        injected ``pipeline.poison`` fault), the batch is re-run
+        per-message under the ``salvage`` stage and the individual
+        offenders are quarantined — dead-lettered with their exception
+        context and returned as fail-closed UNIMPORTANT results with
+        ``quarantined=True``.  Exactly one result per input, always.
         """
         if not self._fitted:
             raise RuntimeError("ClassificationPipeline used before fit")
@@ -156,7 +184,13 @@ class ClassificationPipeline:
         if self.blacklist is not None:
             with self.timer.stage("filter", len(texts)):
                 for i, t in enumerate(texts):
-                    if self.blacklist.is_noise(t):
+                    try:
+                        noise = self.blacklist.is_noise(t)
+                    except Exception:
+                        # malformed input the filter cannot judge: let
+                        # the model path quarantine it properly
+                        noise = False
+                    if noise:
                         results[i] = PipelineResult(
                             text=t, category=Category.UNIMPORTANT, filtered=True
                         )
@@ -166,27 +200,96 @@ class ClassificationPipeline:
             to_model = list(range(len(texts)))
         if to_model:
             model_texts = [texts[i] for i in to_model]
-            with self.timer.stage("normalize", len(to_model)):
-                docs = self.vectorizer.analyze_batch(model_texts)
-            with self.timer.stage("vectorize", len(to_model)):
-                X = self.vectorizer.transform_analyzed(docs)
-            with self.timer.stage("predict", len(to_model)):
-                preds = self.classifier.predict(X)
-                probs = None
-                if hasattr(self.classifier, "predict_proba"):
-                    probs = self.classifier.predict_proba(X).max(axis=1)
+            poisoned = self._poisoned_indices(len(model_texts))
+            if poisoned:
+                cats, confs, condemned = self._model_salvage(model_texts, poisoned)
+            else:
+                try:
+                    cats, confs = self._model_stage(model_texts)
+                    condemned = {}
+                except Exception:
+                    cats, confs, condemned = self._model_salvage(
+                        model_texts, poisoned
+                    )
             with self.timer.stage("route", len(to_model)):
                 for j, i in enumerate(to_model):
-                    results[i] = PipelineResult(
-                        text=texts[i],
-                        category=_as_category(preds[j]),
-                        confidence=float(probs[j]) if probs is not None else None,
-                    )
+                    if j in condemned:
+                        results[i] = PipelineResult(
+                            text=texts[i], category=Category.UNIMPORTANT,
+                            quarantined=True,
+                        )
+                    else:
+                        results[i] = PipelineResult(
+                            text=texts[i],
+                            category=_as_category(cats[j]),
+                            confidence=(
+                                float(confs[j]) if confs is not None else None
+                            ),
+                        )
         elapsed = time.perf_counter() - t0
         self.service_seconds += elapsed
         self.n_classified += len(texts)
         self._record_batch_metrics(len(texts), len(texts) - len(to_model), elapsed)
         return results  # type: ignore[return-value]
+
+    def _poisoned_indices(self, n: int) -> set[int]:
+        """Indices condemned by an armed ``pipeline.poison`` injector."""
+        inj = self.fault_injector
+        if inj is None or not inj.armed(SITE_POISON):
+            return set()
+        return {j for j in range(n) if inj.should_fire(SITE_POISON)}
+
+    def _model_stage(self, model_texts):
+        """The columnar normalize → vectorize → predict path."""
+        n = len(model_texts)
+        with self.timer.stage("normalize", n):
+            docs = self.vectorizer.analyze_batch(model_texts)
+        with self.timer.stage("vectorize", n):
+            X = self.vectorizer.transform_analyzed(docs)
+        with self.timer.stage("predict", n):
+            preds = self.classifier.predict(X)
+            probs = None
+            if hasattr(self.classifier, "predict_proba"):
+                probs = self.classifier.predict_proba(X).max(axis=1)
+        return preds, probs
+
+    def _model_salvage(self, model_texts, poisoned: set[int]):
+        """Per-message fallback when the columnar path cannot run.
+
+        Returns ``(cats, confs, condemned)`` where ``condemned`` maps
+        model-batch index → exception for every quarantined message.
+        Each offender is dead-lettered; survivors get the same
+        prediction the columnar path would have produced (same
+        vectorizer, same model, one row at a time).
+        """
+        from repro.obs import wellknown
+
+        n = len(model_texts)
+        cats: list = [None] * n
+        confs: list = [None] * n
+        condemned: dict[int, Exception] = {}
+        has_proba = hasattr(self.classifier, "predict_proba")
+        with self.timer.stage("salvage", n):
+            for j, text in enumerate(model_texts):
+                try:
+                    if j in poisoned:
+                        raise InjectedFault(SITE_POISON)
+                    docs = self.vectorizer.analyze_batch([text])
+                    X = self.vectorizer.transform_analyzed(docs)
+                    cats[j] = self.classifier.predict(X)[0]
+                    if has_proba:
+                        confs[j] = self.classifier.predict_proba(X).max()
+                except Exception as e:
+                    condemned[j] = e
+                    site = e.site if isinstance(e, InjectedFault) else QUARANTINE_SITE
+                    self.dead_letters.push(
+                        site, text, repr(e), batch_index=j,
+                    )
+        if condemned:
+            wellknown.faults_quarantined(self.timer.registry).inc(len(condemned))
+        if not has_proba:
+            confs = None
+        return cats, confs, condemned
 
     def _record_batch_metrics(
         self, n_messages: int, n_filtered: int, elapsed: float

@@ -1,0 +1,51 @@
+"""Fault injection and resilience machinery.
+
+The paper pitches Tivan as always-on cluster monitoring; an always-on
+pipeline must survive faults, not just benchmarks.  This package is
+the reproduction's failure-as-common-case layer:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultInjector`,
+  deterministic seedable fault injection at named sites (worker crash,
+  chunk timeout, flush failure, poison message),
+- :mod:`repro.faults.dlq` — :class:`DeadLetterQueue`, the no-silent-loss
+  backstop: condemned messages are parked with their exception context
+  instead of vanishing.
+
+The resilience these exercise lives in the layers themselves: the
+sharded executor respawns dead workers and retries lost chunks with
+backoff (then falls back to serial), the Fluentd forwarder retries
+flushes under a bounded budget with pluggable overflow policies, the
+classification pipeline quarantines poison messages per-message, and
+the Tivan cluster sheds load to the cheap blacklist path when the
+classifier backlog crosses a threshold.  Everything is counted through
+:mod:`repro.obs` (``repro_faults_*`` families).
+"""
+
+from repro.faults.dlq import DeadLetter, DeadLetterQueue
+from repro.faults.plan import (
+    KNOWN_SITES,
+    SITE_CHUNK_TIMEOUT,
+    SITE_FLUSH_FAIL,
+    SITE_POISON,
+    SITE_WORKER_CRASH,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FireRecord,
+    InjectedFault,
+)
+
+__all__ = [
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FireRecord",
+    "InjectedFault",
+    "KNOWN_SITES",
+    "SITE_CHUNK_TIMEOUT",
+    "SITE_FLUSH_FAIL",
+    "SITE_POISON",
+    "SITE_WORKER_CRASH",
+]

@@ -1,0 +1,120 @@
+"""Dead-letter capture: poison messages survive with their context.
+
+The resilience invariant the chaos suite enforces is *no silent loss*:
+every message offered to the system is delivered, dropped-and-counted,
+or parked here with the exception that condemned it.  A
+:class:`DeadLetterQueue` is deliberately boring — an append-only list
+of :class:`DeadLetter` records — because it must keep working while
+everything around it is failing.
+
+Queues travel across process boundaries (shard workers return their
+new entries by value so the parent can adopt them), so entries hold
+only picklable data: the payload, a string error, and a flat context
+dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeadLetter", "DeadLetterQueue"]
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One captured message.
+
+    Attributes
+    ----------
+    seq:
+        1-based position in the owning queue at capture time.
+    site:
+        Where the message was condemned (e.g. ``pipeline.quarantine``,
+        ``fluentd.overflow``, ``fluentd.flush_abandoned``).
+    payload:
+        The message itself — text for pipeline quarantines, the
+        :class:`~repro.core.message.SyslogMessage` for forwarder
+        captures.
+    error:
+        ``repr`` of the exception (or a short reason string).
+    context:
+        Extra site-specific detail (attempt counts, batch position).
+    """
+
+    seq: int
+    site: str
+    payload: object
+    error: str
+    context: dict = field(default_factory=dict)
+
+
+class DeadLetterQueue:
+    """Append-only capture of condemned messages.
+
+    Every capture increments ``repro_faults_dead_letters_total{site=}``
+    in this process's registry — :meth:`extend` too, which is how
+    worker-side captures (whose registries are invisible to the parent)
+    get counted exactly once, in the parent.
+    """
+
+    def __init__(self, *, registry=None) -> None:
+        self.registry = registry
+        self._entries: list[DeadLetter] = []
+
+    def push(self, site: str, payload, error: str, **context) -> DeadLetter:
+        """Capture one message; returns its record."""
+        entry = DeadLetter(
+            seq=len(self._entries) + 1, site=site, payload=payload,
+            error=error, context=dict(context),
+        )
+        self._entries.append(entry)
+        self._count(site, 1)
+        return entry
+
+    def extend(self, entries) -> int:
+        """Adopt entries captured elsewhere (renumbered); returns count."""
+        n = 0
+        for e in entries:
+            self._entries.append(
+                DeadLetter(seq=len(self._entries) + 1, site=e.site,
+                           payload=e.payload, error=e.error,
+                           context=dict(e.context))
+            )
+            self._count(e.site, 1)
+            n += 1
+        return n
+
+    def _count(self, site: str, n: int) -> None:
+        from repro.obs import wellknown
+
+        wellknown.faults_dead_letters(self.registry).inc(n, site=site)
+
+    def entries(self, site: str | None = None) -> list[DeadLetter]:
+        """All entries, optionally filtered to one site."""
+        if site is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.site == site]
+
+    def since(self, n: int) -> list[DeadLetter]:
+        """Entries appended after the first ``n`` (worker delta export)."""
+        return list(self._entries[n:])
+
+    def counts_by_site(self) -> dict[str, int]:
+        """Entry counts per site (the stats-reconciliation view)."""
+        out: dict[str, int] = {}
+        for e in self._entries:
+            out[e.site] = out.get(e.site, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        """Drop all entries (metric counters are cumulative and stay)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DeadLetterQueue(n={len(self._entries)})"

@@ -36,6 +36,16 @@ __all__ = [
     "relay_received",
     "relay_dropped",
     "classifier_backlog",
+    "fluentd_dropped",
+    "degraded_mode",
+    "degraded_transitions",
+    "degraded_messages",
+    "faults_injected",
+    "faults_dead_letters",
+    "faults_quarantined",
+    "faults_worker_respawns",
+    "faults_chunk_retries",
+    "faults_serial_fallbacks",
     "declare_all",
 ]
 
@@ -183,6 +193,94 @@ def classifier_backlog(registry: MetricsRegistry | None = None) -> Gauge:
     )
 
 
+def fluentd_dropped(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: buffered messages evicted under the drop-oldest policy."""
+    return _reg(registry).counter(
+        "repro_stream_fluentd_dropped_total",
+        "Buffered messages evicted by the drop-oldest overflow policy",
+    )
+
+
+def degraded_mode(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: 1 while the cluster is shedding load, else 0."""
+    return _reg(registry).gauge(
+        "repro_stream_degraded_mode",
+        "1 while the classifier stage is degraded to the cheap path",
+    )
+
+
+def degraded_transitions(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: degraded-mode transitions, labelled enter/exit."""
+    return _reg(registry).counter(
+        "repro_stream_degraded_transitions_total",
+        "Degraded-mode transitions (direction=enter|exit)",
+        labels=("direction",),
+    )
+
+
+def degraded_messages(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages classified by the cheap degraded path."""
+    return _reg(registry).counter(
+        "repro_stream_degraded_messages_total",
+        "Messages classified by the cheap blacklist/bucketing path "
+        "while degraded",
+    )
+
+
+# -- fault injection & resilience --------------------------------------
+
+
+def faults_injected(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: injector fires, labelled by fault site."""
+    return _reg(registry).counter(
+        "repro_faults_injected_total",
+        "Faults fired by the injector per site",
+        labels=("site",),
+    )
+
+
+def faults_dead_letters(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages captured into a dead-letter queue, per site."""
+    return _reg(registry).counter(
+        "repro_faults_dead_letters_total",
+        "Messages captured into a dead-letter queue per site",
+        labels=("site",),
+    )
+
+
+def faults_quarantined(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages quarantined by per-message classify salvage."""
+    return _reg(registry).counter(
+        "repro_faults_quarantined_total",
+        "Messages quarantined by classify_batch instead of aborting "
+        "the batch",
+    )
+
+
+def faults_worker_respawns(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: shard worker pools respawned after a worker death."""
+    return _reg(registry).counter(
+        "repro_faults_worker_respawns_total",
+        "Shard worker pools respawned after a dead worker was detected",
+    )
+
+
+def faults_chunk_retries(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: chunks re-dispatched after a crash/timeout/error."""
+    return _reg(registry).counter(
+        "repro_faults_chunk_retries_total",
+        "Chunks re-dispatched to the pool after a failed attempt",
+    )
+
+
+def faults_serial_fallbacks(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: chunks routed through the serial path post-retry-budget."""
+    return _reg(registry).counter(
+        "repro_faults_serial_fallbacks_total",
+        "Chunks classified serially after the retry budget was exhausted",
+    )
+
+
 def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
     """Register every well-known family; returns the registry.
 
@@ -197,6 +295,10 @@ def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
         shard_queue_wait_seconds, shard_messages, shard_chunks,
         fluentd_buffer_depth, fluentd_flush_size, fluentd_flushed_messages,
         relay_received, relay_dropped, classifier_backlog,
+        fluentd_dropped, degraded_mode, degraded_transitions,
+        degraded_messages, faults_injected, faults_dead_letters,
+        faults_quarantined, faults_worker_respawns, faults_chunk_retries,
+        faults_serial_fallbacks,
     ):
         factory(registry)
     return registry

@@ -4,8 +4,17 @@
 using Fluentd running on a dedicated server."  The forwarder models
 Fluentd's buffered output plugin: messages accumulate in a bounded
 buffer; a periodic flush writes a batch to the store; failed flushes
-retry with exponential backoff; a full buffer rejects new messages
-(which the relay counts as drops).
+retry with exponential backoff under an optional bounded budget; a
+full buffer applies the configured overflow policy (reject, evict the
+oldest, or dead-letter the newcomer).
+
+Flushes are all-or-nothing per batch: the buffer is mutated only after
+the sink accepted the whole batch, and a sink that *raises* is treated
+exactly like one that returns False — counted as a failed flush, batch
+kept for retry.  Combined with the dead-letter captures, every message
+offered is accounted for: delivered, rejected-and-counted,
+evicted-and-counted, or parked in :attr:`dead_letters` — never lost
+silently.
 """
 
 from __future__ import annotations
@@ -14,14 +23,30 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.message import SyslogMessage
+from repro.faults.dlq import DeadLetterQueue
+from repro.faults.plan import SITE_FLUSH_FAIL
 from repro.stream.events import EventEngine
 
-__all__ = ["FluentdForwarder", "ForwarderStats"]
+__all__ = ["FluentdForwarder", "ForwarderStats", "OVERFLOW_POLICIES"]
+
+#: dead-letter sites used by the forwarder
+OVERFLOW_SITE = "fluentd.overflow"
+ABANDON_SITE = "fluentd.flush_abandoned"
+
+#: valid values for :attr:`FluentdForwarder.overflow`
+OVERFLOW_POLICIES = ("block", "drop_oldest", "dead_letter")
 
 
 @dataclass
 class ForwarderStats:
-    """Cumulative forwarder counters."""
+    """Cumulative forwarder counters.
+
+    Conservation invariants (checked by the chaos suite)::
+
+        offered  == accepted + rejected + dead_lettered
+        accepted == flushed_messages + buffered + evicted
+                    + abandoned_messages
+    """
 
     accepted: int = 0
     rejected: int = 0
@@ -29,6 +54,13 @@ class ForwarderStats:
     flushed_messages: int = 0
     failed_flushes: int = 0
     max_buffer_seen: int = 0
+    #: oldest messages evicted by the ``drop_oldest`` overflow policy
+    evicted: int = 0
+    #: overflow newcomers captured by the ``dead_letter`` policy
+    dead_lettered: int = 0
+    #: flush batches given up on after ``flush_retry_limit`` failures
+    abandoned_flushes: int = 0
+    abandoned_messages: int = 0
 
 
 @dataclass
@@ -41,15 +73,32 @@ class FluentdForwarder:
         The event engine (flushes are scheduled on it).
     sink:
         Batch write target; returns True on success.  (Normally
-        :meth:`repro.stream.opensearch.LogStore.bulk_index`.)
+        :meth:`repro.stream.opensearch.LogStore.bulk_index`.)  A sink
+        that raises is treated as a failed flush, not a crash.
     flush_interval_s:
         Seconds between scheduled flushes.
     batch_size:
         Max messages per flush call.
     buffer_limit:
-        Max buffered messages before backpressure.
+        Max buffered messages before the overflow policy applies.
     retry_base_s, retry_max_s:
-        Exponential-backoff bounds after a failed flush.
+        Exponential-backoff bounds after a failed flush (doubling with
+        each *consecutive* failure; any success resets the schedule).
+    overflow:
+        Policy when the buffer is full at :meth:`offer` time —
+        ``"block"`` rejects the newcomer (the relay counts it as a
+        drop), ``"drop_oldest"`` evicts the oldest buffered message to
+        make room, ``"dead_letter"`` parks the newcomer in
+        :attr:`dead_letters` with an overflow reason.
+    flush_retry_limit:
+        Bounded retry budget per stuck head batch: after this many
+        consecutive failed flushes the head batch is abandoned to
+        :attr:`dead_letters` so the buffer can make progress.  ``None``
+        (default) retries forever, matching Fluentd's retry_forever.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector`; when armed at
+        ``fluentd.flush`` it fails flushes before the sink is called,
+        exercising the retry/abandon machinery deterministically.
     """
 
     engine: EventEngine
@@ -59,13 +108,31 @@ class FluentdForwarder:
     buffer_limit: int = 50_000
     retry_base_s: float = 0.5
     retry_max_s: float = 30.0
+    overflow: str = "block"
+    flush_retry_limit: int | None = None
+    fault_injector: object = None
 
     stats: ForwarderStats = field(default_factory=ForwarderStats)
+    #: overflow/abandon captures land here with their reason
+    dead_letters: DeadLetterQueue = field(
+        default_factory=DeadLetterQueue, init=False, repr=False
+    )
     _buffer: list[SyslogMessage] = field(default_factory=list, init=False, repr=False)
     _retry_delay: float = field(default=0.0, init=False, repr=False)
+    _consecutive_failures: int = field(default=0, init=False, repr=False)
     _started: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {self.overflow!r}"
+            )
+        if self.flush_retry_limit is not None and self.flush_retry_limit < 1:
+            raise ValueError(
+                f"flush_retry_limit must be >= 1 or None, "
+                f"got {self.flush_retry_limit}"
+            )
         # resolved once — offer() runs per message, so the registry
         # lookup must not sit on that path
         from repro.obs import wellknown
@@ -73,6 +140,7 @@ class FluentdForwarder:
         self._m_buffer_depth = wellknown.fluentd_buffer_depth()
         self._m_flush_size = wellknown.fluentd_flush_size()
         self._m_flushed = wellknown.fluentd_flushed_messages()
+        self._m_dropped = wellknown.fluentd_dropped()
 
     def start(self) -> None:
         """Begin the periodic flush cycle."""
@@ -81,10 +149,28 @@ class FluentdForwarder:
             self.engine.schedule(self.flush_interval_s, self._flush_tick)
 
     def offer(self, message: SyslogMessage) -> bool:
-        """Accept a message into the buffer; False when full."""
+        """Accept a message into the buffer; False when rejected.
+
+        A full buffer applies :attr:`overflow`: ``block`` returns False
+        (caller counts the drop), ``drop_oldest`` evicts the oldest
+        buffered message and accepts, ``dead_letter`` parks the
+        newcomer and returns False — but counted, not lost.
+        """
         if len(self._buffer) >= self.buffer_limit:
-            self.stats.rejected += 1
-            return False
+            if self.overflow == "drop_oldest":
+                del self._buffer[0]
+                self.stats.evicted += 1
+                self._m_dropped.inc()
+            elif self.overflow == "dead_letter":
+                self.stats.dead_lettered += 1
+                self.dead_letters.push(
+                    OVERFLOW_SITE, message,
+                    f"buffer full at {self.buffer_limit}",
+                )
+                return False
+            else:  # block
+                self.stats.rejected += 1
+                return False
         self._buffer.append(message)
         self.stats.accepted += 1
         self.stats.max_buffer_seen = max(self.stats.max_buffer_seen, len(self._buffer))
@@ -96,27 +182,68 @@ class FluentdForwarder:
         delay = self._retry_delay if self._retry_delay > 0 else self.flush_interval_s
         self.engine.schedule(delay, self._flush_tick)
 
+    def _attempt_sink(self, batch: list[SyslogMessage]) -> bool:
+        """One sink call, injection-aware and exception-safe."""
+        inj = self.fault_injector
+        if inj is not None and inj.should_fire(SITE_FLUSH_FAIL):
+            return False
+        try:
+            return bool(self.sink(batch))
+        except Exception:
+            return False
+
     def flush(self) -> int:
-        """Write up to ``batch_size`` buffered messages; returns count."""
+        """Write up to ``batch_size`` buffered messages; returns count.
+
+        All-or-nothing per batch: on success the whole batch leaves the
+        buffer and is counted flushed; on failure (sink returned False,
+        sink raised, or an injected ``fluentd.flush`` fault) nothing
+        leaves, the failure is counted, and the retry backoff grows.
+        With a bounded :attr:`flush_retry_limit`, a head batch that
+        burns the whole budget is abandoned to :attr:`dead_letters`
+        instead of wedging the buffer forever.
+        """
         if not self._buffer:
             self._retry_delay = 0.0
+            self._consecutive_failures = 0
             return 0
         batch = self._buffer[: self.batch_size]
-        if self.sink(batch):
+        if self._attempt_sink(batch):
             del self._buffer[: len(batch)]
             self.stats.flushed_batches += 1
             self.stats.flushed_messages += len(batch)
             self._retry_delay = 0.0
+            self._consecutive_failures = 0
             self._m_buffer_depth.set(len(self._buffer))
             self._m_flush_size.set(len(batch))
             self._m_flushed.inc(len(batch))
             return len(batch)
         self.stats.failed_flushes += 1
+        self._consecutive_failures += 1
+        if (
+            self.flush_retry_limit is not None
+            and self._consecutive_failures >= self.flush_retry_limit
+        ):
+            self._abandon(batch)
         self._retry_delay = min(
-            self.retry_base_s * 2 ** min(self.stats.failed_flushes, 10),
+            self.retry_base_s * 2 ** min(self._consecutive_failures, 10),
             self.retry_max_s,
         )
         return 0
+
+    def _abandon(self, batch: list[SyslogMessage]) -> None:
+        """Dead-letter a head batch that exhausted its retry budget."""
+        del self._buffer[: len(batch)]
+        self.stats.abandoned_flushes += 1
+        self.stats.abandoned_messages += len(batch)
+        for pos, message in enumerate(batch):
+            self.dead_letters.push(
+                ABANDON_SITE, message,
+                f"flush failed {self._consecutive_failures} times",
+                batch_position=pos,
+            )
+        self._consecutive_failures = 0
+        self._m_buffer_depth.set(len(self._buffer))
 
     def drain(
         self, max_rounds: int = 1_000_000, max_consecutive_failures: int = 50
@@ -124,7 +251,9 @@ class FluentdForwarder:
         """Flush repeatedly until the buffer empties; returns flushed.
 
         Transient sink failures are retried; the drain only gives up
-        after ``max_consecutive_failures`` failed flushes in a row.
+        after ``max_consecutive_failures`` rounds in a row with no
+        progress (neither a flush nor an abandonment shrank the
+        buffer).
 
         Raises
         ------
@@ -136,17 +265,18 @@ class FluentdForwarder:
         for _ in range(max_rounds):
             if not self._buffer:
                 return total
+            before = len(self._buffer)
             n = self.flush()
-            if n == 0:
+            if len(self._buffer) < before:
+                consecutive = 0
+                total += n
+            else:
                 consecutive += 1
                 if consecutive >= max_consecutive_failures:
                     raise RuntimeError(
                         f"drain stalled with {len(self._buffer)} messages "
                         f"buffered after {consecutive} consecutive failures"
                     )
-            else:
-                consecutive = 0
-                total += n
         raise RuntimeError("drain exceeded max_rounds")
 
     @property

@@ -85,14 +85,26 @@ class LogStore:
 
     # -- indexing -------------------------------------------------------
 
-    def index(self, message: SyslogMessage, category: Category | None = None) -> int:
-        """Index one message; returns its doc id."""
+    def index(
+        self,
+        message: SyslogMessage,
+        category: Category | None = None,
+        *,
+        _tokens: list[str] | None = None,
+    ) -> int:
+        """Index one message; returns its doc id.
+
+        ``_tokens`` lets :meth:`bulk_index` pass pre-computed analysis
+        so a batch can be analyzed in full *before* any document
+        mutates the store (all-or-nothing bulk semantics).
+        """
         doc_id = len(self._docs)
         doc = LogDocument(doc_id=doc_id, message=message, category=category)
         self._docs.append(doc)
         self._shard_counts[doc_id % self.n_shards] += 1
         seen: set[str] = set()
-        for tok in self._analyze(message.text):
+        tokens = _tokens if _tokens is not None else self._analyze(message.text)
+        for tok in tokens:
             if tok not in seen:
                 seen.add(tok)
                 self._postings[tok].append(doc_id)
@@ -116,9 +128,17 @@ class LogStore:
             self._time_dirty = False
 
     def bulk_index(self, messages: Sequence[SyslogMessage]) -> bool:
-        """Index a batch (the Fluentd sink contract); always succeeds."""
-        for m in messages:
-            self.index(m)
+        """Index a batch (the Fluentd sink contract), all-or-nothing.
+
+        Every message is analyzed *before* the first document lands, so
+        a poison message (undecodable text, a tokenizer crash) fails
+        the whole batch cleanly: the exception propagates with the
+        store unchanged, the forwarder counts a failed flush, and the
+        batch stays buffered for retry — no half-indexed flush.
+        """
+        analyzed = [self._analyze(m.text) for m in messages]
+        for m, toks in zip(messages, analyzed):
+            self.index(m, _tokens=toks)
         return True
 
     def set_category(self, doc_id: int, category: Category) -> None:

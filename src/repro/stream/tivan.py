@@ -50,14 +50,27 @@ class ClassifierStage:
         changes scheduling granularity, not modelled throughput —
         but it collapses the *real* per-message Python overhead of the
         attached classifier by the batch factor.
+    cheap_classify_batch:
+        Optional cheap path for degraded mode — typically the
+        blacklist/bucketing filter alone (§5.1), orders of magnitude
+        cheaper than the model.  Used instead of
+        ``classify_batch``/``classify`` while the cluster is shedding
+        load; documents it labels count into :attr:`n_degraded`.
+    degraded_service_time_s:
+        Simulated per-message seconds on the cheap path; defaults to
+        ``service_time_s / 10``.
     """
 
     service_time_s: float
     classify: Callable[[str], Category] | None = None
     classify_batch: Callable[[Sequence[str]], Sequence[Category]] | None = None
     batch_size: int = 1
+    cheap_classify_batch: Callable[[Sequence[str]], Sequence[Category]] | None = None
+    degraded_service_time_s: float | None = None
 
     n_done: int = field(default=0, init=False)
+    #: documents labelled by the cheap path while degraded
+    n_degraded: int = field(default=0, init=False)
     _busy: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -67,6 +80,13 @@ class ClassifierStage:
             )
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.degraded_service_time_s is None:
+            self.degraded_service_time_s = self.service_time_s / 10.0
+        elif self.degraded_service_time_s <= 0:
+            raise ValueError(
+                f"degraded_service_time_s must be positive, got "
+                f"{self.degraded_service_time_s}"
+            )
 
 
 @dataclass
@@ -91,6 +111,10 @@ class IngestReport:
     backlog_timeline: list[tuple[float, int]]
     #: messages flushed to the store by the post-horizon settle drain
     drained: int = 0
+    #: documents labelled by the cheap path while degraded
+    classified_degraded: int = 0
+    #: degraded-mode enter+exit transitions during the run
+    degrade_transitions: int = 0
 
     @property
     def keeping_up(self) -> bool:
@@ -111,6 +135,19 @@ class TivanCluster:
         Store shards (paper: 6 OpenSearch data nodes).
     flush_interval_s, batch_size, buffer_limit:
         Fluentd forwarder tuning.
+    overflow, flush_retry_limit:
+        Forwarder resilience knobs (see :class:`FluentdForwarder`).
+    degrade_backlog:
+        Classifier backlog at which the cluster sheds load: the stage
+        switches to its ``cheap_classify_batch`` path until the backlog
+        recovers.  ``None`` (default) disables degraded mode.
+    recover_backlog:
+        Backlog at which a degraded cluster returns to the full model
+        path; defaults to ``degrade_backlog // 2`` (hysteresis, so the
+        mode cannot flap on every tick).
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector`, armed on the
+        forwarder's ``fluentd.flush`` site.
     """
 
     def __init__(
@@ -120,7 +157,25 @@ class TivanCluster:
         flush_interval_s: float = 1.0,
         batch_size: int = 1000,
         buffer_limit: int = 100_000,
+        overflow: str = "block",
+        flush_retry_limit: int | None = None,
+        degrade_backlog: int | None = None,
+        recover_backlog: int | None = None,
+        fault_injector=None,
     ) -> None:
+        if degrade_backlog is not None and degrade_backlog < 1:
+            raise ValueError(
+                f"degrade_backlog must be >= 1, got {degrade_backlog}"
+            )
+        if recover_backlog is None:
+            recover_backlog = (degrade_backlog // 2) if degrade_backlog else 0
+        elif degrade_backlog is None:
+            raise ValueError("recover_backlog requires degrade_backlog")
+        elif not 0 <= recover_backlog < degrade_backlog:
+            raise ValueError(
+                f"recover_backlog must be in [0, degrade_backlog), got "
+                f"{recover_backlog} with degrade_backlog={degrade_backlog}"
+            )
         self.engine = EventEngine()
         self.store = LogStore(n_shards=n_shards)
         self.forwarder = FluentdForwarder(
@@ -129,9 +184,16 @@ class TivanCluster:
             flush_interval_s=flush_interval_s,
             batch_size=batch_size,
             buffer_limit=buffer_limit,
+            overflow=overflow,
+            flush_retry_limit=flush_retry_limit,
+            fault_injector=fault_injector,
         )
         self.relay = SyslogRelay(downstream=self.forwarder.offer)
         self.daemons: dict[str, SyslogDaemon] = {}
+        self.degrade_backlog = degrade_backlog
+        self.recover_backlog = recover_backlog
+        self.degraded = False
+        self.n_degrade_transitions = 0
         self._stage: ClassifierStage | None = None
         self._backlog_samples: list[tuple[float, int]] = []
 
@@ -175,6 +237,8 @@ class TivanCluster:
             final_backlog=indexed_at_horizon - classified,
             backlog_timeline=list(self._backlog_samples),
             drained=drained,
+            classified_degraded=self._stage.n_degraded if self._stage else 0,
+            degrade_transitions=self.n_degrade_transitions,
         )
 
     # -- internals ---------------------------------------------------------
@@ -196,14 +260,52 @@ class TivanCluster:
 
         self.engine.schedule(every, sample)
 
+    def _update_degraded(self, backlog: int) -> None:
+        """Hysteresis between the full and cheap classification paths.
+
+        Enter degraded mode when the backlog crosses
+        ``degrade_backlog``; leave only once it has fallen back to
+        ``recover_backlog``, so the mode cannot flap on every tick.
+        Transitions are counted here and mirrored into the
+        ``repro_stream_degraded_*`` families.
+        """
+        if self.degrade_backlog is None:
+            return
+        from repro.obs import wellknown
+
+        if not self.degraded and backlog >= self.degrade_backlog:
+            self.degraded = True
+            self.n_degrade_transitions += 1
+            wellknown.degraded_mode().set(1)
+            wellknown.degraded_transitions().inc(direction="enter")
+        elif self.degraded and backlog <= self.recover_backlog:
+            self.degraded = False
+            self.n_degrade_transitions += 1
+            wellknown.degraded_mode().set(0)
+            wellknown.degraded_transitions().inc(direction="exit")
+
     def _classifier_tick(self) -> None:
         stage = self._stage
         assert stage is not None
         pending = len(self.store) - stage.n_done
+        self._update_degraded(pending)
         if pending > 0:
             take = min(pending, stage.batch_size)
             docs = [self.store.get(stage.n_done + i) for i in range(take)]
-            if stage.classify_batch is not None:
+            shed = (
+                self.degraded and stage.cheap_classify_batch is not None
+            )
+            if shed:
+                categories = stage.cheap_classify_batch(
+                    [d.message.text for d in docs]
+                )
+                for doc, cat in zip(docs, categories):
+                    self.store.set_category(doc.doc_id, cat)
+                stage.n_degraded += take
+                from repro.obs import wellknown
+
+                wellknown.degraded_messages().inc(take)
+            elif stage.classify_batch is not None:
                 categories = stage.classify_batch([d.message.text for d in docs])
                 for doc, cat in zip(docs, categories):
                     self.store.set_category(doc.doc_id, cat)
@@ -213,9 +315,10 @@ class TivanCluster:
                         doc.doc_id, stage.classify(doc.message.text)
                     )
             stage.n_done += take
-            self.engine.schedule(
-                stage.service_time_s * take, self._classifier_tick
+            service = (
+                stage.degraded_service_time_s if shed else stage.service_time_s
             )
+            self.engine.schedule(service * take, self._classifier_tick)
         else:
             # idle poll: wake up when new documents may have arrived
             self.engine.schedule(

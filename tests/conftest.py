@@ -25,6 +25,49 @@ from repro.llm.embeddings import CorpusEmbeddings
 from repro.ml.model_selection import train_test_split
 from repro.textproc.tfidf import TfidfVectorizer
 
+# -- --timeout fallback ----------------------------------------------------
+# The chaos suite kills worker processes on purpose; a regression that
+# reintroduces an indefinite hang must fail the run, not wedge it.  CI
+# installs pytest-timeout; when it is absent (local dev containers),
+# provide a faulthandler-based fallback under the same option name so
+# `pytest --timeout=N` works everywhere.  Registering the option twice
+# would crash pytest, hence the import guard.
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        parser.addoption(
+            "--timeout", type=float, default=None,
+            help="per-test timeout in seconds (faulthandler fallback; "
+                 "dumps all stacks and aborts the run on expiry)",
+        )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    timeout = (
+        None if _HAVE_PYTEST_TIMEOUT
+        else item.config.getoption("--timeout", None)
+    )
+    if timeout:
+        import faulthandler
+
+        # exit=True: a hung test cannot be un-hung from inside the
+        # process, so dump every thread's stack and abort hard
+        faulthandler.dump_traceback_later(timeout, exit=True)
+        try:
+            yield
+        finally:
+            faulthandler.cancel_dump_traceback_later()
+    else:
+        yield
+
 
 @pytest.fixture(scope="session")
 def corpus() -> LabeledCorpus:

@@ -1,0 +1,629 @@
+"""Chaos suite: fault injection, resilience, and no-silent-loss.
+
+Every scenario runs under a fixed seed (shiftable with
+``REPRO_CHAOS_SEED`` for the CI seed matrix) and checks three things:
+
+1. **Conservation** — delivered + dead-lettered + dropped-and-counted
+   equals submitted, at every layer.  Nothing vanishes silently.
+2. **Parity** — messages that survive a fault get the same prediction
+   the fault-free path produces.
+3. **Reconciliation** — the ``repro_faults_*`` metric families agree
+   with the injector's own fire log and the layers' stats objects.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.pipeline import ClassificationPipeline
+from repro.core.message import SyslogMessage
+from repro.core.taxonomy import Category
+from repro.faults import (
+    SITE_CHUNK_TIMEOUT,
+    SITE_FLUSH_FAIL,
+    SITE_POISON,
+    SITE_WORKER_CRASH,
+    DeadLetterQueue,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.ml import ComplementNB
+from repro.obs import MetricsRegistry, use_registry, wellknown
+from repro.runtime import MessageBatch, ShardedExecutor
+from repro.stream.events import EventEngine
+from repro.stream.fluentd import FluentdForwarder
+from repro.stream.opensearch import LogStore
+from repro.stream.tivan import ClassifierStage, TivanCluster
+
+#: the CI chaos job shifts this to run the whole suite under other seeds
+SEED_SHIFT = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+CHAOS_SEEDS = [SEED_SHIFT, SEED_SHIFT + 1, SEED_SHIFT + 2]
+
+
+def _messages(n, seed=0):
+    return [
+        SyslogMessage(timestamp=float(i), hostname=f"cn{(seed + i) % 5:03d}",
+                      app="kernel", text=f"seed {seed} message number {i}")
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus):
+    pipe = ClassificationPipeline(classifier=ComplementNB())
+    pipe.fit(corpus.texts[:600], corpus.labels[:600])
+    return pipe
+
+
+# -- plan / injector -------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(probability=1.5)
+        with pytest.raises(ValueError, match="at_calls"):
+            FaultSpec(at_calls=(0,))
+        with pytest.raises(ValueError, match="limit"):
+            FaultSpec(limit=-1)
+
+    def test_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            sites={
+                SITE_FLUSH_FAIL: FaultSpec(probability=0.25, limit=3),
+                SITE_WORKER_CRASH: FaultSpec(at_calls=(2, 5)),
+            },
+            seed=7,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        p = tmp_path / "plan.json"
+        import json
+
+        p.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_file(p) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_dict({"seed": 1, "sites": {}, "bogus": True})
+        with pytest.raises(ValueError, match="unknown"):
+            FaultSpec.from_dict({"chance": 0.1})
+
+    def test_never_plan_never_fires(self):
+        inj = FaultInjector(FaultPlan.never())
+        assert not any(inj.should_fire(s) for s in (SITE_POISON,) * 100)
+        assert inj.fire_log == []
+
+
+class TestInjectorDeterminism:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_same_seed_same_fires(self, seed):
+        plan = FaultPlan(
+            sites={SITE_POISON: FaultSpec(probability=0.3)}, seed=seed
+        )
+        logs = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            fires = [inj.should_fire(SITE_POISON) for _ in range(200)]
+            logs.append((fires, list(inj.fire_log)))
+        assert logs[0] == logs[1]
+        assert any(logs[0][0])
+
+    def test_sites_are_independent_streams(self):
+        """Interleaving checks of another site must not perturb a site."""
+        plan = FaultPlan(
+            sites={
+                SITE_POISON: FaultSpec(probability=0.3),
+                SITE_FLUSH_FAIL: FaultSpec(probability=0.5),
+            },
+            seed=11,
+        )
+        solo = FaultInjector(plan)
+        solo_fires = [solo.should_fire(SITE_POISON) for _ in range(100)]
+        mixed = FaultInjector(plan)
+        mixed_fires = []
+        for i in range(100):
+            if i % 3 == 0:
+                mixed.should_fire(SITE_FLUSH_FAIL)
+            mixed_fires.append(mixed.should_fire(SITE_POISON))
+        assert mixed_fires == solo_fires
+
+    def test_at_calls_and_limit(self):
+        plan = FaultPlan(
+            sites={SITE_WORKER_CRASH: FaultSpec(at_calls=(2, 4, 6), limit=2)}
+        )
+        inj = FaultInjector(plan)
+        fires = [inj.should_fire(SITE_WORKER_CRASH) for _ in range(8)]
+        assert fires == [False, True, False, True, False, False, False, False]
+        assert inj.fire_counts() == {SITE_WORKER_CRASH: 2}
+        assert inj.call_counts() == {SITE_WORKER_CRASH: 8}
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan(sites={SITE_POISON: FaultSpec(probability=0.4)}, seed=3)
+        inj = FaultInjector(plan)
+        first = [inj.should_fire(SITE_POISON) for _ in range(50)]
+        inj.reset()
+        assert [inj.should_fire(SITE_POISON) for _ in range(50)] == first
+
+    def test_check_raises_injected_fault(self):
+        inj = FaultInjector(
+            FaultPlan(sites={SITE_POISON: FaultSpec(at_calls=(1,))})
+        )
+        with pytest.raises(InjectedFault) as exc:
+            inj.check(SITE_POISON)
+        assert exc.value.site == SITE_POISON
+
+    def test_fires_counted_in_registry(self):
+        with use_registry(MetricsRegistry()) as reg:
+            inj = FaultInjector(
+                FaultPlan(sites={SITE_POISON: FaultSpec(at_calls=(1, 2))})
+            )
+            inj.should_fire(SITE_POISON)
+            inj.should_fire(SITE_POISON)
+            assert wellknown.faults_injected(reg).value(site=SITE_POISON) == 2
+
+
+class TestDeadLetterQueue:
+    def test_push_and_filter(self):
+        dlq = DeadLetterQueue()
+        dlq.push("a.site", "payload", "ValueError('x')", batch_index=3)
+        dlq.push("b.site", "other", "boom")
+        assert len(dlq) == 2
+        assert [e.seq for e in dlq] == [1, 2]
+        assert dlq.entries("a.site")[0].context == {"batch_index": 3}
+        assert dlq.counts_by_site() == {"a.site": 1, "b.site": 1}
+
+    def test_extend_renumbers_and_counts(self):
+        with use_registry(MetricsRegistry()) as reg:
+            # src plays the shard worker: its registry is invisible to
+            # the parent, so only extend() counts into ours
+            src = DeadLetterQueue(registry=MetricsRegistry())
+            dst = DeadLetterQueue()
+            dst.push("x", "p0", "e0")
+            src.push("y", "p1", "e1")
+            src.push("y", "p2", "e2")
+            assert dst.extend(src.since(0)) == 2
+            assert [e.seq for e in dst] == [1, 2, 3]
+            assert wellknown.faults_dead_letters(reg).value(site="y") == 2
+
+
+# -- pipeline poison quarantine --------------------------------------------
+
+
+class TestPoisonQuarantine:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_no_silent_loss_and_parity(self, fitted, corpus, seed):
+        probe = list(corpus.texts[600:680])
+        clean = [r.category for r in fitted.classify_batch(probe)]
+        with use_registry(MetricsRegistry()) as reg:
+            pipe = ClassificationPipeline(classifier=ComplementNB())
+            pipe.fit(corpus.texts[:600], corpus.labels[:600])
+            inj = FaultInjector(FaultPlan(
+                sites={SITE_POISON: FaultSpec(probability=0.2)}, seed=seed
+            ))
+            pipe.fault_injector = inj
+            results = pipe.classify_batch(probe)
+            # conservation: one result per input, no exception escaped
+            assert len(results) == len(probe)
+            quarantined = [r for r in results if r.quarantined]
+            fired = inj.fire_counts().get(SITE_POISON, 0)
+            assert len(quarantined) == fired > 0
+            assert len(pipe.dead_letters) == fired
+            assert all(
+                r.category is Category.UNIMPORTANT and r.confidence is None
+                for r in quarantined
+            )
+            # parity: survivors predicted exactly as the clean pipeline
+            for r, want in zip(results, clean):
+                if not r.quarantined:
+                    assert r.category == want
+            # reconciliation: metrics agree with the injector fire log
+            assert wellknown.faults_injected(reg).value(site=SITE_POISON) == fired
+            assert wellknown.faults_quarantined(reg).value() == fired
+            assert (
+                wellknown.faults_dead_letters(reg).value(site=SITE_POISON)
+                == fired
+            )
+
+    def test_garbage_quarantined_not_crashed(self, fitted):
+        """A predict-path crash on one message must not abort the batch."""
+
+        class PoisonVectorizer:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def analyze_batch(self, texts):
+                if any("POISON" in t for t in texts):
+                    raise ValueError("poisoned batch")
+                return self.inner.analyze_batch(texts)
+
+            def transform_analyzed(self, docs):
+                return self.inner.transform_analyzed(docs)
+
+        probe = ["Warning: Socket 2 throttled", "POISON pill", "sshd session opened"]
+        pipe = ClassificationPipeline(classifier=fitted.classifier)
+        pipe.vectorizer = PoisonVectorizer(fitted.vectorizer)
+        pipe._fitted = True
+        results = pipe.classify_batch(probe)
+        assert len(results) == 3
+        assert [r.quarantined for r in results] == [False, True, False]
+        assert len(pipe.dead_letters) == 1
+        assert pipe.dead_letters.entries()[0].payload == "POISON pill"
+
+
+# -- forwarder flush faults ------------------------------------------------
+
+
+def _forwarder_conservation(fwd, offered):
+    s = fwd.stats
+    assert offered == s.accepted + s.rejected + s.dead_lettered
+    assert s.accepted == (
+        s.flushed_messages + fwd.buffered + s.evicted + s.abandoned_messages
+    )
+
+
+class TestForwarderChaos:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_flush_faults_conserve_messages(self, seed):
+        with use_registry(MetricsRegistry()) as reg:
+            engine = EventEngine()
+            store = LogStore(n_shards=2)
+            inj = FaultInjector(FaultPlan(
+                sites={SITE_FLUSH_FAIL: FaultSpec(probability=0.4)}, seed=seed
+            ))
+            fwd = FluentdForwarder(
+                engine=engine, sink=store.bulk_index, batch_size=20,
+                buffer_limit=1000, fault_injector=inj,
+            )
+            msgs = _messages(300, seed)
+            for m in msgs:
+                fwd.offer(m)
+            flushed = fwd.drain()
+            assert flushed == 300 and len(store) == 300
+            _forwarder_conservation(fwd, 300)
+            # reconciliation: every injected fire is a counted failure
+            fired = inj.fire_counts().get(SITE_FLUSH_FAIL, 0)
+            assert fired > 0
+            assert fwd.stats.failed_flushes == fired
+            assert (
+                wellknown.faults_injected(reg).value(site=SITE_FLUSH_FAIL)
+                == fired
+            )
+
+    def test_raising_sink_counts_failed_flush(self):
+        with use_registry(MetricsRegistry()):
+            engine = EventEngine()
+            calls = []
+
+            def sink(batch):
+                calls.append(len(batch))
+                if len(calls) == 1:
+                    raise ConnectionError("sink went away")
+                return True
+
+            fwd = FluentdForwarder(engine=engine, sink=sink, batch_size=10)
+            for m in _messages(10):
+                fwd.offer(m)
+            assert fwd.flush() == 0
+            assert fwd.stats.failed_flushes == 1
+            assert fwd.buffered == 10  # all-or-nothing: nothing left early
+            assert fwd.flush() == 10
+            _forwarder_conservation(fwd, 10)
+
+    def test_bounded_retry_budget_abandons_head_batch(self):
+        with use_registry(MetricsRegistry()) as reg:
+            engine = EventEngine()
+            fwd = FluentdForwarder(
+                engine=engine, sink=lambda b: False, batch_size=25,
+                flush_retry_limit=3,
+            )
+            for m in _messages(50):
+                fwd.offer(m)
+            # drain completes by abandoning both stuck batches, instead
+            # of raising the unbounded-retry stall error
+            assert fwd.drain(max_consecutive_failures=10) == 0
+            assert fwd.buffered == 0
+            s = fwd.stats
+            assert s.abandoned_flushes == 2
+            assert s.abandoned_messages == 50
+            assert s.failed_flushes == 6  # 3 per abandoned batch
+            assert len(fwd.dead_letters) == 50
+            _forwarder_conservation(fwd, 50)
+            assert (
+                wellknown.faults_dead_letters(reg).value(
+                    site="fluentd.flush_abandoned"
+                )
+                == 50
+            )
+
+    def test_backoff_resets_after_success(self):
+        with use_registry(MetricsRegistry()):
+            engine = EventEngine()
+            fail = [True]
+            fwd = FluentdForwarder(
+                engine=engine, sink=lambda b: not fail[0], batch_size=10,
+                retry_base_s=0.5,
+            )
+            for m in _messages(10):
+                fwd.offer(m)
+            fwd.flush()
+            first_delay = fwd._retry_delay
+            fwd.flush()
+            assert fwd._retry_delay > first_delay  # consecutive growth
+            fail[0] = False
+            fwd.flush()
+            assert fwd._retry_delay == 0.0
+            for m in _messages(10):
+                fwd.offer(m)
+            fail[0] = True
+            fwd.flush()
+            assert fwd._retry_delay == first_delay  # schedule restarted
+
+
+class TestOverflowPolicies:
+    def _full_forwarder(self, overflow):
+        engine = EventEngine()
+        fwd = FluentdForwarder(
+            engine=engine, sink=lambda b: True, batch_size=5,
+            buffer_limit=10, overflow=overflow,
+        )
+        for m in _messages(10):
+            assert fwd.offer(m)
+        return fwd
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="overflow"):
+            FluentdForwarder(
+                engine=EventEngine(), sink=lambda b: True, overflow="explode"
+            )
+
+    def test_block_rejects(self):
+        with use_registry(MetricsRegistry()):
+            fwd = self._full_forwarder("block")
+            assert not fwd.offer(_messages(1)[0])
+            assert fwd.stats.rejected == 1 and fwd.buffered == 10
+            _forwarder_conservation(fwd, 11)
+
+    def test_drop_oldest_evicts(self):
+        with use_registry(MetricsRegistry()) as reg:
+            fwd = self._full_forwarder("drop_oldest")
+            newcomer = SyslogMessage(
+                timestamp=99.0, hostname="cn000", app="kernel", text="newest"
+            )
+            assert fwd.offer(newcomer)
+            assert fwd.stats.evicted == 1 and fwd.buffered == 10
+            assert fwd._buffer[-1] is newcomer
+            assert fwd._buffer[0].text == "seed 0 message number 1"
+            _forwarder_conservation(fwd, 11)
+            assert wellknown.fluentd_dropped(reg).value() == 1
+
+    def test_dead_letter_captures_newcomer(self):
+        with use_registry(MetricsRegistry()):
+            fwd = self._full_forwarder("dead_letter")
+            newcomer = SyslogMessage(
+                timestamp=99.0, hostname="cn000", app="kernel", text="newest"
+            )
+            assert not fwd.offer(newcomer)
+            assert fwd.stats.dead_lettered == 1 and fwd.buffered == 10
+            entries = fwd.dead_letters.entries("fluentd.overflow")
+            assert len(entries) == 1 and entries[0].payload is newcomer
+            _forwarder_conservation(fwd, 11)
+
+
+# -- sharded executor chaos ------------------------------------------------
+
+
+def _sharded(fitted, injector=None, **kw):
+    kw.setdefault("n_workers", 2)
+    kw.setdefault("chunk_size", 25)
+    kw.setdefault("min_parallel", 0)
+    kw.setdefault("chunk_timeout_s", 30.0)
+    kw.setdefault("retry_base_s", 0.01)
+    kw.setdefault("retry_max_s", 0.05)
+    return ShardedExecutor(fitted, fault_injector=injector, **kw)
+
+
+class TestShardedChaos:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_worker_crash_recovered(self, fitted, corpus, seed):
+        """A SIGKILLed worker is respawned and its chunk recovered."""
+        probe = list(corpus.texts[:100])
+        serial = [r.category for r in fitted.classify_batch(probe)]
+        with use_registry(MetricsRegistry()) as reg:
+            inj = FaultInjector(FaultPlan(
+                sites={SITE_WORKER_CRASH: FaultSpec(at_calls=(2,))},
+                seed=seed,
+            ))
+            before = fitted.n_classified
+            with _sharded(fitted, inj) as ex:
+                results = ex.classify_batch(MessageBatch.of_texts(probe))
+                assert ex.n_worker_respawns >= 1
+                assert ex.n_chunk_retries >= 1
+                assert ex.n_serial_fallback_chunks == 0
+            # conservation + parity: every message classified, same labels
+            assert len(results) == 100
+            assert [r.category for r in results] == serial
+            assert fitted.n_classified == before + 100
+            # reconciliation
+            assert (
+                wellknown.faults_injected(reg).value(site=SITE_WORKER_CRASH)
+                == inj.fire_counts()[SITE_WORKER_CRASH]
+                == 1
+            )
+            assert wellknown.faults_worker_respawns(reg).value() >= 1
+            assert (
+                wellknown.faults_chunk_retries(reg).value()
+                == ex.n_chunk_retries
+            )
+
+    def test_chunk_timeout_recovered(self, fitted, corpus):
+        """A chunk stalling past the deadline is retried, not hung."""
+        probe = list(corpus.texts[:75])
+        serial = [r.category for r in fitted.classify_batch(probe)]
+        with use_registry(MetricsRegistry()):
+            inj = FaultInjector(FaultPlan(
+                sites={SITE_CHUNK_TIMEOUT: FaultSpec(at_calls=(1,))}
+            ))
+            t0 = time.monotonic()
+            with _sharded(fitted, inj, chunk_timeout_s=2.0) as ex:
+                results = ex.classify_batch(MessageBatch.of_texts(probe))
+                assert ex.n_chunk_retries >= 1
+            assert time.monotonic() - t0 < 60.0  # bounded, no indefinite hang
+            assert [r.category for r in results] == serial
+
+    def test_retry_budget_exhaustion_falls_back_serial(self, fitted, corpus):
+        """Crashing every dispatch must route chunks through serial."""
+        probe = list(corpus.texts[:50])
+        serial = [r.category for r in fitted.classify_batch(probe)]
+        with use_registry(MetricsRegistry()) as reg:
+            inj = FaultInjector(FaultPlan(
+                sites={SITE_WORKER_CRASH: FaultSpec(probability=1.0)}
+            ))
+            before = fitted.n_classified
+            with _sharded(fitted, inj, max_chunk_retries=1) as ex:
+                results = ex.classify_batch(MessageBatch.of_texts(probe))
+                assert ex.n_serial_fallback_chunks == 2  # both chunks
+            assert [r.category for r in results] == serial
+            assert fitted.n_classified == before + 50  # no double counting
+            assert (
+                wellknown.faults_serial_fallbacks(reg).value()
+                == ex.n_serial_fallback_chunks
+            )
+
+    def test_externally_sigkilled_worker_regression(self, fitted, corpus):
+        """Regression: a worker killed from outside used to hang the
+        gather forever; now the pool is respawned and the batch completes."""
+        probe = list(corpus.texts[:60])
+        serial = [r.category for r in fitted.classify_batch(probe)]
+        with use_registry(MetricsRegistry()):
+            with _sharded(fitted, None, chunk_size=20,
+                          chunk_timeout_s=20.0) as ex:
+                # warm the pool so worker processes exist
+                ex.classify_batch(MessageBatch.of_texts(probe))
+                victim = next(iter(ex._pool._processes))
+                os.kill(victim, signal.SIGKILL)
+                results = ex.classify_batch(MessageBatch.of_texts(probe))
+                assert ex.n_worker_respawns >= 1
+            assert [r.category for r in results] == serial
+
+    def test_no_faults_no_resilience_counters(self, fitted, corpus):
+        with use_registry(MetricsRegistry()):
+            with _sharded(fitted, None) as ex:
+                ex.classify_batch(corpus.texts[:60])
+                assert ex.n_worker_respawns == 0
+                assert ex.n_chunk_retries == 0
+                assert ex.n_serial_fallback_chunks == 0
+
+
+# -- degraded mode ---------------------------------------------------------
+
+
+class TestDegradedMode:
+    def _run_cluster(self, **kw):
+        from repro.datagen.workload import generate_stream
+
+        events = generate_stream(duration_s=60.0, background_rate=20.0, seed=1)
+        cluster = TivanCluster(
+            flush_interval_s=0.5, batch_size=200, **kw
+        )
+        cluster.load_events(events)
+        cluster.attach_classifier(ClassifierStage(
+            service_time_s=0.5,  # far too slow: backlog builds fast
+            classify_batch=lambda texts: [Category.UNIMPORTANT] * len(texts),
+            cheap_classify_batch=lambda texts: [Category.UNIMPORTANT] * len(texts),
+            degraded_service_time_s=0.001,
+            batch_size=16,
+        ))
+        return cluster, cluster.run(60.0)
+
+    def test_backlog_triggers_shedding(self):
+        with use_registry(MetricsRegistry()) as reg:
+            cluster, report = self._run_cluster(degrade_backlog=100)
+            assert report.degrade_transitions >= 1
+            assert report.classified_degraded > 0
+            assert (
+                wellknown.degraded_transitions(reg).value(direction="enter")
+                >= 1
+            )
+            assert (
+                wellknown.degraded_messages(reg).value()
+                == report.classified_degraded
+            )
+
+    def test_hysteresis_recovers(self):
+        with use_registry(MetricsRegistry()) as reg:
+            cluster, report = self._run_cluster(
+                degrade_backlog=100, recover_backlog=20
+            )
+            # the cheap path drains the backlog below the recover
+            # threshold well before the horizon, so the mode exits
+            assert not cluster.degraded
+            assert report.degrade_transitions >= 2
+            assert wellknown.degraded_mode(reg).value() == 0
+
+    def test_disabled_by_default(self):
+        with use_registry(MetricsRegistry()):
+            cluster, report = self._run_cluster()
+            assert report.degrade_transitions == 0
+            assert report.classified_degraded == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="degrade_backlog"):
+            TivanCluster(degrade_backlog=0)
+        with pytest.raises(ValueError, match="recover_backlog"):
+            TivanCluster(degrade_backlog=10, recover_backlog=10)
+        with pytest.raises(ValueError, match="requires"):
+            TivanCluster(recover_backlog=5)
+
+
+# -- end-to-end chaos simulation -------------------------------------------
+
+
+class TestEndToEndChaos:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_stream_conserves_under_flush_faults(self, seed):
+        from repro.datagen.workload import generate_stream
+
+        with use_registry(MetricsRegistry()) as reg:
+            inj = FaultInjector(FaultPlan(
+                sites={SITE_FLUSH_FAIL: FaultSpec(probability=0.3)},
+                seed=seed,
+            ))
+            events = generate_stream(
+                duration_s=120.0, background_rate=10.0, seed=seed
+            )
+            cluster = TivanCluster(
+                flush_interval_s=0.5, batch_size=100, buffer_limit=200,
+                overflow="dead_letter", flush_retry_limit=5,
+                fault_injector=inj,
+            )
+            cluster.load_events(events)
+            report = cluster.run(120.0)
+            fwd = cluster.forwarder
+            s = fwd.stats
+            # relay-level conservation
+            assert report.relay_received == cluster.relay.n_forwarded + cluster.relay.n_dropped
+            # forwarder-level conservation: everything the relay pushed
+            # is flushed, still buffered, or dead-lettered with a reason
+            offered = cluster.relay.n_forwarded + cluster.relay.n_dropped
+            assert offered == s.accepted + s.rejected + s.dead_lettered
+            assert s.accepted == (
+                s.flushed_messages + fwd.buffered + s.evicted
+                + s.abandoned_messages
+            )
+            # the store holds exactly what was flushed
+            assert len(cluster.store) == s.flushed_messages
+            # relay drops are the forwarder's rejections (block policy
+            # is off, so rejections come only from dead_letter returns)
+            assert cluster.relay.n_dropped == s.rejected + s.dead_lettered
+            # reconciliation with the injector
+            fired = inj.fire_counts().get(SITE_FLUSH_FAIL, 0)
+            assert fired > 0
+            assert s.failed_flushes == fired
+            assert (
+                wellknown.faults_injected(reg).value(site=SITE_FLUSH_FAIL)
+                == fired == len(inj.fire_log)
+            )

@@ -1,6 +1,7 @@
 """Property-based fuzzing across module boundaries."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.message import Severity, SyslogMessage
@@ -117,6 +118,131 @@ class TestForwarderProperties:
             fwd.offer(m)
         fwd.drain()
         assert [m.text for m in sunk] == [m.text for m in msgs]  # order kept
+
+
+class TestHostileInputProperties:
+    """Garbage in, one accounted-for result per message out.
+
+    The resilience contract of ``classify_batch``: arbitrary input —
+    random byte garbage, truncated UTF-8, pathological sizes — is
+    either classified or quarantined, never an escaped exception and
+    never a missing result.
+    """
+
+    @pytest.fixture(scope="class")
+    def fitted(self, corpus):
+        from repro.core.pipeline import ClassificationPipeline
+        from repro.ml import ComplementNB
+
+        pipe = ClassificationPipeline(classifier=ComplementNB())
+        pipe.fit(corpus.texts[:500], corpus.labels[:500])
+        return pipe
+
+    @staticmethod
+    def _check_invariants(texts, results):
+        assert len(results) == len(texts)
+        for t, r in zip(texts, results):
+            assert r.text == t
+            assert isinstance(r.category, Category)
+            assert r.confidence is None or 0.0 <= r.confidence <= 1.0
+            if r.quarantined:
+                assert r.category is Category.UNIMPORTANT
+
+    @given(st.lists(st.binary(min_size=0, max_size=200), max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_random_byte_garbage(self, fitted, blobs):
+        """Bytes decoded every lossy way still classify or quarantine."""
+        texts = [b.decode("latin-1") for b in blobs]
+        texts += [b.decode("utf-8", errors="surrogateescape") for b in blobs]
+        self._check_invariants(texts, fitted.classify_batch(texts))
+
+    @given(
+        st.text(min_size=1, max_size=60),
+        st.integers(min_value=0, max_value=59),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_truncated_utf8(self, fitted, text, cut):
+        """UTF-8 cut mid-codepoint (lossily decoded) must not crash."""
+        raw = text.encode("utf-8")[: max(1, cut)]
+        texts = [
+            raw.decode("utf-8", errors="replace"),
+            raw.decode("utf-8", errors="surrogateescape"),
+        ]
+        self._check_invariants(texts, fitted.classify_batch(texts))
+
+    def test_megabyte_single_line(self, fitted):
+        """A 1 MB single-line message flows through classify and stream."""
+        monster = ("error " * 200_000)[: 1 << 20]
+        assert len(monster) == 1 << 20 and "\n" not in monster
+        results = fitted.classify_batch([monster, "normal message"])
+        self._check_invariants([monster, "normal message"], results)
+        # the stream path indexes it too (forwarder -> store)
+        engine = EventEngine()
+        store = LogStore(n_shards=2)
+        fwd = FluentdForwarder(engine=engine, sink=store.bulk_index,
+                               batch_size=10)
+        m = SyslogMessage(timestamp=0.0, hostname="cn000", app="kernel",
+                          text=monster, severity=Severity.INFO)
+        assert fwd.offer(m)
+        assert fwd.drain() == 1
+        assert len(store) == 1
+        assert store.get(0).message.text == monster
+
+    @given(
+        st.lists(_message, max_size=40),
+        st.sampled_from(["block", "drop_oldest", "dead_letter"]),
+        st.integers(min_value=1, max_value=20),  # buffer limit
+        st.integers(min_value=1, max_value=8),  # batch size
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_overflow_policies_conserve(self, messages, policy, limit, batch):
+        """Under any overflow policy, every offered message is accounted:
+        flushed, buffered, rejected, evicted, or dead-lettered."""
+        engine = EventEngine()
+        store = LogStore(n_shards=2)
+        fwd = FluentdForwarder(
+            engine=engine, sink=store.bulk_index, batch_size=batch,
+            buffer_limit=limit, overflow=policy,
+        )
+        for m in messages:
+            fwd.offer(m)
+        s = fwd.stats
+        assert len(messages) == s.accepted + s.rejected + s.dead_lettered
+        assert s.accepted == s.flushed_messages + fwd.buffered + s.evicted
+        assert len(fwd.dead_letters) == s.dead_lettered
+        fwd.drain()
+        assert s.flushed_messages == len(store)
+        assert s.accepted == s.flushed_messages + s.evicted
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_raising_sink_no_loss_no_duplicate(self, outcomes):
+        """A sink that *raises* arbitrarily behaves like one returning
+        False: retried, all-or-nothing, order preserved."""
+        engine = EventEngine()
+        sunk: list = []
+        raised = [0]
+        it = iter(outcomes)
+
+        def sink(batch):
+            if not next(it, True):
+                raised[0] += 1
+                raise ConnectionError("transient store outage")
+            sunk.extend(batch)
+            return True
+
+        fwd = FluentdForwarder(engine=engine, sink=sink, batch_size=5,
+                               buffer_limit=1000)
+        msgs = [
+            SyslogMessage(timestamp=float(i), hostname="h", app="a",
+                          text=f"m{i}", severity=Severity.INFO)
+            for i in range(20)
+        ]
+        for m in msgs:
+            fwd.offer(m)
+        fwd.drain()
+        assert [m.text for m in sunk] == [m.text for m in msgs]
+        assert fwd.stats.failed_flushes == raised[0]
 
 
 class TestVectorizerClassifierProperty:

@@ -12,6 +12,8 @@ Subcommands
 ``evaluate``   train/test evaluation report on a JSONL corpus
 ``tables``     regenerate paper artifacts (table1|table2|table3|fig3)
 ``metrics``    pretty-print a metrics snapshot file (.prom or .json)
+``simulate``   run the Tivan stream simulation (``--wal-dir`` = durable)
+``recover``    resume a killed durable simulation from its WAL directory
 
 Example
 -------
@@ -117,7 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("snapshot", type=Path,
                    help="snapshot file (.prom/.txt Prometheus text, "
-                        "or the JSON form)")
+                        "or the JSON form), or a durable-run WAL "
+                        "directory (renders the newest checkpoint's "
+                        "embedded metrics)")
 
     p = sub.add_parser("tables", help="regenerate a paper artifact")
     p.add_argument("artifact", choices=["table1", "table2", "table3", "fig3"])
@@ -149,6 +153,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degrade-backlog", type=_positive_int, default=None,
                    help="classifier backlog at which the cluster sheds "
                         "load to the cheap blacklist path")
+    p.add_argument("--metrics-out", type=Path, default=None,
+                   help="write a metrics snapshot on exit (Prometheus "
+                        "text for .prom/.txt, JSON otherwise)")
+    p.add_argument("--wal-dir", type=Path, default=None,
+                   help="make the run durable: write-ahead log and "
+                        "checkpoints in this directory (resume a "
+                        "killed run with `repro-syslog recover`)")
+    p.add_argument("--checkpoint-every", type=float, default=60.0,
+                   help="simulated seconds between checkpoints "
+                        "(durable runs only)")
+    p.add_argument("--fsync", choices=["always", "batch", "off"],
+                   default="batch",
+                   help="WAL fsync policy (durable runs only)")
+
+    p = sub.add_parser(
+        "recover",
+        help="resume a durable simulation from its WAL directory",
+    )
+    p.add_argument("--wal-dir", type=Path, required=True,
+                   help="directory of a simulate --wal-dir run")
     p.add_argument("--metrics-out", type=Path, default=None,
                    help="write a metrics snapshot on exit (Prometheus "
                         "text for .prom/.txt, JSON otherwise)")
@@ -328,6 +352,18 @@ def _cmd_metrics(args) -> int:
 
     if not args.snapshot.exists():
         raise SystemExit(f"{args.snapshot}: no such snapshot file")
+    if args.snapshot.is_dir():
+        # a durable-run WAL directory: render the metrics snapshot the
+        # newest valid checkpoint carries
+        from repro.durability import load_latest_checkpoint
+
+        payload, path = load_latest_checkpoint(args.snapshot)
+        if payload is None:
+            raise SystemExit(
+                f"{args.snapshot}: no valid checkpoint in directory"
+            )
+        print(render_metrics_panel(payload["metrics"], title=str(path)))
+        return 0
     try:
         snapshot = load_snapshot(args.snapshot)
     except ValueError as e:
@@ -378,42 +414,67 @@ def _cmd_tables(args) -> int:
     return 0
 
 
+def _build_injector(args):
+    """FaultInjector from ``--fault-plan``, or None."""
+    from repro.faults import FaultInjector, FaultPlan
+
+    plan_path = getattr(args, "fault_plan", None)
+    if plan_path is None:
+        return None
+    try:
+        plan = FaultPlan.from_file(plan_path)
+    except (OSError, ValueError, KeyError) as e:
+        raise SystemExit(f"{plan_path}: bad fault plan: {e}")
+    return FaultInjector(plan)
+
+
 def _run_simulation(args):
     """Shared stream-simulation setup for simulate/assist.
 
     Returns ``(cluster, report, injector)``; the injector is ``None``
-    unless ``--fault-plan`` armed one.
+    unless ``--fault-plan`` armed one.  With ``--wal-dir`` the run is
+    durable: state goes through :mod:`repro.durability` and a killed
+    run can be resumed with ``repro-syslog recover``.
     """
     from repro.core.serialize import load_pipeline
     from repro.core.taxonomy import Category
-    from repro.datagen.workload import Incident, generate_stream
-    from repro.faults import FaultInjector, FaultPlan
+    from repro.datagen.workload import standard_simulation_events
     from repro.stream.tivan import ClassifierStage, TivanCluster
 
-    pipe = load_pipeline(args.model_dir)
-    injector = None
-    plan_path = getattr(args, "fault_plan", None)
-    if plan_path is not None:
-        try:
-            plan = FaultPlan.from_file(plan_path)
-        except (OSError, ValueError, KeyError) as e:
-            raise SystemExit(f"{plan_path}: bad fault plan: {e}")
-        injector = FaultInjector(plan)
-        pipe.fault_injector = injector
-    incidents = []
-    if getattr(args, "incident", True):
-        incidents.append(Incident(
-            "cold-aisle-door-open", Category.THERMAL,
-            start=args.duration * 0.4 if hasattr(args, "duration") else 240.0,
-            duration=60.0,
-            hostnames=tuple(f"cn{i:03d}" for i in range(8)),
-            peak_rate=2.0,
-        ))
+    injector = _build_injector(args)
     duration = getattr(args, "duration", 600.0)
     rate = getattr(args, "rate", 5.0)
-    events = generate_stream(
+    incident = bool(getattr(args, "incident", True))
+
+    wal_dir = getattr(args, "wal_dir", None)
+    if wal_dir is not None:
+        from repro.durability import SimConfig, resume_simulation
+
+        if (wal_dir / "meta.json").exists():
+            raise SystemExit(
+                f"{wal_dir}: already holds a durable run — resume it "
+                f"with `repro-syslog recover --wal-dir {wal_dir}`"
+            )
+        SimConfig(
+            duration_s=duration, rate=rate, seed=args.seed,
+            incident=incident, fsync=args.fsync,
+            checkpoint_every_s=args.checkpoint_every,
+            overflow=getattr(args, "overflow", "block"),
+            flush_retry_limit=getattr(args, "flush_retries", None),
+            degrade_backlog=getattr(args, "degrade_backlog", None),
+            model_dir=str(args.model_dir),
+        ).save(wal_dir)
+        cluster, config, journal = resume_simulation(wal_dir, injector=injector)
+        report = cluster.run(duration + 30.0)
+        journal.wal.close()
+        return cluster, report, injector
+
+    pipe = load_pipeline(args.model_dir)
+    if injector is not None:
+        pipe.fault_injector = injector
+    events = standard_simulation_events(
         duration_s=duration, background_rate=rate,
-        incidents=incidents, seed=args.seed,
+        seed=args.seed, incident=incident,
     )
     cluster = TivanCluster(
         overflow=getattr(args, "overflow", "block"),
@@ -463,6 +524,10 @@ def _cmd_simulate(args) -> int:
             f"degraded: classified_degraded={report.classified_degraded} "
             f"transitions={report.degrade_transitions}"
         )
+    if cluster.journal is not None:
+        from repro.durability import reconcile
+
+        print(reconcile(cluster.journal.state, report.produced).render())
     print()
     print(render_overview(cluster.store, interval_s=max(args.duration / 12, 1.0)))
     if args.metrics_out:
@@ -489,6 +554,31 @@ def _cmd_assist(args) -> int:
     return 0
 
 
+def _cmd_recover(args) -> int:
+    from repro.durability import reconcile, resume_simulation
+
+    try:
+        cluster, config, journal = resume_simulation(args.wal_dir)
+    except FileNotFoundError as e:
+        raise SystemExit(str(e))
+    report = cluster.run(max(config.duration_s + 30.0, cluster.engine.now))
+    conservation = reconcile(journal.state, report.produced)
+    journal.wal.close()
+    print(
+        f"recovered: scanned={journal.wal.recovery.records} WAL records "
+        f"(truncated {journal.wal.recovery.truncated_bytes} torn bytes)"
+    )
+    print(
+        f"produced={report.produced} indexed={report.indexed} "
+        f"classified={report.classified} backlog={report.final_backlog} "
+        f"keeping_up={report.keeping_up}"
+    )
+    print(conservation.render())
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
+    return 0 if conservation.ok else 1
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.report import write_report
 
@@ -505,6 +595,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "tables": _cmd_tables,
     "simulate": _cmd_simulate,
+    "recover": _cmd_recover,
     "assist": _cmd_assist,
     "report": _cmd_report,
 }

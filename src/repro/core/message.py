@@ -83,6 +83,43 @@ class SyslogMessage:
         """RFC 5424 PRI value (facility*8 + severity)."""
         return int(self.facility) * 8 + int(self.severity)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form; inverse of :meth:`from_dict`.
+
+        The durability layer (WAL records, checkpoints, dead-letter
+        files) persists messages in this shape.
+        """
+        return {
+            "ts": self.timestamp,
+            "host": self.hostname,
+            "app": self.app,
+            "text": self.text,
+            "sev": int(self.severity),
+            "fac": int(self.facility),
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SyslogMessage":
+        """Rebuild a message from :meth:`to_dict` output.
+
+        Raises
+        ------
+        KeyError
+            A required field is missing.
+        ValueError
+            A severity/facility code is out of range.
+        """
+        return cls(
+            timestamp=float(data["ts"]),
+            hostname=str(data["host"]),
+            app=str(data["app"]),
+            text=str(data["text"]),
+            severity=Severity(int(data.get("sev", Severity.INFO))),
+            facility=Facility(int(data.get("fac", Facility.USER))),
+            pid=data.get("pid"),
+        )
+
     def to_rfc3164(self) -> str:
         """Render in BSD-syslog framing (no year, local timestamp)."""
         tag = f"{self.app}[{self.pid}]" if self.pid is not None else self.app

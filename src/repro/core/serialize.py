@@ -16,6 +16,8 @@ saved as one directory.
 from __future__ import annotations
 
 import json
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -32,9 +34,54 @@ from repro.ml.svm import LinearSVC
 from repro.textproc.tfidf import TfidfVectorizer
 from repro.textproc.vocab import Vocabulary
 
-__all__ = ["save_pipeline", "load_pipeline", "save_classifier", "load_classifier"]
+__all__ = [
+    "PipelineLoadError",
+    "save_pipeline",
+    "load_pipeline",
+    "save_classifier",
+    "load_classifier",
+]
 
 _FORMAT_VERSION = 1
+
+
+class PipelineLoadError(ValueError):
+    """A saved model artifact is missing, truncated, or corrupt.
+
+    Carries *which file* failed and *why*, so a bad ``--model-dir``
+    reads as "fix this artifact", not a bare ``KeyError`` deep inside
+    numpy.  Subclasses :class:`ValueError` so existing format-version
+    handling keeps working.
+    """
+
+    def __init__(self, path: str | Path, reason: str) -> None:
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(f"{self.path}: {reason}")
+
+
+@contextmanager
+def _loading(path: Path, what: str):
+    """Translate load-time failures into :class:`PipelineLoadError`."""
+    try:
+        yield
+    except PipelineLoadError:
+        raise
+    except FileNotFoundError as e:
+        missing = e.filename or path
+        raise PipelineLoadError(
+            missing, f"missing {what} file — is this a saved model directory?"
+        ) from e
+    except KeyError as e:
+        raise PipelineLoadError(path, f"{what} lacks required key {e}") from e
+    except json.JSONDecodeError as e:
+        raise PipelineLoadError(path, f"{what} is not valid JSON: {e}") from e
+    except zipfile.BadZipFile as e:
+        raise PipelineLoadError(
+            path, f"{what} is truncated or corrupt: {e}"
+        ) from e
+    except (OSError, ValueError) as e:
+        raise PipelineLoadError(path, f"cannot load {what}: {e}") from e
 
 # estimators whose state is (classes_, coef_, intercept_) + init params
 _LINEAR_FAMILY = {
@@ -121,19 +168,27 @@ def load_classifier(directory: str | Path):
 
     Raises
     ------
-    ValueError
-        Unknown format version or estimator type.
+    PipelineLoadError
+        Missing/truncated/corrupt artifact files, a manifest lacking a
+        required key, an unknown format version, or an unknown
+        estimator type — always naming the offending path and reason.
     """
     directory = Path(directory)
-    manifest = json.loads((directory / "manifest.json").read_text())
-    if manifest.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported model format version {manifest.get('format_version')!r}"
-        )
-    name = manifest["type"]
-    arrays = np.load(directory / "arrays.npz", allow_pickle=False)
-    classes = np.asarray(manifest["classes"])
+    with _loading(directory / "manifest.json", "classifier manifest"):
+        manifest = json.loads((directory / "manifest.json").read_text())
+        if manifest.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format version "
+                f"{manifest.get('format_version')!r}"
+            )
+        name = manifest["type"]
+        classes = np.asarray(manifest["classes"])
+    with _loading(directory / "arrays.npz", "classifier arrays"):
+        arrays = np.load(directory / "arrays.npz", allow_pickle=False)
+        return _rebuild_classifier(name, manifest, arrays, classes, directory)
 
+
+def _rebuild_classifier(name, manifest, arrays, classes, directory):
     if name in _LINEAR_FAMILY:
         clf = _LINEAR_FAMILY[name](**manifest["params"])
         clf.classes_ = classes
@@ -200,11 +255,13 @@ def _save_vectorizer(vec: TfidfVectorizer, directory: Path) -> None:
 
 
 def _load_vectorizer(directory: Path) -> TfidfVectorizer:
-    manifest = json.loads((directory / "vectorizer.json").read_text())
-    vocab_tokens = manifest.pop("vocabulary")
-    vec = TfidfVectorizer(**manifest)
-    vec.vocabulary = Vocabulary(tuple(vocab_tokens))
-    vec.idf_ = np.load(directory / "vectorizer.npz")["idf"]
+    with _loading(directory / "vectorizer.json", "vectorizer manifest"):
+        manifest = json.loads((directory / "vectorizer.json").read_text())
+        vocab_tokens = manifest.pop("vocabulary")
+        vec = TfidfVectorizer(**manifest)
+        vec.vocabulary = Vocabulary(tuple(vocab_tokens))
+    with _loading(directory / "vectorizer.npz", "vectorizer arrays"):
+        vec.idf_ = np.load(directory / "vectorizer.npz")["idf"]
     return vec
 
 
@@ -232,19 +289,30 @@ def save_pipeline(pipe: ClassificationPipeline, directory: str | Path) -> None:
 
 
 def load_pipeline(directory: str | Path) -> ClassificationPipeline:
-    """Load a pipeline saved by :func:`save_pipeline`, ready to classify."""
-    directory = Path(directory)
-    meta = json.loads((directory / "pipeline.json").read_text())
-    blacklist = None
-    if meta["has_blacklist"]:
-        from repro.buckets.blacklist import BlacklistFilter
+    """Load a pipeline saved by :func:`save_pipeline`, ready to classify.
 
-        blacklist = BlacklistFilter(
-            threshold=meta["blacklist_threshold"],
-            premask=meta["blacklist_premask"],
-        )
-        for exemplar in json.loads((directory / "blacklist.json").read_text()):
-            blacklist.store.add(exemplar)
+    Raises
+    ------
+    PipelineLoadError
+        Any missing, truncated, or corrupt artifact under
+        ``directory`` — the error names the file and the reason.
+    """
+    directory = Path(directory)
+    with _loading(directory / "pipeline.json", "pipeline metadata"):
+        meta = json.loads((directory / "pipeline.json").read_text())
+        blacklist = None
+        if meta["has_blacklist"]:
+            from repro.buckets.blacklist import BlacklistFilter
+
+            blacklist = BlacklistFilter(
+                threshold=meta["blacklist_threshold"],
+                premask=meta["blacklist_premask"],
+            )
+            exemplars = json.loads(
+                (directory / "blacklist.json").read_text()
+            )
+            for exemplar in exemplars:
+                blacklist.store.add(exemplar)
     pipe = ClassificationPipeline(
         vectorizer=_load_vectorizer(directory),
         classifier=load_classifier(directory / "classifier"),

@@ -28,6 +28,7 @@ __all__ = [
     "BurstArrivals",
     "Incident",
     "generate_stream",
+    "standard_simulation_events",
 ]
 
 
@@ -188,6 +189,36 @@ def generate_stream(
                 )
     events.sort(key=lambda e: e.message.timestamp)
     return events
+
+
+def standard_simulation_events(
+    *,
+    duration_s: float,
+    background_rate: float,
+    seed: int = 0,
+    incident: bool = False,
+) -> list[StreamEvent]:
+    """The CLI/durability standard trace: background ± one incident.
+
+    With ``incident`` a cold-aisle thermal burst hits nodes cn000–cn007
+    at 40% of the run (burst length 60 s, clamped to half the run so
+    short traces stay inside their own window).  Crucially this is a
+    *pure function* of its arguments — the durable-ingest layer
+    regenerates the trace on resume and uses each event's position as
+    its identity, so the same config must always yield the same events.
+    """
+    incidents = []
+    if incident:
+        incidents.append(Incident(
+            "cold-aisle-door-open", Category.THERMAL,
+            start=duration_s * 0.4, duration=min(60.0, duration_s * 0.5),
+            hostnames=tuple(f"cn{i:03d}" for i in range(8)),
+            peak_rate=2.0,
+        ))
+    return generate_stream(
+        duration_s=duration_s, background_rate=background_rate,
+        incidents=incidents, seed=seed,
+    )
 
 
 def _vendor_of(hostname: str) -> VendorProfile:

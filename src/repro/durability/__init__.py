@@ -1,0 +1,73 @@
+"""Durable ingest: WAL, checkpoint/restore, and crash recovery.
+
+The stream layer's resilience (retries, overflow policies, dead
+letters) lives in memory and dies with the process.  This package
+makes the Tivan simulation survive process death with an
+effectively-exactly-once guarantee:
+
+- :mod:`repro.durability.wal` — segmented append-only write-ahead log
+  (JSONL + CRC32 + monotonic sequence numbers, torn-tail-truncating
+  recovery, ``always|batch|off`` fsync policies),
+- :mod:`repro.durability.checkpoint` — atomic temp-then-rename
+  snapshots that bound WAL replay,
+- :mod:`repro.durability.recovery` — the :class:`StreamJournal` that
+  logs every forwarder buffer transition write-ahead, checkpoint
+  payloads, :func:`resume_simulation`, and the :func:`reconcile`
+  conservation check,
+- :mod:`repro.durability.harness` — subprocess SIGKILL scenarios
+  proving no message is ever lost or duplicated across crashes.
+"""
+
+from repro.durability.checkpoint import (
+    checkpoint_paths,
+    load_checkpoint,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.harness import (
+    child_main,
+    crash_recovery_scenario,
+    run_child,
+)
+from repro.durability.recovery import (
+    ConservationReport,
+    JournalState,
+    SimConfig,
+    StreamJournal,
+    build_checkpoint_payload,
+    checkpoint_cluster,
+    reconcile,
+    recover_state,
+    resume_simulation,
+)
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    WalRecord,
+    WalScanInfo,
+    WriteAheadLog,
+    replay_wal,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalRecord",
+    "WalScanInfo",
+    "WriteAheadLog",
+    "replay_wal",
+    "checkpoint_paths",
+    "load_checkpoint",
+    "load_latest_checkpoint",
+    "write_checkpoint",
+    "ConservationReport",
+    "JournalState",
+    "SimConfig",
+    "StreamJournal",
+    "build_checkpoint_payload",
+    "checkpoint_cluster",
+    "reconcile",
+    "recover_state",
+    "resume_simulation",
+    "child_main",
+    "crash_recovery_scenario",
+    "run_child",
+]

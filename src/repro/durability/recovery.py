@@ -1,0 +1,689 @@
+"""Durable ingest: journal, checkpoint payloads, resume, conservation.
+
+The simulation trace is deterministic — ``generate_stream(seed)``
+produces the same events every run — so each message's position in the
+trace is a durable identity that survives process death.  The
+:class:`StreamJournal` writes one WAL record *before* every buffer
+transition in the forwarder (accept, reject, evict, flush, abandon,
+overflow dead-letter), keyed by that identity.  Recovery then has an
+effectively-exactly-once story without distributed-systems machinery:
+
+1. load the newest valid checkpoint (bounded replay),
+2. replay WAL records past its ``last_wal_seq`` — apply is idempotent,
+   deduplicated by sequence number,
+3. regenerate the trace and re-offer only events whose identity the
+   journal has never seen.
+
+Because the trace is regenerable, WAL records for trace events carry
+only the index — message bodies are rematerialized from the trace on
+resume, which keeps the per-message journal cost to a few bytes.  Only
+synthetic identities (messages offered outside the trace, negative
+indices) embed the full body.
+
+Accepts are also *group-committed*: they accumulate in memory and are
+written as one batch record at the next write barrier — any other
+record kind (flush, evict, reject, dead-letter, abandon) and every
+checkpoint — so the WAL stays ordered (an event's accept always
+precedes any record that moves it) while the per-message hot path
+costs a list append instead of an encode+write.  A crash can lose the
+pending window, but those events were still buffered, so recovery
+simply re-offers them from the regenerated trace: conservation holds;
+the window is only visible as reprocessing, never as loss.
+
+Conservation is the correctness contract, enforced by
+:func:`reconcile`: at the end of a run — through any number of
+SIGKILLs — every generated message has exactly one disposition
+(indexed, rejected, evicted, dead-lettered, or still buffered), never
+zero (lost) and never two (duplicated).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.durability.checkpoint import load_latest_checkpoint, write_checkpoint
+from repro.durability.wal import WalRecord, WriteAheadLog
+from repro.faults.plan import SITE_CRASH
+
+__all__ = [
+    "ConservationReport",
+    "JournalState",
+    "RECORD_KINDS",
+    "SimConfig",
+    "StreamJournal",
+    "build_checkpoint_payload",
+    "checkpoint_cluster",
+    "reconcile",
+    "recover_state",
+    "resume_simulation",
+]
+
+#: WAL record kinds the journal writes (one per buffer transition)
+RECORD_KINDS = ("accept", "reject", "evict", "flush", "abandon", "dead_new")
+
+META_FILENAME = "meta.json"
+
+
+# ---------------------------------------------------------------------------
+# journal state: the durable truth about every message's disposition
+
+
+@dataclass
+class JournalState:
+    """Replayable projection of the WAL: where every message is now.
+
+    Events are identified by their position in the deterministic trace
+    (negative indices are synthetic, for messages offered outside the
+    trace).  Each identity lives in exactly one place — ``buffer``,
+    ``indexed``, ``dead``, ``rejected``, or ``evicted`` — and
+    :meth:`apply` moves it between them.  Applies are idempotent:
+    records at or below :attr:`applied_seq` are skipped, so replaying a
+    prefix that a checkpoint already covers is harmless.
+    """
+
+    #: last WAL sequence applied (dedup line for replay)
+    applied_seq: int = 0
+    #: in-flight: accepted, not yet flushed/evicted/abandoned.  The
+    #: second element is the embedded msg dict for synthetic events and
+    #: None for trace events (rematerialized from the trace on resume).
+    buffer: list = field(default_factory=list)  # [(event, msg|None), ...]
+    #: delivered to the store, in doc-id order
+    indexed: list = field(default_factory=list)  # [(event, msg|None), ...]
+    #: dead-lettered: {"event", "msg", "site", "error"}
+    dead: list = field(default_factory=list)
+    #: rejected at offer time (block overflow policy)
+    rejected: list = field(default_factory=list)  # [event, ...]
+    #: evicted by the drop_oldest overflow policy
+    evicted: list = field(default_factory=list)  # [event, ...]
+    #: every trace identity ever offered (resume skips these)
+    seen: set = field(default_factory=set)
+
+    def apply(self, record: WalRecord) -> None:
+        """Apply one WAL record; no-op when already applied."""
+        if record.seq <= self.applied_seq:
+            return
+        self.applied_seq = record.seq
+        kind, data = record.kind, record.data
+        if kind == "accept":
+            # group-committed batch: {"events": [...], "msgs": {str(e):
+            # dict}} with bodies only for synthetic (negative) events
+            msgs = data.get("msgs") or {}
+            for event in data["events"]:
+                self.buffer.append((event, msgs.get(str(event))))
+                self.seen.add(event)
+        elif kind == "reject":
+            self.rejected.append(data["event"])
+            self.seen.add(data["event"])
+        elif kind == "dead_new":
+            self.dead.append({
+                "event": data["event"], "msg": data.get("msg"),
+                "site": data["site"], "error": data["error"],
+            })
+            self.seen.add(data["event"])
+        elif kind == "evict":
+            entry = self._take(data["event"])
+            if entry is not None:
+                self.evicted.append(entry[0])
+        elif kind == "flush":
+            for event in data["events"]:
+                entry = self._take(event)
+                if entry is not None:
+                    self.indexed.append(entry)
+        elif kind == "abandon":
+            for event in data["events"]:
+                entry = self._take(event)
+                if entry is not None:
+                    self.dead.append({
+                        "event": entry[0], "msg": entry[1],
+                        "site": data["site"], "error": data["error"],
+                    })
+        else:
+            raise ValueError(f"unknown WAL record kind {kind!r}")
+
+    def _take(self, event: int):
+        """Remove and return the buffered entry for ``event``."""
+        for i, entry in enumerate(self.buffer):
+            if entry[0] == event:
+                return self.buffer.pop(i)
+        return None
+
+    def to_payload(self) -> dict:
+        """JSON-ready form for embedding in a checkpoint."""
+        return {
+            "applied_seq": self.applied_seq,
+            "buffer": [[e, m] for e, m in self.buffer],
+            "indexed": [[e, m] for e, m in self.indexed],
+            "dead": [dict(d) for d in self.dead],
+            "rejected": list(self.rejected),
+            "evicted": list(self.evicted),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JournalState":
+        state = cls(
+            applied_seq=int(payload["applied_seq"]),
+            buffer=[(int(e), m) for e, m in payload["buffer"]],
+            indexed=[(int(e), m) for e, m in payload["indexed"]],
+            dead=[dict(d) for d in payload["dead"]],
+            rejected=[int(e) for e in payload["rejected"]],
+            evicted=[int(e) for e in payload["evicted"]],
+        )
+        state.seen = (
+            {e for e, _m in state.buffer}
+            | {e for e, _m in state.indexed}
+            | {d["event"] for d in state.dead}
+            | set(state.rejected)
+            | set(state.evicted)
+        )
+        return state
+
+
+class StreamJournal:
+    """Write-ahead journal of forwarder buffer transitions.
+
+    Accepts are group-committed: :meth:`accept` updates the in-memory
+    :class:`JournalState` and queues the event; the pending batch is
+    written as one WAL record at the next *write barrier* — any other
+    record kind, or an explicit :meth:`flush_pending` (which every
+    checkpoint takes first).  Barriers keep the WAL causally ordered:
+    an event's accept record always precedes any record that moves it.
+    Between barriers the in-memory state runs ahead of the log; a crash
+    there loses only pending accepts, which recovery re-offers from the
+    regenerated trace (reprocessing, never loss).
+
+    When a fault injector is armed at ``durability.crash``, each accept
+    and each committed record is one arming check; a fire SIGKILLs the
+    process on the spot, which is how the crash-recovery harness
+    schedules kills at exact journal ordinals.
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        *,
+        injector=None,
+        state: JournalState | None = None,
+    ) -> None:
+        self.wal = wal
+        self.injector = injector
+        self.state = state if state is not None else JournalState()
+        # synthetic identities for messages offered outside the trace
+        self._auto = min((e for e in self.state.seen if e < 0), default=0)
+        self._pending: list = []  # accepts awaiting group commit
+
+    @property
+    def seen(self) -> set:
+        """Trace identities already offered (resume skips these)."""
+        return self.state.seen
+
+    def accept(self, event: int | None, message) -> None:
+        """The forwarder is about to buffer ``message``.
+
+        Trace events (``event >= 0``) journal only the index; the body
+        is regenerable from the trace.  Synthetic events embed it.
+        """
+        event = self._resolve(event)
+        msg = message.to_dict() if event < 0 else None
+        self._pending.append((event, msg))
+        self.state.buffer.append((event, msg))
+        self.state.seen.add(event)
+        self._crash_check()
+
+    def reject(self, event: int | None) -> None:
+        """The forwarder is about to reject a newcomer (block policy)."""
+        self._barrier_commit("reject", {"event": self._resolve(event)})
+
+    def dead_newcomer(self, event: int | None, message, site: str, error: str) -> None:
+        """The forwarder is about to dead-letter a newcomer (overflow)."""
+        event = self._resolve(event)
+        data = {"event": event, "site": site, "error": error}
+        if event < 0:
+            data["msg"] = message.to_dict()
+        self._barrier_commit("dead_new", data)
+
+    def evict_oldest(self) -> None:
+        """The forwarder is about to evict its oldest buffered message."""
+        self._barrier_commit("evict", {"event": self.state.buffer[0][0]})
+
+    def flushed(self, n: int) -> None:
+        """The sink accepted the head batch of ``n`` messages."""
+        self._barrier_commit("flush", {
+            "events": [e for e, _m in self.state.buffer[:n]],
+        })
+
+    def abandoned(self, n: int, site: str, error: str) -> None:
+        """The head batch of ``n`` is about to be dead-lettered."""
+        self._barrier_commit("abandon", {
+            "events": [e for e, _m in self.state.buffer[:n]],
+            "site": site, "error": error,
+        })
+
+    def flush_pending(self) -> None:
+        """Write barrier: group-commit any pending accepts to the WAL.
+
+        Checkpoints call this before syncing so their ``last_wal_seq``
+        covers every event in the snapshotted state.
+        """
+        if not self._pending:
+            return
+        data = {"events": [e for e, _m in self._pending]}
+        msgs = {str(e): m for e, m in self._pending if m is not None}
+        if msgs:
+            data["msgs"] = msgs
+        self._pending = []
+        # the events are already applied to the in-memory state; only
+        # the dedup line moves (replay applies this record instead)
+        self.state.applied_seq = self.wal.append("accept", data)
+        self._crash_check()
+
+    def _resolve(self, event: int | None) -> int:
+        if event is not None:
+            return event
+        self._auto -= 1
+        return self._auto
+
+    def _barrier_commit(self, kind: str, data: dict) -> None:
+        self.flush_pending()
+        seq = self.wal.append(kind, data)
+        self.state.apply(WalRecord(seq=seq, kind=kind, data=data))
+        self._crash_check()
+
+    def _crash_check(self) -> None:
+        if self.injector is not None and self.injector.should_fire(SITE_CRASH):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ---------------------------------------------------------------------------
+# the durable run configuration (meta.json beside the WAL)
+
+
+@dataclass
+class SimConfig:
+    """Everything needed to rebuild a simulation from its WAL directory.
+
+    The trace is regenerated from ``(duration_s, rate, seed,
+    incident)`` — determinism is what makes trace positions durable
+    identities — and the cluster/stage knobs are rebuilt from the rest.
+    ``model_dir=None`` runs the classifier stage without real
+    predictions at ``service_time_s`` per message (the pure queueing
+    study), which is also what the subprocess harness uses to stay
+    fast.
+    """
+
+    duration_s: float
+    rate: float
+    seed: int = 0
+    incident: bool = False
+    fsync: str = "batch"
+    checkpoint_every_s: float = 60.0
+    segment_bytes: int = 4_000_000
+    overflow: str = "block"
+    flush_retry_limit: int | None = None
+    degrade_backlog: int | None = None
+    model_dir: str | None = None
+    service_time_s: float = 0.01
+    batch_size: int = 64
+    #: forwarder knobs (defaults match TivanCluster's)
+    flush_interval_s: float = 1.0
+    forward_batch: int = 1000
+    buffer_limit: int = 100_000
+
+    def events(self):
+        """Regenerate the deterministic trace this config describes."""
+        from repro.datagen.workload import standard_simulation_events
+
+        return standard_simulation_events(
+            duration_s=self.duration_s, background_rate=self.rate,
+            seed=self.seed, incident=self.incident,
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``meta.json`` into ``directory`` (created if missing)."""
+        import json
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / META_FILENAME
+        path.write_text(json.dumps(asdict(self), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "SimConfig":
+        import json
+
+        path = Path(directory) / META_FILENAME
+        if not path.exists():
+            raise FileNotFoundError(
+                f"{path}: no simulation metadata — not a durable run "
+                f"directory (start one with simulate --wal-dir)"
+            )
+        data = json.loads(path.read_text())
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+# ---------------------------------------------------------------------------
+# checkpoint payloads
+
+
+def build_checkpoint_payload(cluster) -> dict:
+    """Snapshot a running durable cluster as a JSON-ready payload."""
+    from repro.faults.dlq import entry_to_dict
+    from repro.obs import default_registry
+    from repro.obs.wellknown import declare_all
+
+    journal = cluster.journal
+    stage = cluster._stage
+    categories = {}
+    for doc in cluster.store._docs:
+        if doc.category is not None:
+            categories[str(doc.doc_id)] = doc.category.value
+    declare_all()
+    return {
+        "sim_time": cluster.engine.now,
+        "last_wal_seq": journal.wal.last_seq,
+        "journal": journal.state.to_payload(),
+        "cluster": {
+            "stats": asdict(cluster.forwarder.stats),
+            "relay": {
+                "received": cluster.relay.n_received,
+                "forwarded": cluster.relay.n_forwarded,
+                "dropped": cluster.relay.n_dropped,
+            },
+            "stage": {
+                "n_done": stage.n_done if stage else 0,
+                "n_degraded": stage.n_degraded if stage else 0,
+            },
+            "degraded": cluster.degraded,
+            "transitions": cluster.n_degrade_transitions,
+            "backlog_samples": [[t, b] for t, b in cluster._backlog_samples],
+            "categories": categories,
+            "dlq": [entry_to_dict(e) for e in cluster.forwarder.dead_letters],
+        },
+        "metrics": default_registry().snapshot(),
+    }
+
+
+def checkpoint_cluster(cluster, *, crash_hook=None) -> Path:
+    """Write one atomic checkpoint for a running durable cluster.
+
+    Pending accepts are group-committed and the WAL fsynced first, so
+    the checkpoint never claims a ``last_wal_seq`` the log might lose
+    and never snapshots state the log has not yet seen.
+    """
+    journal = cluster.journal
+    journal.flush_pending()
+    journal.wal.sync()
+    return write_checkpoint(
+        journal.wal.directory,
+        build_checkpoint_payload(cluster),
+        seq=journal.wal.last_seq,
+        crash_hook=crash_hook,
+    )
+
+
+# ---------------------------------------------------------------------------
+# recovery
+
+
+@dataclass
+class RecoveredState:
+    """What recovery reconstructed before the cluster is rebuilt."""
+
+    state: JournalState
+    checkpoint: dict | None
+    checkpoint_path: Path | None
+    replayed: int
+
+
+def recover_state(wal_dir: str | Path, *, wal: WriteAheadLog | None = None) -> RecoveredState:
+    """Newest valid checkpoint + idempotent WAL replay past it.
+
+    Opening the :class:`WriteAheadLog` repairs any torn tail first;
+    replay then applies only records with ``seq`` greater than the
+    checkpoint's ``applied_seq`` (records the checkpoint already
+    covers are skipped by :meth:`JournalState.apply`).
+    """
+    from repro.obs import wellknown
+
+    wal_dir = Path(wal_dir)
+    payload, path = load_latest_checkpoint(wal_dir)
+    if payload is not None:
+        state = JournalState.from_payload(payload["journal"])
+    else:
+        state = JournalState()
+    records = wal.records() if wal is not None else None
+    if records is None:
+        from repro.durability.wal import replay_wal
+
+        records, _info = replay_wal(wal_dir)
+    replayed = 0
+    for record in records:
+        if record.seq > state.applied_seq:
+            state.apply(record)
+            replayed += 1
+    if replayed:
+        wellknown.wal_replayed_records().inc(replayed)
+    return RecoveredState(
+        state=state, checkpoint=payload, checkpoint_path=path, replayed=replayed,
+    )
+
+
+def _build_stage(config: SimConfig, injector):
+    """Rebuild the classifier stage a durable run's config describes."""
+    from repro.core.taxonomy import Category
+    from repro.stream.tivan import ClassifierStage
+
+    def cheap_batch(texts):
+        # degraded path: no model inference — everything fails closed
+        # to UNIMPORTANT so the queue keeps draining
+        return [Category.UNIMPORTANT for _ in texts]
+
+    if config.model_dir is not None:
+        from repro.core.serialize import load_pipeline
+
+        pipe = load_pipeline(config.model_dir)
+        if injector is not None:
+            pipe.fault_injector = injector
+        return ClassifierStage(
+            service_time_s=max(pipe.mean_service_time, 1e-4),
+            classify_batch=lambda texts: [
+                r.category for r in pipe.classify_batch(texts)
+            ],
+            batch_size=config.batch_size,
+            cheap_classify_batch=cheap_batch,
+        )
+    return ClassifierStage(
+        service_time_s=config.service_time_s,
+        batch_size=config.batch_size,
+        cheap_classify_batch=cheap_batch,
+    )
+
+
+def resume_simulation(wal_dir: str | Path, *, injector=None):
+    """Build a durable :class:`~repro.stream.tivan.TivanCluster` from disk.
+
+    This is the *only* way durable runs start: a fresh run is a resume
+    from a directory holding nothing but ``meta.json``.  Returns
+    ``(cluster, config, journal)`` ready for ``cluster.run(...)``.
+
+    Restore order matters: the WAL opens first (repairing any torn
+    tail), the journal state is rebuilt (checkpoint + replay), the
+    store/forwarder/stats are reconstructed *from the journal* — the
+    journal is the single source of truth for message dispositions;
+    checkpoint counters only seed the cosmetic fields replay cannot
+    see (batch counts, peak buffer) — and finally the trace is
+    regenerated and re-offered minus the identities already seen.
+    """
+    from repro.core.message import SyslogMessage
+    from repro.core.taxonomy import Category
+    from repro.faults.dlq import DeadLetter, entry_from_dict
+    from repro.obs import restore_snapshot
+    from repro.stream.fluentd import ABANDON_SITE, OVERFLOW_SITE
+    from repro.stream.tivan import TivanCluster
+
+    wal_dir = Path(wal_dir)
+    config = SimConfig.load(wal_dir)
+    events = config.events()
+    wal = WriteAheadLog(
+        wal_dir, fsync=config.fsync, segment_bytes=config.segment_bytes,
+    )
+    recovered = recover_state(wal_dir, wal=wal)
+    state = recovered.state
+    checkpoint = recovered.checkpoint
+
+    def materialize(event: int, msg) -> SyslogMessage:
+        # trace events journal only their index; the body comes from
+        # the regenerated trace (same config, same seed, same message)
+        if msg is not None:
+            return SyslogMessage.from_dict(msg)
+        return events[event].message
+
+    journal = StreamJournal(wal, injector=injector, state=state)
+    cluster = TivanCluster(
+        flush_interval_s=config.flush_interval_s,
+        batch_size=config.forward_batch,
+        buffer_limit=config.buffer_limit,
+        overflow=config.overflow,
+        flush_retry_limit=config.flush_retry_limit,
+        degrade_backlog=config.degrade_backlog,
+        fault_injector=injector,
+        journal=journal,
+        checkpoint_every_s=config.checkpoint_every_s,
+    )
+    stage = _build_stage(config, injector)
+    cluster.attach_classifier(stage)
+
+    # -- restore from the checkpoint (cosmetics + clock + metrics) --------
+    n_prior_dead = 0
+    if checkpoint is not None:
+        cluster.engine.now = float(checkpoint["sim_time"])
+        restore_snapshot(checkpoint["metrics"])
+        cl = checkpoint["cluster"]
+        stats = cluster.forwarder.stats
+        for name, value in cl["stats"].items():
+            setattr(stats, name, int(value))
+        st = cl["stage"]
+        stage.n_done = int(st["n_done"])
+        stage.n_degraded = int(st["n_degraded"])
+        cluster.degraded = bool(cl["degraded"])
+        cluster.n_degrade_transitions = int(cl["transitions"])
+        cluster._backlog_samples = [
+            (float(t), int(b)) for t, b in cl["backlog_samples"]
+        ]
+        prior = [entry_from_dict(d) for d in cl["dlq"]]
+        n_prior_dead = cluster.forwarder.dead_letters.restore(prior)
+
+    # -- rebuild dispositions from the journal (the source of truth) ------
+    categories = (
+        checkpoint["cluster"].get("categories", {}) if checkpoint else {}
+    )
+    for doc_id, (event, msg) in enumerate(state.indexed):
+        cat = categories.get(str(doc_id))
+        cluster.store.index(
+            materialize(event, msg),
+            Category(cat) if cat is not None else None,
+        )
+    stage.n_done = min(stage.n_done, len(cluster.store))
+    cluster.forwarder.preload(
+        materialize(e, m) for e, m in state.buffer
+    )
+    replay_dead = [
+        DeadLetter(seq=0, site=d["site"],
+                   payload=materialize(d["event"], d["msg"]),
+                   error=d["error"])
+        for d in state.dead[n_prior_dead:]
+    ]
+    cluster.forwarder.dead_letters.restore(replay_dead)
+
+    # conservation counters come from the journal, not the checkpoint:
+    # replay may have moved messages since the snapshot was taken
+    dead_overflow = sum(1 for d in state.dead if d["site"] == OVERFLOW_SITE)
+    dead_abandoned = sum(1 for d in state.dead if d["site"] == ABANDON_SITE)
+    stats = cluster.forwarder.stats
+    stats.accepted = (
+        len(state.indexed) + len(state.buffer) + len(state.evicted)
+        + dead_abandoned
+    )
+    stats.rejected = len(state.rejected)
+    stats.evicted = len(state.evicted)
+    stats.dead_lettered = dead_overflow
+    stats.flushed_messages = len(state.indexed)
+    stats.abandoned_messages = dead_abandoned
+    stats.max_buffer_seen = max(stats.max_buffer_seen, len(state.buffer))
+    cluster.relay.n_received = stats.accepted + stats.rejected + dead_overflow
+    cluster.relay.n_forwarded = stats.accepted
+    cluster.relay.n_dropped = stats.rejected + dead_overflow
+
+    cluster.load_events(events, skip=state.seen)
+    return cluster, config, journal
+
+
+# ---------------------------------------------------------------------------
+# conservation
+
+
+@dataclass
+class ConservationReport:
+    """Message accounting across crashes: nothing lost, nothing doubled.
+
+    ``lost`` counts trace messages with no disposition at all;
+    ``duplicated`` counts extra dispositions beyond the first.  Both
+    must be zero at the end of a completed run, no matter how many
+    times the process was killed along the way.
+    """
+
+    produced: int
+    indexed: int
+    dead_lettered: int
+    rejected: int
+    evicted: int
+    in_buffer: int
+    duplicated: int
+    lost: int
+
+    @property
+    def ok(self) -> bool:
+        return self.duplicated == 0 and self.lost == 0
+
+    def render(self) -> str:
+        """One-line human-readable verdict with every count."""
+        verdict = "OK" if self.ok else "VIOLATED"
+        return (
+            f"conservation {verdict}: produced={self.produced} "
+            f"indexed={self.indexed} dead_lettered={self.dead_lettered} "
+            f"rejected={self.rejected} evicted={self.evicted} "
+            f"in_buffer={self.in_buffer} duplicated={self.duplicated} "
+            f"lost={self.lost}"
+        )
+
+
+def reconcile(state: JournalState, produced: int) -> ConservationReport:
+    """Check the conservation invariant over a journal's final state."""
+    from collections import Counter
+
+    counts: Counter = Counter()
+    for e, _m in state.indexed:
+        counts[e] += 1
+    for e, _m in state.buffer:
+        counts[e] += 1
+    for d in state.dead:
+        counts[d["event"]] += 1
+    for e in state.rejected:
+        counts[e] += 1
+    for e in state.evicted:
+        counts[e] += 1
+    trace = {e: n for e, n in counts.items() if 0 <= e < produced}
+    return ConservationReport(
+        produced=produced,
+        indexed=sum(1 for e, _m in state.indexed if 0 <= e < produced),
+        dead_lettered=sum(1 for d in state.dead if 0 <= d["event"] < produced),
+        rejected=sum(1 for e in state.rejected if 0 <= e < produced),
+        evicted=sum(1 for e in state.evicted if 0 <= e < produced),
+        in_buffer=sum(1 for e, _m in state.buffer if 0 <= e < produced),
+        duplicated=sum(n - 1 for n in trace.values() if n > 1),
+        lost=produced - len(trace),
+    )

@@ -25,6 +25,7 @@ from repro.faults.dlq import DeadLetter, DeadLetterQueue
 from repro.faults.plan import (
     KNOWN_SITES,
     SITE_CHUNK_TIMEOUT,
+    SITE_CRASH,
     SITE_FLUSH_FAIL,
     SITE_POISON,
     SITE_WORKER_CRASH,
@@ -45,6 +46,7 @@ __all__ = [
     "InjectedFault",
     "KNOWN_SITES",
     "SITE_CHUNK_TIMEOUT",
+    "SITE_CRASH",
     "SITE_FLUSH_FAIL",
     "SITE_POISON",
     "SITE_WORKER_CRASH",

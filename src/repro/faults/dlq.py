@@ -15,9 +15,58 @@ dict.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
-__all__ = ["DeadLetter", "DeadLetterQueue"]
+__all__ = ["DeadLetter", "DeadLetterQueue", "entry_to_dict", "entry_from_dict"]
+
+
+def _payload_to_jsonable(payload) -> dict | str:
+    """Encode a dead-letter payload for JSON persistence.
+
+    Syslog messages round-trip exactly; strings pass through; anything
+    else degrades to its ``repr`` (still inspectable, not rebuildable).
+    """
+    from repro.core.message import SyslogMessage
+
+    if isinstance(payload, SyslogMessage):
+        return {"__syslog__": payload.to_dict()}
+    if isinstance(payload, str):
+        return payload
+    return {"__repr__": repr(payload)}
+
+
+def _payload_from_jsonable(data):
+    from repro.core.message import SyslogMessage
+
+    if isinstance(data, dict) and "__syslog__" in data:
+        return SyslogMessage.from_dict(data["__syslog__"])
+    if isinstance(data, dict) and "__repr__" in data:
+        return data["__repr__"]
+    return data
+
+
+def entry_to_dict(entry: "DeadLetter") -> dict:
+    """JSON-ready form of one entry; inverse of :func:`entry_from_dict`."""
+    return {
+        "seq": entry.seq,
+        "site": entry.site,
+        "payload": _payload_to_jsonable(entry.payload),
+        "error": entry.error,
+        "context": dict(entry.context),
+    }
+
+
+def entry_from_dict(data: dict) -> "DeadLetter":
+    """Rebuild one entry from :func:`entry_to_dict` output."""
+    return DeadLetter(
+        seq=int(data["seq"]),
+        site=str(data["site"]),
+        payload=_payload_from_jsonable(data["payload"]),
+        error=str(data["error"]),
+        context=dict(data.get("context", {})),
+    )
 
 
 @dataclass(frozen=True)
@@ -98,6 +147,65 @@ class DeadLetterQueue:
     def since(self, n: int) -> list[DeadLetter]:
         """Entries appended after the first ``n`` (worker delta export)."""
         return list(self._entries[n:])
+
+    def restore(self, entries) -> int:
+        """Adopt entries *without* counting them (checkpoint/file restore).
+
+        Unlike :meth:`extend`, the ``repro_faults_dead_letters_total``
+        counters are not incremented: these captures were already
+        counted when they happened, and the metrics snapshot travels
+        separately in the checkpoint.  Entries are renumbered to stay
+        consistent with any existing contents.
+        """
+        n = 0
+        for e in entries:
+            self._entries.append(
+                DeadLetter(seq=len(self._entries) + 1, site=e.site,
+                           payload=e.payload, error=e.error,
+                           context=dict(e.context))
+            )
+            n += 1
+        return n
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Persist every entry as one JSON object per line.
+
+        Dead letters are the no-silent-loss backstop, so they must
+        survive restarts even outside the checkpoint path.
+        """
+        path = Path(path)
+        with path.open("w") as fh:
+            for e in self._entries:
+                fh.write(json.dumps(entry_to_dict(e), sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path, *, registry=None) -> "DeadLetterQueue":
+        """Load a queue written by :meth:`to_jsonl`.
+
+        Entries are restored without re-counting (see :meth:`restore`).
+
+        Raises
+        ------
+        ValueError
+            A line is not valid JSON or lacks the entry fields.
+        """
+        path = Path(path)
+        queue = cls(registry=registry)
+        entries = []
+        with path.open() as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(entry_from_dict(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, TypeError) as e:
+                    raise ValueError(
+                        f"{path}:{lineno}: bad dead-letter record: {e}"
+                    ) from e
+        queue.restore(entries)
+        return queue
 
     def counts_by_site(self) -> dict[str, int]:
         """Entry counts per site (the stats-reconciliation view)."""

@@ -37,6 +37,7 @@ __all__ = [
     "SITE_CHUNK_TIMEOUT",
     "SITE_FLUSH_FAIL",
     "SITE_POISON",
+    "SITE_CRASH",
     "KNOWN_SITES",
     "FaultSpec",
     "FaultPlan",
@@ -53,9 +54,13 @@ SITE_CHUNK_TIMEOUT = "shard.chunk_timeout"
 SITE_FLUSH_FAIL = "fluentd.flush"
 #: one message poisons the classify path (undecodable / predict error)
 SITE_POISON = "pipeline.poison"
+#: the whole process dies (SIGKILL) right after a WAL append or mid
+#: checkpoint write — the crash-recovery harness arms this site
+SITE_CRASH = "durability.crash"
 
 KNOWN_SITES = (
     SITE_WORKER_CRASH, SITE_CHUNK_TIMEOUT, SITE_FLUSH_FAIL, SITE_POISON,
+    SITE_CRASH,
 )
 
 

@@ -32,6 +32,7 @@ from repro.obs.metrics import (
     histogram_quantile,
     load_snapshot,
     parse_prometheus,
+    restore_snapshot,
     set_default_registry,
     use_registry,
     write_snapshot,
@@ -58,6 +59,7 @@ __all__ = [
     "parse_prometheus",
     "write_snapshot",
     "load_snapshot",
+    "restore_snapshot",
     "Span",
     "Tracer",
     "default_tracer",

@@ -47,6 +47,7 @@ __all__ = [
     "parse_prometheus",
     "write_snapshot",
     "load_snapshot",
+    "restore_snapshot",
 ]
 
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -694,3 +695,56 @@ def load_snapshot(path: str | Path) -> dict:
     if text.lstrip().startswith("{"):
         return json.loads(text)
     return parse_prometheus(text)
+
+
+def restore_snapshot(
+    snapshot: dict, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Load a snapshot's values back into a live registry.
+
+    The inverse of :meth:`MetricsRegistry.snapshot`: families are
+    get-or-created with the snapshot's kind and label set, and each
+    sample's value (or histogram bucket counts, reconstructed from the
+    cumulative form) is written over the child's current state.  This
+    is how checkpoint recovery resumes counting where the crashed
+    process left off instead of resetting every panel to zero.
+
+    Raises
+    ------
+    ValueError
+        A family already exists in ``registry`` with a conflicting
+        kind or label set.
+    """
+    registry = registry if registry is not None else default_registry()
+    for metric in snapshot.get("metrics", ()):
+        name, kind = metric["name"], metric["type"]
+        labels = tuple(metric.get("label_names", ()))
+        help_text = metric.get("help", "")
+        if kind == "counter":
+            fam: _Family = registry.counter(name, help_text, labels)
+        elif kind == "gauge":
+            fam = registry.gauge(name, help_text, labels)
+        elif kind == "histogram":
+            edges = [
+                float(edge)
+                for edge, _n in metric["samples"][0]["buckets"]
+                if edge not in ("+Inf", float("inf"))
+            ] if metric.get("samples") else None
+            fam = registry.histogram(name, help_text, labels,
+                                     buckets=edges or None)
+        else:  # untyped (e.g. parsed from foreign text): nothing to restore
+            continue
+        for sample in metric["samples"]:
+            key = tuple(str(sample["labels"][n]) for n in labels)
+            child = fam._child(key)
+            if kind == "histogram":
+                counts, prev = [], 0
+                for _edge, cum in sample["buckets"]:
+                    counts.append(int(cum) - prev)
+                    prev = int(cum)
+                child.bucket_counts = counts
+                child.sum = float(sample["sum"])
+                child.count = int(sample["count"])
+            else:
+                child.value = float(sample["value"])
+    return registry

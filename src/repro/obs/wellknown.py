@@ -46,6 +46,16 @@ __all__ = [
     "faults_worker_respawns",
     "faults_chunk_retries",
     "faults_serial_fallbacks",
+    "wal_appends",
+    "wal_bytes",
+    "wal_fsyncs",
+    "wal_rotations",
+    "wal_last_seq",
+    "wal_truncated_bytes",
+    "wal_replayed_records",
+    "checkpoint_writes",
+    "checkpoint_last_bytes",
+    "checkpoint_last_wal_seq",
     "declare_all",
 ]
 
@@ -281,6 +291,87 @@ def faults_serial_fallbacks(registry: MetricsRegistry | None = None) -> Counter:
     )
 
 
+# -- durability (WAL + checkpoints) ------------------------------------
+
+
+def wal_appends(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: records appended to the write-ahead log, per kind."""
+    return _reg(registry).counter(
+        "repro_wal_appends_total",
+        "Records appended to the write-ahead log per record kind",
+        labels=("kind",),
+    )
+
+
+def wal_bytes(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: bytes appended to the write-ahead log."""
+    return _reg(registry).counter(
+        "repro_wal_bytes_total", "Bytes appended to the write-ahead log"
+    )
+
+
+def wal_fsyncs(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: fsync calls issued by the write-ahead log."""
+    return _reg(registry).counter(
+        "repro_wal_fsyncs_total", "fsync calls issued by the write-ahead log"
+    )
+
+
+def wal_rotations(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: WAL segment rotations (size limit reached)."""
+    return _reg(registry).counter(
+        "repro_wal_rotations_total",
+        "WAL segments rotated after reaching the size limit",
+    )
+
+
+def wal_last_seq(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: highest sequence number appended to the WAL."""
+    return _reg(registry).gauge(
+        "repro_wal_last_seq", "Highest sequence number appended to the WAL"
+    )
+
+
+def wal_truncated_bytes(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: torn-tail bytes discarded during WAL recovery."""
+    return _reg(registry).counter(
+        "repro_wal_truncated_bytes_total",
+        "Torn-tail bytes discarded during WAL recovery",
+    )
+
+
+def wal_replayed_records(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: WAL records replayed past the checkpoint on recovery."""
+    return _reg(registry).counter(
+        "repro_wal_replayed_records_total",
+        "WAL records replayed past the newest checkpoint on recovery",
+    )
+
+
+def checkpoint_writes(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: checkpoints written (atomic temp-then-rename)."""
+    return _reg(registry).counter(
+        "repro_checkpoint_writes_total",
+        "Checkpoints written (atomic temp-then-rename)",
+    )
+
+
+def checkpoint_last_bytes(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: size of the most recent checkpoint file."""
+    return _reg(registry).gauge(
+        "repro_checkpoint_last_bytes",
+        "Size in bytes of the most recently written checkpoint",
+    )
+
+
+def checkpoint_last_wal_seq(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: WAL sequence the most recent checkpoint covers."""
+    return _reg(registry).gauge(
+        "repro_checkpoint_last_wal_seq",
+        "Last WAL sequence number applied by the most recent checkpoint",
+    )
+
+
 def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
     """Register every well-known family; returns the registry.
 
@@ -298,7 +389,10 @@ def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
         fluentd_dropped, degraded_mode, degraded_transitions,
         degraded_messages, faults_injected, faults_dead_letters,
         faults_quarantined, faults_worker_respawns, faults_chunk_retries,
-        faults_serial_fallbacks,
+        faults_serial_fallbacks, wal_appends, wal_bytes, wal_fsyncs,
+        wal_rotations, wal_last_seq, wal_truncated_bytes,
+        wal_replayed_records, checkpoint_writes, checkpoint_last_bytes,
+        checkpoint_last_wal_seq,
     ):
         factory(registry)
     return registry

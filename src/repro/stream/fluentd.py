@@ -99,6 +99,11 @@ class FluentdForwarder:
         Optional :class:`repro.faults.FaultInjector`; when armed at
         ``fluentd.flush`` it fails flushes before the sink is called,
         exercising the retry/abandon machinery deterministically.
+    journal:
+        Optional :class:`repro.durability.StreamJournal`.  When set,
+        every buffer transition is logged to the WAL *before* the
+        in-memory mutation (write-ahead), so recovery can rebuild the
+        buffer, the delivered set, and the dead letters after a crash.
     """
 
     engine: EventEngine
@@ -111,6 +116,7 @@ class FluentdForwarder:
     overflow: str = "block"
     flush_retry_limit: int | None = None
     fault_injector: object = None
+    journal: object = None
 
     stats: ForwarderStats = field(default_factory=ForwarderStats)
     #: overflow/abandon captures land here with their reason
@@ -148,29 +154,41 @@ class FluentdForwarder:
             self._started = True
             self.engine.schedule(self.flush_interval_s, self._flush_tick)
 
-    def offer(self, message: SyslogMessage) -> bool:
+    def offer(self, message: SyslogMessage, *, event_idx: int | None = None) -> bool:
         """Accept a message into the buffer; False when rejected.
 
         A full buffer applies :attr:`overflow`: ``block`` returns False
         (caller counts the drop), ``drop_oldest`` evicts the oldest
         buffered message and accepts, ``dead_letter`` parks the
         newcomer and returns False — but counted, not lost.
+
+        ``event_idx`` is the message's durable identity (its position
+        in the deterministic trace), journaled with each transition so
+        recovery can tell which messages were already offered.
         """
         if len(self._buffer) >= self.buffer_limit:
             if self.overflow == "drop_oldest":
+                if self.journal is not None:
+                    self.journal.evict_oldest()
                 del self._buffer[0]
                 self.stats.evicted += 1
                 self._m_dropped.inc()
             elif self.overflow == "dead_letter":
+                error = f"buffer full at {self.buffer_limit}"
+                if self.journal is not None:
+                    self.journal.dead_newcomer(
+                        event_idx, message, OVERFLOW_SITE, error
+                    )
                 self.stats.dead_lettered += 1
-                self.dead_letters.push(
-                    OVERFLOW_SITE, message,
-                    f"buffer full at {self.buffer_limit}",
-                )
+                self.dead_letters.push(OVERFLOW_SITE, message, error)
                 return False
             else:  # block
+                if self.journal is not None:
+                    self.journal.reject(event_idx)
                 self.stats.rejected += 1
                 return False
+        if self.journal is not None:
+            self.journal.accept(event_idx, message)
         self._buffer.append(message)
         self.stats.accepted += 1
         self.stats.max_buffer_seen = max(self.stats.max_buffer_seen, len(self._buffer))
@@ -209,6 +227,8 @@ class FluentdForwarder:
             return 0
         batch = self._buffer[: self.batch_size]
         if self._attempt_sink(batch):
+            if self.journal is not None:
+                self.journal.flushed(len(batch))
             del self._buffer[: len(batch)]
             self.stats.flushed_batches += 1
             self.stats.flushed_messages += len(batch)
@@ -233,6 +253,11 @@ class FluentdForwarder:
 
     def _abandon(self, batch: list[SyslogMessage]) -> None:
         """Dead-letter a head batch that exhausted its retry budget."""
+        if self.journal is not None:
+            self.journal.abandoned(
+                len(batch), ABANDON_SITE,
+                f"flush failed {self._consecutive_failures} times",
+            )
         del self._buffer[: len(batch)]
         self.stats.abandoned_flushes += 1
         self.stats.abandoned_messages += len(batch)
@@ -278,6 +303,23 @@ class FluentdForwarder:
                         f"buffered after {consecutive} consecutive failures"
                     )
         raise RuntimeError("drain exceeded max_rounds")
+
+    def preload(self, messages) -> int:
+        """Silently restore buffered messages (checkpoint restore).
+
+        No journal records, no ``accepted`` counts: these messages were
+        already journaled when first offered; this only puts them back
+        in flight so the flush cycle can deliver them.
+        """
+        n = 0
+        for m in messages:
+            self._buffer.append(m)
+            n += 1
+        self.stats.max_buffer_seen = max(
+            self.stats.max_buffer_seen, len(self._buffer)
+        )
+        self._m_buffer_depth.set(len(self._buffer))
+        return n
 
     @property
     def buffered(self) -> int:

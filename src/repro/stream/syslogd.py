@@ -71,12 +71,17 @@ class SyslogDaemon:
         """Schedule this node's messages into the engine.
 
         Only messages whose ``hostname`` matches are scheduled; the
-        timestamps in the trace are absolute sim times.
+        timestamps in the trace are absolute sim times.  A timestamp
+        already in the past (a resumed run whose clock moved on while
+        the message was never offered) is clamped to *now* — delivered
+        late rather than dropped or time-travelled.
         """
         for msg in messages:
             if msg.hostname != self.hostname:
                 continue
-            engine.schedule_at(msg.timestamp, lambda m=msg: self._emit(m))
+            engine.schedule_at(
+                max(msg.timestamp, engine.now), lambda m=msg: self._emit(m)
+            )
 
     def _emit(self, message: SyslogMessage) -> None:
         self.n_emitted += 1

@@ -148,6 +148,15 @@ class TivanCluster:
     fault_injector:
         Optional :class:`repro.faults.FaultInjector`, armed on the
         forwarder's ``fluentd.flush`` site.
+    journal:
+        Optional :class:`repro.durability.StreamJournal` making the run
+        durable: every forwarder transition is WAL-logged with the
+        message's trace position as identity, and :meth:`run` writes
+        periodic checkpoints.  Durable clusters are normally built via
+        :func:`repro.durability.resume_simulation`, not directly.
+    checkpoint_every_s:
+        Simulated seconds between checkpoints (requires ``journal``);
+        ``None`` disables periodic checkpoints.
     """
 
     def __init__(
@@ -162,6 +171,8 @@ class TivanCluster:
         degrade_backlog: int | None = None,
         recover_backlog: int | None = None,
         fault_injector=None,
+        journal=None,
+        checkpoint_every_s: float | None = None,
     ) -> None:
         if degrade_backlog is not None and degrade_backlog < 1:
             raise ValueError(
@@ -176,8 +187,14 @@ class TivanCluster:
                 f"recover_backlog must be in [0, degrade_backlog), got "
                 f"{recover_backlog} with degrade_backlog={degrade_backlog}"
             )
+        if checkpoint_every_s is not None and checkpoint_every_s <= 0:
+            raise ValueError(
+                f"checkpoint_every_s must be positive, got {checkpoint_every_s}"
+            )
         self.engine = EventEngine()
         self.store = LogStore(n_shards=n_shards)
+        self.journal = journal
+        self.checkpoint_every_s = checkpoint_every_s
         self.forwarder = FluentdForwarder(
             engine=self.engine,
             sink=self.store.bulk_index,
@@ -187,9 +204,11 @@ class TivanCluster:
             overflow=overflow,
             flush_retry_limit=flush_retry_limit,
             fault_injector=fault_injector,
+            journal=journal,
         )
-        self.relay = SyslogRelay(downstream=self.forwarder.offer)
+        self.relay = SyslogRelay(downstream=self._offer)
         self.daemons: dict[str, SyslogDaemon] = {}
+        self._event_idx: dict[int, int] = {}
         self.degrade_backlog = degrade_backlog
         self.recover_backlog = recover_backlog
         self.degraded = False
@@ -201,25 +220,46 @@ class TivanCluster:
         """Attach the classification stage before :meth:`run`."""
         self._stage = stage
 
-    def load_events(self, events: Sequence[StreamEvent]) -> None:
-        """Create daemons for every host in the trace and schedule it."""
-        messages = [e.message for e in events]
+    def load_events(self, events: Sequence[StreamEvent], *, skip=()) -> None:
+        """Create daemons for every host in the trace and schedule it.
+
+        ``skip`` holds trace positions to leave unscheduled — on a
+        durable resume these are the identities the journal already
+        saw, so a message is never offered twice across restarts.
+        ``produced`` still counts the full trace (conservation is
+        stated over every generated message).
+        """
+        skip = set(skip)
+        messages = []
+        for i, e in enumerate(events):
+            if i in skip:
+                continue
+            self._event_idx[id(e.message)] = i
+            messages.append(e.message)
         hosts = sorted({m.hostname for m in messages})
         for h in hosts:
             self.daemons[h] = SyslogDaemon(hostname=h, relay=self.relay)
         for h, d in self.daemons.items():
             d.load_trace(self.engine, messages)
-        self._n_produced = len(messages)
+        self._n_produced = len(events)
 
     def run(self, duration_s: float, *, sample_every_s: float = 5.0) -> IngestReport:
-        """Run the simulation and return the report."""
+        """Run the simulation and return the report.
+
+        On a resumed durable run the restored clock may already be past
+        ``duration_s``; the horizon is clamped forward so the clock
+        never moves backwards.
+        """
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
+        horizon = max(duration_s, self.engine.now)
         self.forwarder.start()
         if self._stage is not None:
             self.engine.schedule(0.0, self._classifier_tick)
-        self._schedule_sampler(sample_every_s, duration_s)
-        self.engine.run(until=duration_s)
+        self._schedule_sampler(sample_every_s, horizon)
+        if self.journal is not None and self.checkpoint_every_s is not None:
+            self._schedule_checkpoint(horizon)
+        self.engine.run(until=horizon)
         # snapshot at the horizon first: the settle drain below indexes
         # messages the classifier was never offered during the run, and
         # counting them into final_backlog would flip keeping_up
@@ -227,6 +267,8 @@ class TivanCluster:
         classified = self._stage.n_done if self._stage else 0
         # settle: drain remaining buffered messages into the index
         drained = self.forwarder.drain() if self.forwarder.buffered else 0
+        if self.journal is not None:
+            self.write_checkpoint()
         return IngestReport(
             duration_s=duration_s,
             produced=getattr(self, "_n_produced", 0),
@@ -241,7 +283,31 @@ class TivanCluster:
             degrade_transitions=self.n_degrade_transitions,
         )
 
+    def write_checkpoint(self):
+        """Write one atomic checkpoint of this durable run's state."""
+        from repro.durability.recovery import checkpoint_cluster
+
+        return checkpoint_cluster(self)
+
     # -- internals ---------------------------------------------------------
+
+    def _offer(self, message) -> bool:
+        """Relay downstream: forward with the message's trace identity."""
+        if self.journal is None:
+            return self.forwarder.offer(message)
+        return self.forwarder.offer(
+            message, event_idx=self._event_idx.get(id(message))
+        )
+
+    def _schedule_checkpoint(self, horizon: float) -> None:
+        every = self.checkpoint_every_s
+
+        def tick() -> None:
+            self.write_checkpoint()
+            if self.engine.now + every <= horizon:
+                self.engine.schedule(every, tick)
+
+        self.engine.schedule(every, tick)
 
     def _schedule_sampler(self, every: float, horizon: float) -> None:
         if every <= 0:

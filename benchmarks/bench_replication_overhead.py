@@ -1,0 +1,125 @@
+"""REPLICATION — quorum-write overhead versus a bare LogStore.
+
+The replicated store at the paper's deployment shape (3 nodes, RF=3,
+W=2) pays for durability with extra copies: every batch is analyzed
+once at the coordinator, then placed on every reachable owner, with
+only acting primaries maintaining a search index.  The design budget
+is <35% wall-clock cost on bulk indexing versus a bare
+:class:`~repro.stream.opensearch.LogStore` ingesting the identical
+messages — the replica map is a dict write, not a second index build,
+so the overhead should stay far below naive 3x.
+
+Rounds are interleaved bare/replicated and min-of-rounds is compared,
+so a background hiccup lands on both sides instead of biasing one.
+
+Environment knobs: ``REPRO_BENCH_REPL_MESSAGES`` (messages per round,
+default 6000), ``REPRO_BENCH_REPL_ROUNDS`` (round pairs, default 5),
+``REPRO_BENCH_REPL_BATCH`` (batch size, default 200).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.message import SyslogMessage
+from repro.experiments.common import format_table
+from repro.obs import MetricsRegistry, use_registry
+from repro.replication import ReplicatedLogStore
+from repro.stream.opensearch import LogStore
+
+from conftest import BENCH_SEED, emit
+
+N_MESSAGES = int(os.environ.get("REPRO_BENCH_REPL_MESSAGES", "6000"))
+N_ROUNDS = int(os.environ.get("REPRO_BENCH_REPL_ROUNDS", "5"))
+BATCH = int(os.environ.get("REPRO_BENCH_REPL_BATCH", "200"))
+OVERHEAD_BUDGET_PCT = 35.0
+
+_TEMPLATES = [
+    "kernel: usb {i}-1: new high-speed USB device number {i} using xhci_hcd",
+    "sshd[{i}]: Accepted publickey for user{i} from 10.0.{i}.9 port 4{i}",
+    "slurmd[{i}]: launch task {i}.0 request from UID {i}",
+    "mce: [Hardware Error]: Machine check events logged on CPU {i}",
+    "thermal thermal_zone{i}: critical temperature reached ({i} C)",
+]
+
+
+def _batches() -> list[list[SyslogMessage]]:
+    msgs = [
+        SyslogMessage(
+            timestamp=float(i),
+            hostname=f"cn{(BENCH_SEED + i) % 24:03d}",
+            app="kernel",
+            text=_TEMPLATES[i % len(_TEMPLATES)].format(i=i % 97),
+        )
+        for i in range(N_MESSAGES)
+    ]
+    return [msgs[i:i + BATCH] for i in range(0, len(msgs), BATCH)]
+
+
+def _run_bare(batches) -> float:
+    with use_registry(MetricsRegistry()):
+        store = LogStore(n_shards=6)
+        t0 = time.perf_counter()
+        for batch in batches:
+            store.bulk_index(batch)
+        elapsed = time.perf_counter() - t0
+        assert len(store) == N_MESSAGES
+    return elapsed
+
+
+def _run_replicated(batches) -> float:
+    with use_registry(MetricsRegistry()):
+        store = ReplicatedLogStore(
+            n_nodes=3, n_shards=6, n_replicas=2, write_quorum=2, read_quorum=2,
+        )
+        t0 = time.perf_counter()
+        for batch in batches:
+            store.bulk_index(batch)
+        elapsed = time.perf_counter() - t0
+        assert len(store) == N_MESSAGES
+    return elapsed
+
+
+def test_replication_overhead(benchmark):
+    batches = _batches()
+
+    # warm both paths (imports, tokenizer tables, registry setup)
+    _run_bare(batches)
+    _run_replicated(batches)
+
+    bare_times: list[float] = []
+    repl_times: list[float] = []
+    for _ in range(N_ROUNDS):
+        bare_times.append(_run_bare(batches))
+        repl_times.append(_run_replicated(batches))
+
+    bare_s, repl_s = min(bare_times), min(repl_times)
+    overhead_pct = (repl_s - bare_s) / bare_s * 100.0
+    bare_rate, repl_rate = N_MESSAGES / bare_s, N_MESSAGES / repl_s
+
+    benchmark.pedantic(
+        lambda: _run_replicated(batches), rounds=1, iterations=1
+    )
+    benchmark.extra_info["messages"] = N_MESSAGES
+    benchmark.extra_info["bare_msg_per_s"] = round(bare_rate)
+    benchmark.extra_info["replicated_msg_per_s"] = round(repl_rate)
+    benchmark.extra_info["overhead_pct"] = round(overhead_pct, 3)
+
+    rows = [
+        ["bare LogStore", f"{bare_s * 1e3:.1f}", f"{bare_rate:,.0f}", "-"],
+        ["replicated (N=3 RF=3 W=2)", f"{repl_s * 1e3:.1f}",
+         f"{repl_rate:,.0f}", f"{overhead_pct:+.2f}%"],
+    ]
+    emit(
+        f"Replication overhead — {N_MESSAGES:,} messages in batches of "
+        f"{BATCH} × {N_ROUNDS} rounds (min)",
+        format_table(["mode", "ms/run", "msg/s", "overhead"], rows)
+        + f"\nbudget: <{OVERHEAD_BUDGET_PCT:.0f}%  "
+        + ("PASS" if overhead_pct < OVERHEAD_BUDGET_PCT else "FAIL"),
+    )
+
+    assert overhead_pct < OVERHEAD_BUDGET_PCT, (
+        f"replication overhead {overhead_pct:.2f}% exceeds "
+        f"{OVERHEAD_BUDGET_PCT:.0f}% budget"
+    )

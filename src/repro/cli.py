@@ -153,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degrade-backlog", type=_positive_int, default=None,
                    help="classifier backlog at which the cluster sheds "
                         "load to the cheap blacklist path")
+    p.add_argument("--store-nodes", type=_positive_int, default=None,
+                   help="index through a replicated store over this "
+                        "many nodes (default: single in-process store)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="copies per shard beyond the primary "
+                        "(replicated store only; default 1)")
+    p.add_argument("--write-quorum", type=_positive_int, default=None,
+                   help="owner copies a write must land on (W; "
+                        "default: majority of replicas+1)")
+    p.add_argument("--read-quorum", type=_positive_int, default=None,
+                   help="owner copies a read must consult (R; "
+                        "default: majority of replicas+1)")
     p.add_argument("--metrics-out", type=Path, default=None,
                    help="write a metrics snapshot on exit (Prometheus "
                         "text for .prom/.txt, JSON otherwise)")
@@ -173,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--wal-dir", type=Path, required=True,
                    help="directory of a simulate --wal-dir run")
+    p.add_argument("--store-nodes", type=_positive_int, default=None,
+                   help="override the run's replicated-store node "
+                        "count (default: the value in meta.json)")
+    p.add_argument("--replicas", type=int, default=None,
+                   help="override the run's replica count")
+    p.add_argument("--write-quorum", type=_positive_int, default=None,
+                   help="override the run's write quorum (W)")
+    p.add_argument("--read-quorum", type=_positive_int, default=None,
+                   help="override the run's read quorum (R)")
     p.add_argument("--metrics-out", type=Path, default=None,
                    help="write a metrics snapshot on exit (Prometheus "
                         "text for .prom/.txt, JSON otherwise)")
@@ -463,6 +484,10 @@ def _run_simulation(args):
             flush_retry_limit=getattr(args, "flush_retries", None),
             degrade_backlog=getattr(args, "degrade_backlog", None),
             model_dir=str(args.model_dir),
+            store_nodes=getattr(args, "store_nodes", None),
+            store_replicas=getattr(args, "replicas", 1),
+            write_quorum=getattr(args, "write_quorum", None),
+            read_quorum=getattr(args, "read_quorum", None),
         ).save(wal_dir)
         cluster, config, journal = resume_simulation(wal_dir, injector=injector)
         report = cluster.run(duration + 30.0)
@@ -481,6 +506,10 @@ def _run_simulation(args):
         flush_retry_limit=getattr(args, "flush_retries", None),
         degrade_backlog=getattr(args, "degrade_backlog", None),
         fault_injector=injector,
+        store_nodes=getattr(args, "store_nodes", None),
+        store_replicas=getattr(args, "replicas", 1),
+        write_quorum=getattr(args, "write_quorum", None),
+        read_quorum=getattr(args, "read_quorum", None),
     )
     cluster.load_events(events)
 
@@ -524,6 +553,14 @@ def _cmd_simulate(args) -> int:
             f"degraded: classified_degraded={report.classified_degraded} "
             f"transitions={report.degrade_transitions}"
         )
+    if hasattr(cluster.store, "node_health"):
+        rows = cluster.store.node_health()
+        up = sum(1 for r in rows if r["up"])
+        print(
+            f"store: nodes={len(rows)} up={up} "
+            f"W={cluster.store.write_quorum} R={cluster.store.read_quorum} "
+            f"hints_pending={cluster.store.hints_pending}"
+        )
     if cluster.journal is not None:
         from repro.durability import reconcile
 
@@ -555,9 +592,22 @@ def _cmd_assist(args) -> int:
 
 
 def _cmd_recover(args) -> int:
-    from repro.durability import reconcile, resume_simulation
+    from repro.durability import SimConfig, reconcile, resume_simulation
 
+    overrides = {
+        "store_nodes": getattr(args, "store_nodes", None),
+        "store_replicas": getattr(args, "replicas", None),
+        "write_quorum": getattr(args, "write_quorum", None),
+        "read_quorum": getattr(args, "read_quorum", None),
+    }
     try:
+        if any(v is not None for v in overrides.values()):
+            # persist the new topology so later resumes agree with it
+            config = SimConfig.load(args.wal_dir)
+            for name, value in overrides.items():
+                if value is not None:
+                    setattr(config, name, value)
+            config.save(args.wal_dir)
         cluster, config, journal = resume_simulation(args.wal_dir)
     except FileNotFoundError as e:
         raise SystemExit(str(e))

@@ -330,6 +330,11 @@ class SimConfig:
     flush_interval_s: float = 1.0
     forward_batch: int = 1000
     buffer_limit: int = 100_000
+    #: replicated store (None keeps the single in-process LogStore)
+    store_nodes: int | None = None
+    store_replicas: int = 1
+    write_quorum: int | None = None
+    read_quorum: int | None = None
 
     def events(self):
         """Regenerate the deterministic trace this config describes."""
@@ -378,7 +383,7 @@ def build_checkpoint_payload(cluster) -> dict:
     journal = cluster.journal
     stage = cluster._stage
     categories = {}
-    for doc in cluster.store._docs:
+    for doc in cluster.store.iter_documents():
         if doc.category is not None:
             categories[str(doc.doc_id)] = doc.category.value
     declare_all()
@@ -553,6 +558,10 @@ def resume_simulation(wal_dir: str | Path, *, injector=None):
         fault_injector=injector,
         journal=journal,
         checkpoint_every_s=config.checkpoint_every_s,
+        store_nodes=config.store_nodes,
+        store_replicas=config.store_replicas,
+        write_quorum=config.write_quorum,
+        read_quorum=config.read_quorum,
     )
     stage = _build_stage(config, injector)
     cluster.attach_classifier(stage)

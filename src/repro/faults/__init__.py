@@ -27,6 +27,9 @@ from repro.faults.plan import (
     SITE_CHUNK_TIMEOUT,
     SITE_CRASH,
     SITE_FLUSH_FAIL,
+    SITE_NODE_DOWN,
+    SITE_NODE_SLOW,
+    SITE_PARTITION,
     SITE_POISON,
     SITE_WORKER_CRASH,
     FaultInjector,
@@ -48,6 +51,9 @@ __all__ = [
     "SITE_CHUNK_TIMEOUT",
     "SITE_CRASH",
     "SITE_FLUSH_FAIL",
+    "SITE_NODE_DOWN",
+    "SITE_NODE_SLOW",
+    "SITE_PARTITION",
     "SITE_POISON",
     "SITE_WORKER_CRASH",
 ]

@@ -98,25 +98,53 @@ class DeadLetter:
 
 
 class DeadLetterQueue:
-    """Append-only capture of condemned messages.
+    """Bounded capture of condemned messages (oldest evicted at cap).
 
     Every capture increments ``repro_faults_dead_letters_total{site=}``
     in this process's registry — :meth:`extend` too, which is how
     worker-side captures (whose registries are invisible to the parent)
     get counted exactly once, in the parent.
+
+    ``max_entries`` caps the queue: sustained faults cannot grow the
+    no-silent-loss backstop without bound.  Beyond the cap the *oldest*
+    entry is dropped and counted into
+    ``repro_faults_dlq_evicted_total`` (and :attr:`n_evicted`) — the
+    loss is still never silent, it just moves from entry to counter.
+    ``None`` (the default) keeps the queue unbounded.
+
+    Sequence numbers are monotone over the queue's lifetime (they are
+    assigned at capture and never reused), so :meth:`since` keeps
+    returning exactly the post-cursor entries even after evictions.
     """
 
-    def __init__(self, *, registry=None) -> None:
+    def __init__(self, *, max_entries: int | None = None, registry=None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
         self.registry = registry
         self._entries: list[DeadLetter] = []
+        self._next_seq = 0
+        #: oldest entries dropped by the ``max_entries`` cap
+        self.n_evicted = 0
+
+    def _append(self, site: str, payload, error: str, context: dict) -> DeadLetter:
+        self._next_seq += 1
+        entry = DeadLetter(
+            seq=self._next_seq, site=site, payload=payload,
+            error=error, context=context,
+        )
+        self._entries.append(entry)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            del self._entries[0]
+            self.n_evicted += 1
+            from repro.obs import wellknown
+
+            wellknown.faults_dlq_evicted(self.registry).inc()
+        return entry
 
     def push(self, site: str, payload, error: str, **context) -> DeadLetter:
         """Capture one message; returns its record."""
-        entry = DeadLetter(
-            seq=len(self._entries) + 1, site=site, payload=payload,
-            error=error, context=dict(context),
-        )
-        self._entries.append(entry)
+        entry = self._append(site, payload, error, dict(context))
         self._count(site, 1)
         return entry
 
@@ -124,11 +152,7 @@ class DeadLetterQueue:
         """Adopt entries captured elsewhere (renumbered); returns count."""
         n = 0
         for e in entries:
-            self._entries.append(
-                DeadLetter(seq=len(self._entries) + 1, site=e.site,
-                           payload=e.payload, error=e.error,
-                           context=dict(e.context))
-            )
+            self._append(e.site, e.payload, e.error, dict(e.context))
             self._count(e.site, 1)
             n += 1
         return n
@@ -145,8 +169,8 @@ class DeadLetterQueue:
         return [e for e in self._entries if e.site == site]
 
     def since(self, n: int) -> list[DeadLetter]:
-        """Entries appended after the first ``n`` (worker delta export)."""
-        return list(self._entries[n:])
+        """Entries with sequence number past ``n`` (worker delta export)."""
+        return [e for e in self._entries if e.seq > n]
 
     def restore(self, entries) -> int:
         """Adopt entries *without* counting them (checkpoint/file restore).
@@ -159,11 +183,7 @@ class DeadLetterQueue:
         """
         n = 0
         for e in entries:
-            self._entries.append(
-                DeadLetter(seq=len(self._entries) + 1, site=e.site,
-                           payload=e.payload, error=e.error,
-                           context=dict(e.context))
-            )
+            self._append(e.site, e.payload, e.error, dict(e.context))
             n += 1
         return n
 

@@ -38,6 +38,9 @@ __all__ = [
     "SITE_FLUSH_FAIL",
     "SITE_POISON",
     "SITE_CRASH",
+    "SITE_NODE_DOWN",
+    "SITE_NODE_SLOW",
+    "SITE_PARTITION",
     "KNOWN_SITES",
     "FaultSpec",
     "FaultPlan",
@@ -57,10 +60,20 @@ SITE_POISON = "pipeline.poison"
 #: the whole process dies (SIGKILL) right after a WAL append or mid
 #: checkpoint write — the crash-recovery harness arms this site
 SITE_CRASH = "durability.crash"
+#: a replicated-store node goes down (SIGKILL, state wiped) — the next
+#: fire at the site restarts the downed node, so a probabilistic plan
+#: produces kill/rejoin churn
+SITE_NODE_DOWN = "store.node_down"
+#: one store node times out for the current batch (counted against its
+#: circuit breaker without taking the node down)
+SITE_NODE_SLOW = "store.node_slow"
+#: a network partition isolates a minority of store nodes — the next
+#: fire at the site heals it
+SITE_PARTITION = "store.partition"
 
 KNOWN_SITES = (
     SITE_WORKER_CRASH, SITE_CHUNK_TIMEOUT, SITE_FLUSH_FAIL, SITE_POISON,
-    SITE_CRASH,
+    SITE_CRASH, SITE_NODE_DOWN, SITE_NODE_SLOW, SITE_PARTITION,
 )
 
 

@@ -42,6 +42,7 @@ __all__ = [
     "degraded_messages",
     "faults_injected",
     "faults_dead_letters",
+    "faults_dlq_evicted",
     "faults_quarantined",
     "faults_worker_respawns",
     "faults_chunk_retries",
@@ -56,6 +57,17 @@ __all__ = [
     "checkpoint_writes",
     "checkpoint_last_bytes",
     "checkpoint_last_wal_seq",
+    "store_node_up",
+    "store_quorum_write_seconds",
+    "store_quorum_read_seconds",
+    "store_quorum_failures",
+    "store_hints_queued",
+    "store_hints_replayed",
+    "store_hints_dropped",
+    "store_read_repairs",
+    "store_repair_docs",
+    "store_breaker_transitions",
+    "store_node_timeouts",
     "declare_all",
 ]
 
@@ -258,6 +270,14 @@ def faults_dead_letters(registry: MetricsRegistry | None = None) -> Counter:
     )
 
 
+def faults_dlq_evicted(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: oldest dead letters evicted by a bounded DLQ's cap."""
+    return _reg(registry).counter(
+        "repro_faults_dlq_evicted_total",
+        "Oldest dead letters evicted by a bounded dead-letter queue",
+    )
+
+
 def faults_quarantined(registry: MetricsRegistry | None = None) -> Counter:
     """Counter: messages quarantined by per-message classify salvage."""
     return _reg(registry).counter(
@@ -372,6 +392,101 @@ def checkpoint_last_wal_seq(registry: MetricsRegistry | None = None) -> Gauge:
     )
 
 
+# -- replicated store ---------------------------------------------------
+
+
+def store_node_up(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: 1 while the coordinator can reach the node, else 0."""
+    return _reg(registry).gauge(
+        "repro_store_node_up",
+        "1 while the replicated-store coordinator can reach the node",
+        labels=("node",),
+    )
+
+
+def store_quorum_write_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: coordinator wall-clock seconds per quorum bulk write."""
+    return _reg(registry).histogram(
+        "repro_store_quorum_write_seconds",
+        "Coordinator wall-clock seconds per quorum bulk write",
+    )
+
+
+def store_quorum_read_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: coordinator wall-clock seconds per quorum read."""
+    return _reg(registry).histogram(
+        "repro_store_quorum_read_seconds",
+        "Coordinator wall-clock seconds per quorum read",
+    )
+
+
+def store_quorum_failures(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: operations refused for lack of quorum, per op kind."""
+    return _reg(registry).counter(
+        "repro_store_quorum_failures_total",
+        "Operations refused because too few owner nodes were reachable",
+        labels=("op",),
+    )
+
+
+def store_hints_queued(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: hinted-handoff entries queued for unreachable owners."""
+    return _reg(registry).counter(
+        "repro_store_hints_queued_total",
+        "Hinted-handoff entries queued for unreachable owner nodes",
+    )
+
+
+def store_hints_replayed(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: hinted-handoff entries replayed to rejoined nodes."""
+    return _reg(registry).counter(
+        "repro_store_hints_replayed_total",
+        "Hinted-handoff entries replayed to rejoined owner nodes",
+    )
+
+
+def store_hints_dropped(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: oldest hints evicted by the per-node hint buffer cap."""
+    return _reg(registry).counter(
+        "repro_store_hints_dropped_total",
+        "Oldest hints evicted by the bounded per-node hint buffer",
+    )
+
+
+def store_read_repairs(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: stale/missing copies repaired by quorum reads."""
+    return _reg(registry).counter(
+        "repro_store_read_repairs_total",
+        "Stale or missing replica copies repaired during quorum reads",
+    )
+
+
+def store_repair_docs(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: document copies pushed by anti-entropy sync."""
+    return _reg(registry).counter(
+        "repro_store_repair_docs_total",
+        "Document copies pushed between nodes by anti-entropy sync",
+    )
+
+
+def store_breaker_transitions(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: node circuit-breaker transitions, by entered state."""
+    return _reg(registry).counter(
+        "repro_store_breaker_transitions_total",
+        "Per-node circuit breaker transitions by entered state",
+        labels=("state",),
+    )
+
+
+def store_node_timeouts(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: simulated node timeouts (store.node_slow), per node."""
+    return _reg(registry).counter(
+        "repro_store_node_timeouts_total",
+        "Simulated store-node timeouts per node",
+        labels=("node",),
+    )
+
+
 def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
     """Register every well-known family; returns the registry.
 
@@ -389,10 +504,13 @@ def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
         fluentd_dropped, degraded_mode, degraded_transitions,
         degraded_messages, faults_injected, faults_dead_letters,
         faults_quarantined, faults_worker_respawns, faults_chunk_retries,
-        faults_serial_fallbacks, wal_appends, wal_bytes, wal_fsyncs,
-        wal_rotations, wal_last_seq, wal_truncated_bytes,
+        faults_serial_fallbacks, faults_dlq_evicted, wal_appends, wal_bytes,
+        wal_fsyncs, wal_rotations, wal_last_seq, wal_truncated_bytes,
         wal_replayed_records, checkpoint_writes, checkpoint_last_bytes,
-        checkpoint_last_wal_seq,
+        checkpoint_last_wal_seq, store_node_up, store_quorum_write_seconds,
+        store_quorum_read_seconds, store_quorum_failures, store_hints_queued,
+        store_hints_replayed, store_hints_dropped, store_read_repairs,
+        store_repair_docs, store_breaker_transitions, store_node_timeouts,
     ):
         factory(registry)
     return registry

@@ -1,0 +1,31 @@
+"""Replicated log store: quorum reads/writes, failover, anti-entropy.
+
+The storage-tier counterpart to the executor resilience (PR 3) and
+ingest durability (PR 4) layers: :class:`ReplicatedLogStore`
+coordinates N :class:`StoreNode` members with primary+replica shard
+placement, quorum writes/reads with read repair, per-node circuit
+breakers, hinted handoff, and seq-digest anti-entropy sync.
+"""
+
+from repro.replication.health import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from repro.replication.node import NodeDownError, StoreNode, VersionedDoc
+from repro.replication.placement import ShardPlacement
+from repro.replication.store import QuorumError, ReplicatedLogStore
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "NodeDownError",
+    "QuorumError",
+    "ReplicatedLogStore",
+    "ShardPlacement",
+    "StoreNode",
+    "VersionedDoc",
+]

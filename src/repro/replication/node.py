@@ -1,0 +1,234 @@
+"""One storage node: a versioned document copy plus a search index.
+
+A node holds two structures with different jobs:
+
+- the **replica map** — ``doc_id → (message, category, version)`` for
+  every shard the node owns.  This is the durability structure: cheap
+  to write (a dict put), compared byte-for-byte by anti-entropy
+  digests, and the thing quorum reads consult.
+- the **search index** — a full :class:`~repro.stream.opensearch.
+  LogStore` holding only the shards the node is *acting primary* for.
+  Inverted-index maintenance is the expensive part of a write, so
+  replicas don't pay it; when a replica is promoted after a primary
+  failure it builds the index for the new shard from its replica map
+  (the catch-up cost of failover, not of every write).  This mirrors
+  how real engines replicate the document log and treat index
+  structures as node-local derived state.
+
+All node operations raise :class:`NodeDownError` while the node is
+down, so the coordinator's health tracking sees failures exactly where
+a remote store would produce timeouts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.core.taxonomy import Category
+from repro.core.message import SyslogMessage
+from repro.stream.opensearch import LogDocument, LogStore
+
+__all__ = ["NodeDownError", "StoreNode", "VersionedDoc"]
+
+
+class NodeDownError(RuntimeError):
+    """An operation reached a node that is down (simulated timeout)."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"store node {node_id} is down")
+        self.node_id = node_id
+
+
+@dataclass(slots=True)
+class VersionedDoc:
+    """One node's copy of a document.
+
+    ``version`` starts at 1 when the document is first indexed and is
+    bumped by every category update, so divergent copies (a node missed
+    a write while down) are ordered: highest version wins, and equal
+    versions are byte-identical by construction (the coordinator is the
+    single writer).
+    """
+
+    message: SyslogMessage
+    category: Category | None
+    version: int
+
+
+class StoreNode:
+    """One member of a :class:`~repro.replication.ReplicatedLogStore`."""
+
+    def __init__(self, node_id: int, n_shards: int) -> None:
+        self.node_id = node_id
+        self.n_shards = n_shards
+        self.down = False
+        self._docs: dict[int, VersionedDoc] = {}
+        self._shard_ids: dict[int, set[int]] = {}
+        # acting-primary search index over primary shards only
+        self.search_index = LogStore(n_shards=1)
+        self._local_gids: list[int] = []  # local doc id -> global doc id
+        self._local_of: dict[int, int] = {}  # global doc id -> local
+        self.primary_shards: set[int] = set()
+
+    # -- liveness ----------------------------------------------------------
+
+    def ping(self) -> None:
+        """Raise :class:`NodeDownError` when the node is unreachable."""
+        if self.down:
+            raise NodeDownError(self.node_id)
+
+    def kill(self, *, wipe: bool = True) -> None:
+        """Take the node down; ``wipe`` loses its state (SIGKILL-style,
+        disk and all) so recovery must come from its peers."""
+        self.down = True
+        if wipe:
+            self._docs.clear()
+            self._shard_ids.clear()
+            self.search_index = LogStore(n_shards=1)
+            self._local_gids.clear()
+            self._local_of.clear()
+            self.primary_shards.clear()
+
+    def restart(self) -> None:
+        """Bring the node back up (possibly empty; peers re-seed it)."""
+        self.down = False
+
+    # -- writes ------------------------------------------------------------
+
+    def put(
+        self,
+        doc_id: int,
+        message: SyslogMessage,
+        category: Category | None,
+        version: int,
+        *,
+        tokens: list[str] | None = None,
+    ) -> bool:
+        """Store (or refresh) one document copy; False when stale.
+
+        Idempotent and monotone: a copy at ``version`` or newer is left
+        untouched, so hint replay and anti-entropy can push the same
+        document any number of times.
+        """
+        self.ping()
+        shard = doc_id % self.n_shards
+        existing = self._docs.get(doc_id)
+        if existing is not None and existing.version >= version:
+            return False
+        if existing is None:
+            self._shard_ids.setdefault(shard, set()).add(doc_id)
+        self._docs[doc_id] = VersionedDoc(
+            message=message, category=category, version=version
+        )
+        if shard in self.primary_shards:
+            self._index_doc(doc_id, message, category, tokens)
+        return True
+
+    def apply_category(self, doc_id: int, category: Category, version: int) -> bool:
+        """Attach a later-version category; False when unknown/stale."""
+        self.ping()
+        doc = self._docs.get(doc_id)
+        if doc is None or doc.version >= version:
+            return False
+        doc.category = category
+        doc.version = version
+        local = self._local_of.get(doc_id)
+        if local is not None:
+            self.search_index.set_category(local, category)
+        return True
+
+    def _index_doc(self, doc_id, message, category, tokens) -> None:
+        local = self._local_of.get(doc_id)
+        if local is not None:
+            if category is not None:
+                self.search_index.set_category(local, category)
+            return
+        local = self.search_index.index(message, category, _tokens=tokens)
+        self._local_gids.append(doc_id)
+        self._local_of[doc_id] = local
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, doc_id: int) -> VersionedDoc | None:
+        """This node's copy of the document, or None when absent."""
+        self.ping()
+        return self._docs.get(doc_id)
+
+    def global_docs(self, result_docs) -> list[LogDocument]:
+        """Map search-index hits back to globally-numbered documents."""
+        return [
+            LogDocument(
+                doc_id=self._local_gids[d.doc_id],
+                message=d.message,
+                category=d.category,
+            )
+            for d in result_docs
+        ]
+
+    def shard_doc_ids(self, shard: int) -> set[int]:
+        """Document ids this node holds for ``shard`` (live or not —
+        anti-entropy planning reads peers while a node is being
+        compared, not written)."""
+        return self._shard_ids.get(shard, set())
+
+    def copy_of(self, doc_id: int) -> VersionedDoc | None:
+        """Liveness-unchecked read for anti-entropy source traversal."""
+        return self._docs.get(doc_id)
+
+    # -- roles -------------------------------------------------------------
+
+    def promote(self, shard: int) -> int:
+        """Become acting primary for ``shard``; returns docs indexed.
+
+        Builds the missing slice of the search index from the replica
+        map (in doc-id order, so local ordering matches global).
+        """
+        self.ping()
+        self.primary_shards.add(shard)
+        n = 0
+        for doc_id in sorted(self._shard_ids.get(shard, ())):
+            if doc_id not in self._local_of:
+                doc = self._docs[doc_id]
+                self._index_doc(doc_id, doc.message, doc.category, None)
+                n += 1
+        return n
+
+    def demote(self, shard: int) -> None:
+        """Stop acting as primary for ``shard``.
+
+        Already-indexed documents stay in the search index (rebuilding
+        without them would cost more than they do); the coordinator
+        only routes a shard's queries to its current acting primary,
+        so stale residents are never double-read.
+        """
+        self.primary_shards.discard(shard)
+
+    # -- anti-entropy ------------------------------------------------------
+
+    def seq_digest(self, shard: int) -> tuple[int, int]:
+        """Order-independent ``(count, checksum)`` digest of a shard.
+
+        Two nodes hold identical shard contents iff their digests match
+        (up to CRC collisions): the checksum XORs a CRC32 of every
+        ``doc_id:version`` pair, so any missing document or stale
+        version shows up without shipping the documents themselves.
+        """
+        ids = self._shard_ids.get(shard, ())
+        checksum = 0
+        for doc_id in ids:
+            doc = self._docs[doc_id]
+            checksum ^= zlib.crc32(f"{doc_id}:{doc.version}".encode())
+        return (len(ids), checksum)
+
+    # -- stats -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "down" if self.down else "up"
+        return (
+            f"StoreNode(id={self.node_id}, {state}, docs={len(self._docs)}, "
+            f"primary_shards={sorted(self.primary_shards)})"
+        )

@@ -1,0 +1,739 @@
+"""The replicated log store: quorum writes/reads over N store nodes.
+
+The paper's Tivan backend is an OpenSearch service "deployed across 6
+of the Dell servers" (§4.2) — a replicated store, not a single
+process.  :class:`ReplicatedLogStore` is the coordinator in front of N
+:class:`~repro.replication.node.StoreNode` members:
+
+- **placement** — static ring preference lists (primary + replicas per
+  shard, :class:`~repro.replication.placement.ShardPlacement`),
+- **quorum writes** — a batch is acknowledged only when every document
+  in it landed on at least W owner nodes; fewer reachable owners fail
+  the whole batch with :class:`QuorumError` *before any node mutates*,
+  so the Fluentd retry/DLQ machinery sees a clean failed flush, never
+  a half-acknowledged batch,
+- **quorum reads** — :meth:`get` consults R owner copies, returns the
+  highest version, and *read-repairs* any stale or missing copy it saw,
+- **health** — one deterministic-clock
+  :class:`~repro.replication.health.CircuitBreaker` per node; open
+  circuits are skipped on the spot, half-open circuits admit a probe
+  whose success triggers the rejoin path,
+- **hinted handoff** — writes an unreachable owner missed are queued
+  (bounded, drop-oldest) and replayed when the node rejoins,
+- **anti-entropy** — per-shard ``(count, checksum)`` seq digests
+  compared between owners; mismatched shards are merged
+  highest-version-wins, which is what reconverges a node that rejoined
+  empty after a SIGKILL-style wipe.
+
+Every decision is surfaced through the ``repro_store_*`` metric
+families, and the seedable fault sites ``store.node_down``,
+``store.node_slow``, and ``store.partition`` let the chaos suite
+exercise failover deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter as _Counter
+from collections.abc import Sequence
+
+from repro.core.message import Severity, SyslogMessage
+from repro.core.taxonomy import Category
+from repro.faults.plan import SITE_NODE_DOWN, SITE_NODE_SLOW, SITE_PARTITION
+from repro.replication.health import BREAKER_CLOSED, CircuitBreaker
+from repro.replication.node import StoreNode
+from repro.replication.placement import ShardPlacement
+from repro.stream.opensearch import DateHistogramBucket, LogDocument, QueryResult
+
+__all__ = ["QuorumError", "ReplicatedLogStore"]
+
+
+class QuorumError(RuntimeError):
+    """Too few reachable owner nodes to satisfy a quorum.
+
+    Raised *before* any node mutates (writes) or any repair is applied
+    (reads), so a failed operation leaves the cluster exactly as it
+    found it.
+    """
+
+    def __init__(self, op: str, shard: int, needed: int, available: int) -> None:
+        super().__init__(
+            f"{op} quorum unavailable for shard {shard}: need {needed} "
+            f"owner nodes, only {available} reachable"
+        )
+        self.op = op
+        self.shard = shard
+        self.needed = needed
+        self.available = available
+
+
+class ReplicatedLogStore:
+    """Coordinator over N replicated :class:`StoreNode` members.
+
+    Implements the :class:`~repro.stream.opensearch.LogStore` surface
+    the stream layer relies on (``bulk_index``, ``get``,
+    ``set_category``, ``__len__``, aggregations), so it drops in as the
+    Fluentd sink and the Tivan cluster's store.
+
+    Parameters
+    ----------
+    n_nodes:
+        Store nodes (the paper's deployment: 6 data nodes).
+    n_shards:
+        Document shards spread over the nodes.
+    n_replicas:
+        Copies per shard beyond the primary (replication factor is
+        ``n_replicas + 1``).
+    write_quorum, read_quorum:
+        W and R.  Defaults are majority of the replication factor;
+        ``W + R > n_replicas + 1`` gives read-your-writes.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector`; checked once per
+        ``bulk_index`` call at the three ``store.*`` sites.
+    clock:
+        Deterministic time source for the circuit breakers (a
+        simulation passes its event-engine clock); defaults to an
+        internal operation counter.
+    breaker_failures, breaker_reset:
+        Circuit-breaker tuning (consecutive failures to open; clock
+        units before a half-open probe).
+    hint_limit:
+        Max hinted-handoff entries buffered per node; the oldest hint
+        is dropped (and counted) beyond it — anti-entropy still
+        repairs dropped hints at rejoin.
+    registry:
+        Metrics registry (default: the process registry).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_nodes: int = 3,
+        n_shards: int = 6,
+        n_replicas: int = 1,
+        write_quorum: int | None = None,
+        read_quorum: int | None = None,
+        fault_injector=None,
+        clock=None,
+        breaker_failures: int = 3,
+        breaker_reset: float = 30.0,
+        hint_limit: int = 10_000,
+        registry=None,
+    ) -> None:
+        self.placement = ShardPlacement(
+            n_nodes=n_nodes, n_shards=n_shards, n_replicas=n_replicas
+        )
+        copies = self.placement.copies
+        majority = copies // 2 + 1
+        self.write_quorum = majority if write_quorum is None else write_quorum
+        self.read_quorum = majority if read_quorum is None else read_quorum
+        if not 1 <= self.write_quorum <= copies:
+            raise ValueError(
+                f"write_quorum must be in [1, {copies}], got {self.write_quorum}"
+            )
+        if not 1 <= self.read_quorum <= copies:
+            raise ValueError(
+                f"read_quorum must be in [1, {copies}], got {self.read_quorum}"
+            )
+        if hint_limit < 1:
+            raise ValueError(f"hint_limit must be >= 1, got {hint_limit}")
+        self.n_shards = n_shards
+        self.fault_injector = fault_injector
+        self.hint_limit = hint_limit
+        self.nodes = [StoreNode(i, n_shards) for i in range(n_nodes)]
+        self._ops = 0
+        self._clock = clock if clock is not None else (lambda: float(self._ops))
+        self.breakers = [
+            CircuitBreaker(
+                failure_threshold=breaker_failures,
+                reset_timeout=breaker_reset,
+                clock=self._clock,
+                on_transition=self._on_breaker_transition,
+            )
+            for _ in range(n_nodes)
+        ]
+        self._versions: list[int] = []  # per global doc id
+        self._hints: list[dict[int, None]] = [dict() for _ in range(n_nodes)]
+        self._partitioned: set[int] = set()
+        self._injected_down: set[int] = set()
+        self._injection_partition = False
+        self._rotation = 0  # deterministic victim choice for fault sites
+        self._primary: dict[int, int | None] = {}
+        self._last_live: frozenset[int] = frozenset()
+        # analyzer lives on the coordinator: one analysis per document,
+        # shared by every owner copy (the acting primary indexes with
+        # the precomputed tokens, replicas store the document only)
+        from repro.textproc.normalize import MaskingNormalizer
+        from repro.textproc.tokenize import Tokenizer
+
+        self._tokenizer = Tokenizer()
+        self._normalizer = MaskingNormalizer()
+
+        from repro.obs import wellknown
+
+        self._m_node_up = wellknown.store_node_up(registry)
+        self._m_write_seconds = wellknown.store_quorum_write_seconds(registry)
+        self._m_read_seconds = wellknown.store_quorum_read_seconds(registry)
+        self._m_quorum_failures = wellknown.store_quorum_failures(registry)
+        self._m_hints_queued = wellknown.store_hints_queued(registry)
+        self._m_hints_replayed = wellknown.store_hints_replayed(registry)
+        self._m_hints_dropped = wellknown.store_hints_dropped(registry)
+        self._m_read_repairs = wellknown.store_read_repairs(registry)
+        self._m_repair_docs = wellknown.store_repair_docs(registry)
+        self._m_breaker_transitions = wellknown.store_breaker_transitions(registry)
+        self._m_timeouts = wellknown.store_node_timeouts(registry)
+        for i in range(n_nodes):
+            self._m_node_up.set(1, node=str(i))
+        self._rebalance()
+
+    # -- liveness ----------------------------------------------------------
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self._m_breaker_transitions.inc(state=new)
+
+    def _reachable(self, node_id: int) -> bool:
+        """Can the coordinator talk to the node right now?"""
+        return (
+            not self.nodes[node_id].down and node_id not in self._partitioned
+        )
+
+    def _available_nodes(self, *, slow: set[int] = frozenset()) -> set[int]:
+        """Breaker-gated reachability probe of every node.
+
+        One probe per node per call: an open breaker skips the node
+        without touching it (fail-fast); a closed or half-open breaker
+        attempts the probe and records the outcome.  A probe success on
+        a non-closed breaker is a *rejoin* — the node was written off
+        and is back — which replays its hints and anti-entropy-syncs it
+        before it serves again.
+        """
+        live: set[int] = set()
+        rejoined: list[int] = []
+        for nid in range(len(self.nodes)):
+            breaker = self.breakers[nid]
+            if not breaker.allow():
+                continue
+            was = breaker.state
+            if nid in slow:
+                self._m_timeouts.inc(node=str(nid))
+                breaker.record_failure()
+            elif self._reachable(nid):
+                breaker.record_success()
+                if was != BREAKER_CLOSED:
+                    rejoined.append(nid)
+                live.add(nid)
+            else:
+                breaker.record_failure()
+        for nid in rejoined:
+            self._rejoin(nid)
+        if live != self._last_live:
+            self._last_live = frozenset(live)
+            self._rebalance()
+        return live
+
+    def _rebalance(self) -> None:
+        """Reassign acting primaries: first reachable owner per shard."""
+        for shard in range(self.n_shards):
+            owners = self.placement.owners(shard)
+            acting = next((o for o in owners if self._reachable(o)), None)
+            previous = self._primary.get(shard)
+            if acting == previous:
+                continue
+            if previous is not None and self._reachable(previous):
+                self.nodes[previous].demote(shard)
+            if acting is not None:
+                self.nodes[acting].promote(shard)
+            self._primary[shard] = acting
+
+    # -- fault sites -------------------------------------------------------
+
+    def _check_fault_sites(self) -> set[int]:
+        """One arming check per ``store.*`` site; returns slow nodes.
+
+        ``store.node_down`` toggles: it takes a rotating victim down
+        (SIGKILL-style, state wiped) when all injection victims are up,
+        and restarts the downed one otherwise — so a probabilistic plan
+        produces kill/rejoin churn.  ``store.partition`` toggles a
+        minority partition on and off.  ``store.node_slow`` makes one
+        rotating node time out for the current batch.
+        """
+        inj = self.fault_injector
+        if inj is None:
+            return set()
+        slow: set[int] = set()
+        if inj.should_fire(SITE_NODE_DOWN):
+            if self._injected_down:
+                nid = min(self._injected_down)
+                self._injected_down.discard(nid)
+                self.restart_node(nid)
+            else:
+                nid = self._rotation % len(self.nodes)
+                self._rotation += 1
+                self._injected_down.add(nid)
+                self.kill_node(nid)
+        if inj.should_fire(SITE_PARTITION):
+            if self._injection_partition:
+                self.heal_partition()
+                self._injection_partition = False
+            else:
+                minority = set(range(len(self.nodes)))
+                majority_n = len(self.nodes) // 2 + 1
+                reachable = set(sorted(minority)[:majority_n])
+                self.set_partition(reachable)
+                self._injection_partition = True
+        if inj.should_fire(SITE_NODE_SLOW):
+            slow.add(self._rotation % len(self.nodes))
+            self._rotation += 1
+        return slow
+
+    # -- writes ------------------------------------------------------------
+
+    def _analyze(self, text: str) -> list[str]:
+        return self._tokenizer.tokenize(self._normalizer.normalize(text))
+
+    def bulk_index(self, messages: Sequence[SyslogMessage]) -> bool:
+        """Quorum-write a batch (the Fluentd sink contract).
+
+        All-or-nothing: reachability is settled for the whole batch up
+        front, so either every document lands on at least W owners (with
+        hints queued for the unreachable ones) and the call returns
+        True, or :class:`QuorumError` propagates with no node mutated.
+        """
+        t0 = time.perf_counter()
+        self._ops += 1
+        slow = self._check_fault_sites()
+        live = self._available_nodes(slow=slow)
+        # settle write availability per shard before touching any node
+        batch_shards = {
+            (len(self._versions) + i) % self.n_shards
+            for i in range(len(messages))
+        }
+        for shard in sorted(batch_shards):
+            owners = self.placement.owners(shard)
+            n_live = sum(1 for o in owners if o in live)
+            if n_live < self.write_quorum:
+                self._m_quorum_failures.inc(op="write")
+                raise QuorumError("write", shard, self.write_quorum, n_live)
+        analyzed = [self._analyze(m.text) for m in messages]
+        for message, tokens in zip(messages, analyzed):
+            doc_id = len(self._versions)
+            self._versions.append(1)
+            shard = doc_id % self.n_shards
+            for owner in self.placement.owners(shard):
+                if owner in live:
+                    self.nodes[owner].put(
+                        doc_id, message, None, 1, tokens=tokens
+                    )
+                else:
+                    self._hint(owner, doc_id)
+        self._m_write_seconds.observe(time.perf_counter() - t0)
+        return True
+
+    def index(self, message: SyslogMessage, category: Category | None = None) -> int:
+        """Quorum-write one document; returns its global doc id."""
+        doc_id = len(self._versions)
+        self.bulk_index([message])
+        if category is not None:
+            self.set_category(doc_id, category)
+        return doc_id
+
+    def set_category(self, doc_id: int, category: Category) -> None:
+        """Attach a classifier verdict, version-bumped, to all owners.
+
+        Unreachable owners are hinted; a rejoined owner converges via
+        hint replay (which re-reads the latest copy) or anti-entropy.
+        """
+        version = self._versions[doc_id] + 1
+        self._versions[doc_id] = version
+        shard = doc_id % self.n_shards
+        for owner in self.placement.owners(shard):
+            node = self.nodes[owner]
+            if not self._reachable(owner):
+                self._hint(owner, doc_id)
+                continue
+            if not node.apply_category(doc_id, category, version):
+                if node.copy_of(doc_id) is None:
+                    # the owner missed the original write too
+                    self._hint(owner, doc_id)
+
+    def _hint(self, node_id: int, doc_id: int) -> None:
+        hints = self._hints[node_id]
+        if doc_id in hints:
+            return
+        if len(hints) >= self.hint_limit:
+            oldest = next(iter(hints))
+            del hints[oldest]
+            self._m_hints_dropped.inc()
+        hints[doc_id] = None
+        self._m_hints_queued.inc()
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, doc_id: int) -> LogDocument:
+        """Quorum-read one document, repairing divergent copies.
+
+        R owner copies are consulted; the highest-version copy wins and
+        is pushed back to any reader that returned a stale or missing
+        copy (read repair).
+
+        Raises
+        ------
+        IndexError
+            Unknown doc id (matching ``LogStore.get``).
+        QuorumError
+            Fewer than R owners reachable.
+        """
+        if not 0 <= doc_id < len(self._versions):
+            raise IndexError(f"doc id {doc_id} out of range")
+        t0 = time.perf_counter()
+        self._ops += 1
+        shard = doc_id % self.n_shards
+        owners = self.placement.owners(shard)
+        readers = [o for o in owners if self._reachable(o)]
+        if len(readers) < self.read_quorum:
+            self._m_quorum_failures.inc(op="read")
+            raise QuorumError("read", shard, self.read_quorum, len(readers))
+        readers = readers[: self.read_quorum]
+        copies = [(nid, self.nodes[nid].get(doc_id)) for nid in readers]
+        best = None
+        for _nid, copy in copies:
+            if copy is not None and (best is None or copy.version > best.version):
+                best = copy
+        if best is None:
+            # W+R > copies makes this unreachable for acknowledged
+            # writes; an unacknowledged id would have raised IndexError
+            raise IndexError(f"doc id {doc_id} found on no reachable replica")
+        repaired = 0
+        for nid, copy in copies:
+            if copy is None or copy.version < best.version:
+                self.nodes[nid].put(
+                    doc_id, best.message, best.category, best.version
+                )
+                repaired += 1
+        if repaired:
+            self._m_read_repairs.inc(repaired)
+        self._m_read_seconds.observe(time.perf_counter() - t0)
+        return LogDocument(
+            doc_id=doc_id, message=best.message, category=best.category
+        )
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def iter_documents(self):
+        """Best-effort snapshot iteration in doc-id order (no quorum).
+
+        Checkpointing and dashboards read through here; each document
+        comes from the first reachable owner holding a copy.
+        """
+        for doc_id in range(len(self._versions)):
+            shard = doc_id % self.n_shards
+            for owner in self.placement.owners(shard):
+                if not self._reachable(owner):
+                    continue
+                copy = self.nodes[owner].copy_of(doc_id)
+                if copy is not None:
+                    yield LogDocument(
+                        doc_id=doc_id,
+                        message=copy.message,
+                        category=copy.category,
+                    )
+                    break
+
+    # -- failover / repair -------------------------------------------------
+
+    def kill_node(self, node_id: int, *, wipe: bool = True) -> None:
+        """Take a node down (``wipe`` loses its state, SIGKILL-style)."""
+        self.nodes[node_id].kill(wipe=wipe)
+        self._m_node_up.set(0, node=str(node_id))
+        self._rebalance()
+
+    def restart_node(self, node_id: int) -> None:
+        """Bring a node back: replay hints, anti-entropy, re-promote."""
+        self.nodes[node_id].restart()
+        self.breakers[node_id].reset()
+        self._injected_down.discard(node_id)
+        self._m_node_up.set(1, node=str(node_id))
+        self._rejoin(node_id)
+
+    def _rejoin(self, node_id: int) -> None:
+        self._m_node_up.set(1, node=str(node_id))
+        self._replay_hints(node_id)
+        self.sync_node(node_id)
+        self._rebalance()
+
+    def _replay_hints(self, node_id: int) -> None:
+        hints = self._hints[node_id]
+        if not hints:
+            return
+        node = self.nodes[node_id]
+        replayed = 0
+        for doc_id in list(hints):
+            best = self._best_copy(doc_id, exclude=node_id)
+            if best is not None:
+                node.put(doc_id, best.message, best.category, best.version)
+                replayed += 1
+        self._hints[node_id] = dict()
+        if replayed:
+            self._m_hints_replayed.inc(replayed)
+
+    def _best_copy(self, doc_id: int, *, exclude: int | None = None):
+        shard = doc_id % self.n_shards
+        best = None
+        for owner in self.placement.owners(shard):
+            if owner == exclude or not self._reachable(owner):
+                continue
+            copy = self.nodes[owner].copy_of(doc_id)
+            if copy is not None and (best is None or copy.version > best.version):
+                best = copy
+        return best
+
+    def sync_node(self, node_id: int) -> int:
+        """Anti-entropy one node against its peers; returns docs repaired."""
+        return self._sync_shards(self.placement.shards_owned_by(node_id))
+
+    def sync_all(self) -> int:
+        """Full anti-entropy sweep over every shard; returns docs repaired."""
+        return self._sync_shards(range(self.n_shards))
+
+    def _sync_shards(self, shards) -> int:
+        """Merge reachable owners of each shard, highest version wins.
+
+        Digests gate the work: owners whose per-shard seq digests all
+        agree are skipped without touching a single document.
+        """
+        repaired = 0
+        for shard in shards:
+            owners = [
+                o for o in self.placement.owners(shard) if self._reachable(o)
+            ]
+            if len(owners) < 2:
+                continue
+            digests = {self.nodes[o].seq_digest(shard) for o in owners}
+            if len(digests) == 1:
+                continue
+            union: set[int] = set()
+            for owner in owners:
+                union |= self.nodes[owner].shard_doc_ids(shard)
+            for doc_id in sorted(union):
+                best = None
+                for owner in owners:
+                    copy = self.nodes[owner].copy_of(doc_id)
+                    if copy is not None and (
+                        best is None or copy.version > best.version
+                    ):
+                        best = copy
+                for owner in owners:
+                    copy = self.nodes[owner].copy_of(doc_id)
+                    if copy is None or copy.version < best.version:
+                        self.nodes[owner].put(
+                            doc_id, best.message, best.category, best.version
+                        )
+                        repaired += 1
+        if repaired:
+            self._m_repair_docs.inc(repaired)
+        return repaired
+
+    # -- partitions --------------------------------------------------------
+
+    def set_partition(self, reachable) -> None:
+        """Partition the cluster: only ``reachable`` node ids respond.
+
+        The coordinator models the majority side; the minority side is
+        simply unreachable, and writes needing more owners than the
+        reachable side holds are refused (:class:`QuorumError`) — the
+        split-brain refusal the partition tests assert.
+        """
+        reachable = set(reachable)
+        unknown = reachable - set(range(len(self.nodes)))
+        if unknown:
+            raise ValueError(f"unknown node ids in partition: {sorted(unknown)}")
+        self._partitioned = set(range(len(self.nodes))) - reachable
+        for nid in range(len(self.nodes)):
+            self._m_node_up.set(
+                1 if self._reachable(nid) else 0, node=str(nid)
+            )
+        self._rebalance()
+
+    def heal_partition(self) -> None:
+        """Remove the partition; isolated nodes rejoin via sync."""
+        was_partitioned = sorted(self._partitioned)
+        self._partitioned = set()
+        for nid in was_partitioned:
+            if not self.nodes[nid].down:
+                self._rejoin(nid)
+        self._rebalance()
+
+    # -- queries (acting primaries) ---------------------------------------
+
+    def term_query(
+        self,
+        term: str,
+        *,
+        t0: float | None = None,
+        t1: float | None = None,
+        limit: int | None = None,
+        max_severity: "Severity | None" = None,
+    ) -> QueryResult:
+        """Fan a term query out to the acting primary of each shard."""
+        hits: list[LogDocument] = []
+        for nid in {
+            p for p in self._primary.values() if p is not None
+        }:
+            node = self.nodes[nid]
+            if node.down:
+                continue
+            result = node.search_index.term_query(
+                term, t0=t0, t1=t1, max_severity=max_severity
+            )
+            for doc in node.global_docs(result.docs):
+                # ownership filter: only the shard's current acting
+                # primary contributes it (a demoted index may retain
+                # stale residents; they are skipped here)
+                if self._primary.get(doc.doc_id % self.n_shards) == nid:
+                    hits.append(doc)
+        hits.sort(key=lambda d: d.doc_id)
+        total = len(hits)
+        if limit is not None:
+            hits = hits[:limit]
+        return QueryResult(docs=tuple(hits), total=total)
+
+    def _iter_copies(self, t0: float | None, t1: float | None):
+        """Documents in range via each shard's first reachable owner."""
+        lo = t0 if t0 is not None else float("-inf")
+        hi = t1 if t1 is not None else float("inf")
+        for shard in range(self.n_shards):
+            reader = next(
+                (
+                    o
+                    for o in self.placement.owners(shard)
+                    if self._reachable(o)
+                ),
+                None,
+            )
+            if reader is None:
+                continue
+            node = self.nodes[reader]
+            for doc_id in node.shard_doc_ids(shard):
+                copy = node.copy_of(doc_id)
+                if copy is not None and lo <= copy.message.timestamp < hi:
+                    yield copy
+
+    def terms_aggregation(
+        self,
+        field_name: str,
+        *,
+        top: int = 10,
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> list[tuple[str, int]]:
+        """Top field values merged across shard owners (count-only)."""
+        if field_name not in ("hostname", "app", "category"):
+            raise ValueError(f"cannot aggregate on field {field_name!r}")
+        counter: _Counter[str] = _Counter()
+        for copy in self._iter_copies(t0, t1):
+            if field_name == "category":
+                if copy.category is not None:
+                    counter[copy.category.value] += 1
+            else:
+                counter[getattr(copy.message, field_name)] += 1
+        return counter.most_common(top)
+
+    def severity_histogram(
+        self, *, t0: float | None = None, t1: float | None = None
+    ) -> dict[Severity, int]:
+        """Document counts per severity, merged across shard owners."""
+        out: dict[Severity, int] = {}
+        for copy in self._iter_copies(t0, t1):
+            sev = copy.message.severity
+            out[sev] = out.get(sev, 0) + 1
+        return out
+
+    def date_histogram(
+        self,
+        *,
+        interval_s: float,
+        t0: float | None = None,
+        t1: float | None = None,
+        term: str | None = None,
+    ) -> list[DateHistogramBucket]:
+        """Counts per fixed interval, merged across shard owners."""
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if term is not None:
+            times = sorted(
+                d.message.timestamp
+                for d in self.term_query(term, t0=t0, t1=t1).docs
+            )
+        else:
+            times = sorted(
+                c.message.timestamp for c in self._iter_copies(t0, t1)
+            )
+        if not times:
+            return []
+        start = (t0 if t0 is not None else times[0]) // interval_s * interval_s
+        counts: _Counter[int] = _Counter(
+            int((t - start) // interval_s) for t in times
+        )
+        n_buckets = int((times[-1] - start) // interval_s) + 1
+        return [
+            DateHistogramBucket(
+                start=start + b * interval_s, count=counts.get(b, 0)
+            )
+            for b in range(n_buckets)
+        ]
+
+    # -- ops visibility ----------------------------------------------------
+
+    def shard_counts(self) -> list[int]:
+        """Documents per shard (from each shard's first reachable owner)."""
+        out = [0] * self.n_shards
+        for shard in range(self.n_shards):
+            for owner in self.placement.owners(shard):
+                if self._reachable(owner):
+                    out[shard] = len(self.nodes[owner].shard_doc_ids(shard))
+                    break
+        return out
+
+    def index_stats(self) -> dict[str, int]:
+        """Coarse size statistics aggregated over acting primaries."""
+        unique_terms = 0
+        postings = 0
+        for nid in {p for p in self._primary.values() if p is not None}:
+            stats = self.nodes[nid].search_index.index_stats()
+            unique_terms += stats["unique_terms"]
+            postings += stats["postings"]
+        return {
+            "docs": len(self._versions),
+            "unique_terms": unique_terms,
+            "postings": postings,
+        }
+
+    def seq_digests(self) -> dict[int, dict[int, tuple[int, int]]]:
+        """Per-node, per-owned-shard seq digests (convergence check)."""
+        return {
+            node.node_id: {
+                shard: node.seq_digest(shard)
+                for shard in self.placement.shards_owned_by(node.node_id)
+            }
+            for node in self.nodes
+        }
+
+    def node_health(self) -> list[dict]:
+        """One status row per node (the ops/debug view)."""
+        return [
+            {
+                "node": nid,
+                "up": self._reachable(nid),
+                "breaker": self.breakers[nid].state,
+                "docs": len(self.nodes[nid]),
+                "hints": len(self._hints[nid]),
+                "primary_shards": sorted(self.nodes[nid].primary_shards),
+            }
+            for nid in range(len(self.nodes))
+        ]
+
+    @property
+    def hints_pending(self) -> int:
+        """Hinted-handoff entries currently buffered across all nodes."""
+        return sum(len(h) for h in self._hints)

@@ -95,6 +95,16 @@ class FluentdForwarder:
         consecutive failed flushes the head batch is abandoned to
         :attr:`dead_letters` so the buffer can make progress.  ``None``
         (default) retries forever, matching Fluentd's retry_forever.
+    sink_timeout_s:
+        Wall-clock deadline per sink call.  A sink that *hangs* (rather
+        than raising) is abandoned after this many real seconds and the
+        flush counts as failed — the batch stays buffered for retry and
+        :meth:`drain` keeps its progress guarantee instead of stalling
+        forever.  ``None`` (default) trusts the sink to return.
+    dlq_max_entries:
+        Cap on the forwarder's dead-letter queue; beyond it the oldest
+        entry is evicted and counted (see
+        :class:`~repro.faults.DeadLetterQueue`).  ``None`` is unbounded.
     fault_injector:
         Optional :class:`repro.faults.FaultInjector`; when armed at
         ``fluentd.flush`` it fails flushes before the sink is called,
@@ -115,6 +125,8 @@ class FluentdForwarder:
     retry_max_s: float = 30.0
     overflow: str = "block"
     flush_retry_limit: int | None = None
+    sink_timeout_s: float | None = None
+    dlq_max_entries: int | None = None
     fault_injector: object = None
     journal: object = None
 
@@ -138,6 +150,15 @@ class FluentdForwarder:
             raise ValueError(
                 f"flush_retry_limit must be >= 1 or None, "
                 f"got {self.flush_retry_limit}"
+            )
+        if self.sink_timeout_s is not None and self.sink_timeout_s <= 0:
+            raise ValueError(
+                f"sink_timeout_s must be positive or None, "
+                f"got {self.sink_timeout_s}"
+            )
+        if self.dlq_max_entries is not None:
+            self.dead_letters = DeadLetterQueue(
+                max_entries=self.dlq_max_entries
             )
         # resolved once — offer() runs per message, so the registry
         # lookup must not sit on that path
@@ -201,14 +222,43 @@ class FluentdForwarder:
         self.engine.schedule(delay, self._flush_tick)
 
     def _attempt_sink(self, batch: list[SyslogMessage]) -> bool:
-        """One sink call, injection-aware and exception-safe."""
+        """One sink call, injection-aware, exception- and hang-safe."""
         inj = self.fault_injector
         if inj is not None and inj.should_fire(SITE_FLUSH_FAIL):
             return False
+        if self.sink_timeout_s is not None:
+            return self._attempt_sink_with_deadline(batch)
         try:
             return bool(self.sink(batch))
         except Exception:
             return False
+
+    def _attempt_sink_with_deadline(self, batch: list[SyslogMessage]) -> bool:
+        """Run the sink under a wall-clock deadline in a daemon thread.
+
+        A sink still running at the deadline is written off as a failed
+        flush.  The thread is left to finish (or hang) in the
+        background — its late result is discarded, so the batch stays
+        buffered and will be retried or abandoned like any other
+        failure; all-or-nothing accounting is preserved because the
+        buffer is only mutated on an *observed* success.
+        """
+        import threading
+
+        result: list[bool] = []
+
+        def call() -> None:
+            try:
+                result.append(bool(self.sink(batch)))
+            except Exception:
+                result.append(False)
+
+        worker = threading.Thread(target=call, daemon=True)
+        worker.start()
+        worker.join(self.sink_timeout_s)
+        if worker.is_alive() or not result:
+            return False
+        return result[0]
 
     def flush(self) -> int:
         """Write up to ``batch_size`` buffered messages; returns count.

@@ -227,12 +227,31 @@ class LogStore:
 
     def time_range(self, t0: float, t1: float) -> QueryResult:
         """All documents with t0 <= timestamp < t1."""
-        self._ensure_time_index()
-        lo = bisect.bisect_left(self._time_sorted, t0)
-        hi = bisect.bisect_left(self._time_sorted, t1)
-        ids = self._time_order[lo:hi]
-        docs = tuple(self._docs[i] for i in ids)
+        docs = tuple(self._iter_range(t0, t1))
         return QueryResult(docs=docs, total=len(docs))
+
+    def _iter_range(self, t0: float | None, t1: float | None):
+        """Documents in [t0, t1), lazily, in timestamp order.
+
+        The count-only path for aggregations: no tuple of the whole
+        range is ever built, so a dashboard refresh over a large store
+        costs iteration, not a copy of every document per panel.
+        """
+        self._ensure_time_index()
+        lo = (
+            bisect.bisect_left(self._time_sorted, t0)
+            if t0 is not None else 0
+        )
+        hi = (
+            bisect.bisect_left(self._time_sorted, t1)
+            if t1 is not None else len(self._time_sorted)
+        )
+        for i in range(lo, hi):
+            yield self._docs[self._time_order[i]]
+
+    def iter_documents(self):
+        """Iterate every document in doc-id order (checkpoint path)."""
+        return iter(self._docs)
 
     def _finalize(self, ids, t0, t1, limit, max_severity=None) -> QueryResult:
         docs = (self._docs[i] for i in ids)
@@ -306,12 +325,8 @@ class LogStore:
         """
         if field_name not in ("hostname", "app", "category"):
             raise ValueError(f"cannot aggregate on field {field_name!r}")
-        docs = self.time_range(
-            t0 if t0 is not None else float("-inf"),
-            t1 if t1 is not None else float("inf"),
-        ).docs
         counter: Counter[str] = Counter()
-        for d in docs:
+        for d in self._iter_range(t0, t1):
             if field_name == "category":
                 if d.category is not None:
                     counter[d.category.value] += 1
@@ -323,12 +338,8 @@ class LogStore:
         self, *, t0: float | None = None, t1: float | None = None
     ) -> dict[Severity, int]:
         """Document counts per severity level (dashboard panel)."""
-        docs = self.time_range(
-            t0 if t0 is not None else float("-inf"),
-            t1 if t1 is not None else float("inf"),
-        ).docs
         out: dict[Severity, int] = {}
-        for d in docs:
+        for d in self._iter_range(t0, t1):
             out[d.message.severity] = out.get(d.message.severity, 0) + 1
         return out
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.core.taxonomy import Category
 from repro.datagen.workload import StreamEvent
+from repro.replication.store import QuorumError
 from repro.stream.events import EventEngine
 from repro.stream.fluentd import FluentdForwarder
 from repro.stream.opensearch import LogStore
@@ -157,6 +158,17 @@ class TivanCluster:
     checkpoint_every_s:
         Simulated seconds between checkpoints (requires ``journal``);
         ``None`` disables periodic checkpoints.
+    store_nodes:
+        When set, the cluster indexes through a
+        :class:`~repro.replication.ReplicatedLogStore` over this many
+        nodes instead of a single in-process :class:`LogStore`.  The
+        fault injector's ``store.*`` sites then act on the replicated
+        store, and quorum-unavailable flushes fail into the forwarder's
+        retry/overflow/DLQ machinery like any other failed flush.
+    store_replicas:
+        Copies per shard beyond the primary (replicated store only).
+    write_quorum, read_quorum:
+        W and R for the replicated store; default to majority.
     """
 
     def __init__(
@@ -173,6 +185,10 @@ class TivanCluster:
         fault_injector=None,
         journal=None,
         checkpoint_every_s: float | None = None,
+        store_nodes: int | None = None,
+        store_replicas: int = 1,
+        write_quorum: int | None = None,
+        read_quorum: int | None = None,
     ) -> None:
         if degrade_backlog is not None and degrade_backlog < 1:
             raise ValueError(
@@ -192,7 +208,20 @@ class TivanCluster:
                 f"checkpoint_every_s must be positive, got {checkpoint_every_s}"
             )
         self.engine = EventEngine()
-        self.store = LogStore(n_shards=n_shards)
+        if store_nodes is not None:
+            from repro.replication import ReplicatedLogStore
+
+            self.store = ReplicatedLogStore(
+                n_nodes=store_nodes,
+                n_shards=n_shards,
+                n_replicas=store_replicas,
+                write_quorum=write_quorum,
+                read_quorum=read_quorum,
+                fault_injector=fault_injector,
+                clock=lambda: self.engine.now,
+            )
+        else:
+            self.store = LogStore(n_shards=n_shards)
         self.journal = journal
         self.checkpoint_every_s = checkpoint_every_s
         self.forwarder = FluentdForwarder(
@@ -357,7 +386,15 @@ class TivanCluster:
         self._update_degraded(pending)
         if pending > 0:
             take = min(pending, stage.batch_size)
-            docs = [self.store.get(stage.n_done + i) for i in range(take)]
+            try:
+                docs = [self.store.get(stage.n_done + i) for i in range(take)]
+            except QuorumError:
+                # replicated store below read quorum: stall the stage
+                # and retry once the fault window may have passed
+                self.engine.schedule(
+                    max(stage.service_time_s, 0.05), self._classifier_tick
+                )
+                return
             shed = (
                 self.degraded and stage.cheap_classify_batch is not None
             )

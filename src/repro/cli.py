@@ -178,6 +178,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fsync", choices=["always", "batch", "off"],
                    default="batch",
                    help="WAL fsync policy (durable runs only)")
+    p.add_argument("--via-broker", action="store_true",
+                   help="route the relay through the partitioned log "
+                        "broker; the forwarder becomes a consumer-group "
+                        "member and backpressure is broker lag")
+    p.add_argument("--broker-partitions", type=_positive_int, default=None,
+                   help="hash hosts onto this many partitions instead "
+                        "of one per host (requires --via-broker; "
+                        "incompatible with --wal-dir)")
+    p.add_argument("--consumers", type=_positive_int, default=1,
+                   help="consumer-group members sharing the partitions "
+                        "(requires --via-broker; durable runs need 1)")
+
+    p = sub.add_parser(
+        "listen",
+        help="bind a real UDP/TCP syslog listener feeding the broker",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default loopback)")
+    p.add_argument("--udp-port", type=int, default=0,
+                   help="UDP port (0 = ephemeral, -1 = disabled)")
+    p.add_argument("--tcp-port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, -1 = disabled)")
+    p.add_argument("--rate-limit", type=float, default=None,
+                   help="accept-time shed budget, messages/second "
+                        "(default: unlimited)")
+    p.add_argument("--burst", type=float, default=None,
+                   help="token-bucket burst (default: one second of rate)")
+    p.add_argument("--max-line-bytes", type=_positive_int, default=8192,
+                   help="oversize quarantine threshold")
+    p.add_argument("--partitions", type=_positive_int, default=None,
+                   help="hash hosts onto this many broker partitions "
+                        "(default: one per host)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="stop after this many wall-clock seconds "
+                        "(default: run until --max-messages or ^C)")
+    p.add_argument("--max-messages", type=_positive_int, default=None,
+                   help="stop once this many lines were received")
+    p.add_argument("--port-file", type=Path, default=None,
+                   help="write the bound ports as JSON once listening "
+                        "(handshake for scripted senders)")
 
     p = sub.add_parser(
         "recover",
@@ -476,6 +516,11 @@ def _run_simulation(args):
                 f"{wal_dir}: already holds a durable run — resume it "
                 f"with `repro-syslog recover --wal-dir {wal_dir}`"
             )
+        if getattr(args, "broker_partitions", None) is not None:
+            raise SystemExit(
+                "--broker-partitions is incompatible with --wal-dir: "
+                "durable broker runs need the per-host partition layout"
+            )
         SimConfig(
             duration_s=duration, rate=rate, seed=args.seed,
             incident=incident, fsync=args.fsync,
@@ -488,6 +533,8 @@ def _run_simulation(args):
             store_replicas=getattr(args, "replicas", 1),
             write_quorum=getattr(args, "write_quorum", None),
             read_quorum=getattr(args, "read_quorum", None),
+            via_broker=bool(getattr(args, "via_broker", False)),
+            n_consumers=getattr(args, "consumers", 1),
         ).save(wal_dir)
         cluster, config, journal = resume_simulation(wal_dir, injector=injector)
         report = cluster.run(duration + 30.0)
@@ -510,6 +557,9 @@ def _run_simulation(args):
         store_replicas=getattr(args, "replicas", 1),
         write_quorum=getattr(args, "write_quorum", None),
         read_quorum=getattr(args, "read_quorum", None),
+        via_broker=bool(getattr(args, "via_broker", False)),
+        broker_partitions=getattr(args, "broker_partitions", None),
+        n_consumers=getattr(args, "consumers", 1),
     )
     cluster.load_events(events)
 
@@ -552,6 +602,15 @@ def _cmd_simulate(args) -> int:
         print(
             f"degraded: classified_degraded={report.classified_degraded} "
             f"transitions={report.degrade_transitions}"
+        )
+    if cluster.broker is not None:
+        print(
+            f"broker: partitions={report.broker_partitions} "
+            f"published={report.broker_published} "
+            f"publish_refused={report.broker_publish_refused} "
+            f"polled={report.broker_polled} lag={report.broker_lag} "
+            f"commits_lost={report.broker_commits_lost} "
+            f"stalls={report.broker_partition_stalls}"
         )
     if hasattr(cluster.store, "node_health"):
         rows = cluster.store.node_health()
@@ -629,6 +688,97 @@ def _cmd_recover(args) -> int:
     return 0 if conservation.ok else 1
 
 
+def _cmd_listen(args) -> int:
+    """Real-socket intake: listener → broker → consumer → store.
+
+    Binds the asyncio listener on loopback (or ``--host``), publishes
+    accepted messages into a :class:`LogBroker`, and drains a consumer
+    loop into an in-process :class:`LogStore`.  Stops on ``--duration``
+    seconds, after ``--max-messages`` received lines, or Ctrl-C; then
+    prints the full accounting.
+    """
+    import asyncio
+    import json
+
+    from repro.ingest import LogBroker, SyslogListener
+    from repro.stream.opensearch import LogStore
+
+    if args.udp_port < 0 and args.tcp_port < 0:
+        raise SystemExit("at least one of --udp-port/--tcp-port must be enabled")
+
+    broker = LogBroker(n_partitions=args.partitions)
+    store = LogStore()
+    listener = SyslogListener(
+        broker,
+        host=args.host,
+        udp_port=None if args.udp_port < 0 else args.udp_port,
+        tcp_port=None if args.tcp_port < 0 else args.tcp_port,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        max_line_bytes=args.max_line_bytes,
+    )
+
+    async def serve() -> None:
+        await listener.start()
+        ports = {
+            "udp": listener.udp_address[1] if listener.udp_address else None,
+            "tcp": listener.tcp_address[1] if listener.tcp_address else None,
+        }
+        print(f"listening: udp={ports['udp']} tcp={ports['tcp']}")
+        if args.port_file is not None:
+            args.port_file.write_text(json.dumps(ports) + "\n")
+        loop = asyncio.get_running_loop()
+        deadline = (
+            loop.time() + args.duration if args.duration is not None else None
+        )
+        def consume() -> None:
+            records = broker.poll("cli", "cli-0", max_records=1 << 20)
+            high: dict[str, int] = {}
+            for record in records:
+                store.index(record.message)
+                high[record.partition] = record.offset + 1
+            for partition, next_offset in high.items():
+                broker.commit("cli", partition, next_offset)
+
+        try:
+            while True:
+                await asyncio.sleep(0.05)
+                consume()
+                if deadline is not None and loop.time() >= deadline:
+                    break
+                if (
+                    args.max_messages is not None
+                    and listener.stats.received >= args.max_messages
+                ):
+                    break
+        except KeyboardInterrupt:
+            pass
+        finally:
+            await listener.stop()
+            consume()
+
+    broker.subscribe("cli", "cli-0")
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    s = listener.stats
+    print(
+        f"received={s.received} (udp={s.received_udp} tcp={s.received_tcp}) "
+        f"accepted={s.accepted} shed={s.shed} oversize={s.oversize} "
+        f"parse_errors={s.parse_errors} publish_refused={s.publish_refused} "
+        f"accounted={s.accounted()}"
+    )
+    print(
+        f"broker: partitions={len(broker.partitions)} "
+        f"published={broker.stats.published} polled={broker.stats.polled} "
+        f"lag={broker.lag('cli')} indexed={len(store)}"
+    )
+    if len(listener.dead_letters):
+        print(f"dead_letters={len(listener.dead_letters)}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.report import write_report
 
@@ -645,6 +795,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "tables": _cmd_tables,
     "simulate": _cmd_simulate,
+    "listen": _cmd_listen,
     "recover": _cmd_recover,
     "assist": _cmd_assist,
     "report": _cmd_report,

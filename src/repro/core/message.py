@@ -10,8 +10,7 @@ of what makes the corpus heterogeneous.
 from __future__ import annotations
 
 import enum
-import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Severity", "Facility", "SyslogMessage", "parse_syslog_line"]
 
@@ -122,139 +121,30 @@ class SyslogMessage:
 
     def to_rfc3164(self) -> str:
         """Render in BSD-syslog framing (no year, local timestamp)."""
-        tag = f"{self.app}[{self.pid}]" if self.pid is not None else self.app
-        ts = _format_bsd_time(self.timestamp)
-        return f"<{self.pri}>{ts} {self.hostname} {tag}: {self.text}"
+        from repro.stream.rfc import format_rfc3164
+
+        return format_rfc3164(self)
 
     def to_rfc5424(self) -> str:
         """Render in RFC 5424 framing."""
-        pid = str(self.pid) if self.pid is not None else "-"
-        ts = _format_iso_time(self.timestamp)
-        return (
-            f"<{self.pri}>1 {ts} {self.hostname} {self.app} {pid} - - {self.text}"
-        )
+        from repro.stream.rfc import format_rfc5424
 
-
-_MONTHS = (
-    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
-    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
-)
-_MONTH_INDEX = {m: i + 1 for i, m in enumerate(_MONTHS)}
-
-_SECONDS_PER_DAY = 86400.0
-# Simulation epoch: days roll over every 86400 s; month length fixed at
-# 30 days — good enough for rendering/parsing round trips in the
-# simulator, which never crosses real calendar boundaries.
-_DAYS_PER_MONTH = 30
-
-
-def _format_bsd_time(ts: float) -> str:
-    day_total = int(ts // _SECONDS_PER_DAY)
-    month = _MONTHS[(day_total // _DAYS_PER_MONTH) % 12]
-    day = day_total % _DAYS_PER_MONTH + 1
-    rem = int(ts % _SECONDS_PER_DAY)
-    return f"{month} {day:2d} {rem // 3600:02d}:{rem % 3600 // 60:02d}:{rem % 60:02d}"
-
-
-def _format_iso_time(ts: float) -> str:
-    day_total = int(ts // _SECONDS_PER_DAY)
-    year = 2023 + day_total // 360
-    month = (day_total // _DAYS_PER_MONTH) % 12 + 1
-    day = day_total % _DAYS_PER_MONTH + 1
-    rem = int(ts % _SECONDS_PER_DAY)
-    return (
-        f"{year:04d}-{month:02d}-{day:02d}T"
-        f"{rem // 3600:02d}:{rem % 3600 // 60:02d}:{rem % 60:02d}Z"
-    )
-
-
-_PRI_RE = re.compile(r"^<(\d{1,3})>")
-_BSD_RE = re.compile(
-    r"^(?P<mon>[A-Z][a-z]{2})\s+(?P<day>\d{1,2})\s"
-    r"(?P<h>\d{2}):(?P<m>\d{2}):(?P<s>\d{2})\s"
-    r"(?P<host>\S+)\s(?P<tag>[^:\[]+)(?:\[(?P<pid>\d+)\])?:\s?(?P<text>.*)$"
-)
-_5424_RE = re.compile(
-    r"^1\s(?P<ts>\S+)\s(?P<host>\S+)\s(?P<app>\S+)\s(?P<pid>\S+)\s\S+\s(?:-|\[.*?\])\s?"
-    r"(?P<text>.*)$"
-)
-_ISO_RE = re.compile(
-    r"^(?P<Y>\d{4})-(?P<M>\d{2})-(?P<D>\d{2})T(?P<h>\d{2}):(?P<m>\d{2}):(?P<s>\d{2})"
-)
+        return format_rfc5424(self)
 
 
 def parse_syslog_line(line: str) -> SyslogMessage:
     """Parse an RFC 3164 or RFC 5424 syslog line.
 
-    Severity/facility default to INFO/USER when no PRI field is
-    present (some vendors omit it when writing to local files).
+    Kept as the historical entry point; the canonical wire-format
+    implementation (both directions) lives in :mod:`repro.stream.rfc`,
+    shared by the datagen senders and the ingest listener.  Imported
+    lazily because ``repro.stream.rfc`` imports this module's types.
 
     Raises
     ------
     ValueError
         If the line matches neither format.
     """
-    severity, facility = Severity.INFO, Facility.USER
-    m = _PRI_RE.match(line)
-    if m:
-        pri = int(m.group(1))
-        if pri > 191:
-            raise ValueError(f"invalid PRI value {pri} in syslog line: {line!r}")
-        severity = Severity(pri % 8)
-        facility = Facility(pri // 8) if pri // 8 in Facility._value2member_map_ else Facility.USER
-        line = line[m.end():]
+    from repro.stream.rfc import parse_line
 
-    m5 = _5424_RE.match(line)
-    if m5:
-        ts = _parse_iso_time(m5.group("ts"))
-        pid_s = m5.group("pid")
-        return SyslogMessage(
-            timestamp=ts,
-            hostname=m5.group("host"),
-            app=m5.group("app"),
-            text=m5.group("text"),
-            severity=severity,
-            facility=facility,
-            pid=int(pid_s) if pid_s.isdigit() else None,
-        )
-
-    mb = _BSD_RE.match(line)
-    if mb:
-        mon = _MONTH_INDEX.get(mb.group("mon"))
-        if mon is None:
-            raise ValueError(f"unrecognized month in syslog line: {line!r}")
-        day_total = (mon - 1) * _DAYS_PER_MONTH + int(mb.group("day")) - 1
-        ts = (
-            day_total * _SECONDS_PER_DAY
-            + int(mb.group("h")) * 3600
-            + int(mb.group("m")) * 60
-            + int(mb.group("s"))
-        )
-        pid_s = mb.group("pid")
-        return SyslogMessage(
-            timestamp=float(ts),
-            hostname=mb.group("host"),
-            app=mb.group("tag").strip(),
-            text=mb.group("text"),
-            severity=severity,
-            facility=facility,
-            pid=int(pid_s) if pid_s else None,
-        )
-    raise ValueError(f"unparseable syslog line: {line!r}")
-
-
-def _parse_iso_time(ts: str) -> float:
-    m = _ISO_RE.match(ts)
-    if not m:
-        raise ValueError(f"unparseable RFC5424 timestamp: {ts!r}")
-    day_total = (
-        (int(m.group("Y")) - 2023) * 360
-        + (int(m.group("M")) - 1) * _DAYS_PER_MONTH
-        + int(m.group("D")) - 1
-    )
-    return (
-        day_total * _SECONDS_PER_DAY
-        + int(m.group("h")) * 3600
-        + int(m.group("m")) * 60
-        + int(m.group("s"))
-    )
+    return parse_line(line)

@@ -37,6 +37,7 @@ from repro.datagen.workload import (
     StreamEvent,
     generate_stream,
 )
+from repro.datagen.sender import render_event, wire_lines, send_udp, send_tcp
 
 __all__ = [
     "VendorProfile",
@@ -67,4 +68,8 @@ __all__ = [
     "Incident",
     "StreamEvent",
     "generate_stream",
+    "render_event",
+    "wire_lines",
+    "send_udp",
+    "send_tcp",
 ]

@@ -1,0 +1,77 @@
+"""Wire senders: put a generated trace on a real loopback socket.
+
+The datagen package produces :class:`~repro.core.message.SyslogMessage`
+objects; the ingest layer accepts *bytes on a socket*.  This module is
+the bridge the CLI, tests, and benchmark share: render each event with
+the canonical formatters from :mod:`repro.stream.rfc` (the same module
+the listener parses with — one grammar, both directions) and blast the
+lines over UDP datagrams or a newline-framed TCP stream.
+
+``wire_lines`` alternates RFC 3164 / RFC 5424 deterministically by
+event ordinal, the heterogeneous-fleet shape the listener must parse
+in practice; pass ``wire_format="3164"``/``"5424"`` for a uniform
+fleet.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Iterable, Sequence
+
+from repro.core.message import SyslogMessage
+from repro.stream.rfc import format_rfc3164, format_rfc5424
+
+__all__ = ["render_event", "wire_lines", "send_udp", "send_tcp"]
+
+WIRE_FORMATS = ("3164", "5424", "mixed")
+
+
+def render_event(message: SyslogMessage, ordinal: int, wire_format: str = "mixed") -> str:
+    """Serialise one message; ``mixed`` alternates by ``ordinal`` parity."""
+    fmt = wire_format
+    if fmt == "mixed":
+        fmt = "3164" if ordinal % 2 == 0 else "5424"
+    if fmt == "5424":
+        return format_rfc5424(message)
+    if fmt == "3164":
+        return format_rfc3164(message)
+    raise ValueError(f"wire_format must be one of {WIRE_FORMATS}, got {wire_format!r}")
+
+
+def wire_lines(
+    messages: Iterable[SyslogMessage], *, wire_format: str = "mixed"
+) -> list[bytes]:
+    """Render a trace to wire lines (no trailing newlines)."""
+    if wire_format not in WIRE_FORMATS:
+        raise ValueError(
+            f"wire_format must be one of {WIRE_FORMATS}, got {wire_format!r}"
+        )
+    return [
+        render_event(m, i, wire_format).encode("utf-8")
+        for i, m in enumerate(messages)
+    ]
+
+
+def send_udp(address: tuple[str, int], lines: Sequence[bytes]) -> int:
+    """Fire ``lines`` as UDP datagrams at ``address``; returns the count.
+
+    Fire-and-forget, exactly like rsyslog's UDP output: no ack, no
+    retry — loss shows up in the listener's accounting, not here.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        for line in lines:
+            sock.sendto(line, address)
+    finally:
+        sock.close()
+    return len(lines)
+
+
+def send_tcp(address: tuple[str, int], lines: Sequence[bytes]) -> int:
+    """Stream ``lines`` newline-framed over one TCP connection."""
+    sock = socket.create_connection(address)
+    try:
+        sock.sendall(b"\n".join(lines) + b"\n" if lines else b"")
+    finally:
+        sock.close()
+    return len(lines)

@@ -61,8 +61,12 @@ __all__ = [
     "resume_simulation",
 ]
 
-#: WAL record kinds the journal writes (one per buffer transition)
-RECORD_KINDS = ("accept", "reject", "evict", "flush", "abandon", "dead_new")
+#: WAL record kinds the journal writes (one per buffer transition;
+#: ``requeue`` is broker-mode recovery returning polled-but-uncommitted
+#: events to the broker)
+RECORD_KINDS = (
+    "accept", "reject", "evict", "flush", "abandon", "dead_new", "requeue",
+)
 
 META_FILENAME = "meta.json"
 
@@ -100,6 +104,10 @@ class JournalState:
     evicted: list = field(default_factory=list)  # [event, ...]
     #: every trace identity ever offered (resume skips these)
     seen: set = field(default_factory=set)
+    #: broker mode: committed consumer offsets (partition → next offset),
+    #: carried by flush/abandon records — the durable commit log that
+    #: outlives the broker's in-memory committed offsets
+    offsets: dict = field(default_factory=dict)
 
     def apply(self, record: WalRecord) -> None:
         """Apply one WAL record; no-op when already applied."""
@@ -132,6 +140,7 @@ class JournalState:
                 entry = self._take(event)
                 if entry is not None:
                     self.indexed.append(entry)
+            self._merge_offsets(data)
         elif kind == "abandon":
             for event in data["events"]:
                 entry = self._take(event)
@@ -140,8 +149,24 @@ class JournalState:
                         "event": entry[0], "msg": entry[1],
                         "site": data["site"], "error": data["error"],
                     })
+            self._merge_offsets(data)
+        elif kind == "requeue":
+            # broker-mode recovery: the events leave the buffer AND the
+            # seen set, so the regenerated trace republishes them at
+            # their stable offsets and the consumer re-polls them past
+            # the committed offsets (at-least-once re-delivery)
+            for event in data["events"]:
+                entry = self._take(event)
+                if entry is not None:
+                    self.seen.discard(event)
         else:
             raise ValueError(f"unknown WAL record kind {kind!r}")
+
+    def _merge_offsets(self, data: dict) -> None:
+        """Max-wins merge of a record's committed-offset payload."""
+        for partition, next_offset in (data.get("offsets") or {}).items():
+            if next_offset > self.offsets.get(partition, 0):
+                self.offsets[partition] = int(next_offset)
 
     def _take(self, event: int):
         """Remove and return the buffered entry for ``event``."""
@@ -159,6 +184,7 @@ class JournalState:
             "dead": [dict(d) for d in self.dead],
             "rejected": list(self.rejected),
             "evicted": list(self.evicted),
+            "offsets": dict(self.offsets),
         }
 
     @classmethod
@@ -170,6 +196,11 @@ class JournalState:
             dead=[dict(d) for d in payload["dead"]],
             rejected=[int(e) for e in payload["rejected"]],
             evicted=[int(e) for e in payload["evicted"]],
+            # absent in pre-broker checkpoints
+            offsets={
+                str(p): int(o)
+                for p, o in (payload.get("offsets") or {}).items()
+            },
         )
         state.seen = (
             {e for e, _m in state.buffer}
@@ -248,18 +279,48 @@ class StreamJournal:
         """The forwarder is about to evict its oldest buffered message."""
         self._barrier_commit("evict", {"event": self.state.buffer[0][0]})
 
-    def flushed(self, n: int) -> None:
-        """The sink accepted the head batch of ``n`` messages."""
-        self._barrier_commit("flush", {
-            "events": [e for e, _m in self.state.buffer[:n]],
-        })
+    def flushed(self, n: int, *, offsets: dict | None = None) -> None:
+        """The sink accepted the head batch of ``n`` messages.
 
-    def abandoned(self, n: int, site: str, error: str) -> None:
+        ``offsets`` (broker mode) records the batch's committed
+        consumer offsets — the flush record *is* the durable offset
+        commit; the broker's in-memory commit happens after and may be
+        lost without harm.
+        """
+        data: dict = {"events": [e for e, _m in self.state.buffer[:n]]}
+        if offsets:
+            data["offsets"] = dict(offsets)
+        self._barrier_commit("flush", data)
+
+    def abandoned(
+        self, n: int, site: str, error: str, *, offsets: dict | None = None
+    ) -> None:
         """The head batch of ``n`` is about to be dead-lettered."""
-        self._barrier_commit("abandon", {
+        data: dict = {
             "events": [e for e, _m in self.state.buffer[:n]],
             "site": site, "error": error,
-        })
+        }
+        if offsets:
+            data["offsets"] = dict(offsets)
+        self._barrier_commit("abandon", data)
+
+    def requeue_buffer(self) -> int:
+        """Broker-mode recovery: in-flight events go back to the broker.
+
+        The buffer holds events that were polled but not committed when
+        the process died.  Rather than preloading them (push-mode
+        recovery), a ``requeue`` record removes them from the buffer
+        *and* the seen set: the regenerated trace republishes them at
+        their stable offsets and the consumer re-polls them from the
+        journal's committed offsets — Kafka's contract, an in-flight
+        batch returns to the log on consumer death.  Returns the number
+        of events requeued.
+        """
+        events = [e for e, _m in self.state.buffer]
+        if not events:
+            return 0
+        self._barrier_commit("requeue", {"events": events})
+        return len(events)
 
     def flush_pending(self) -> None:
         """Write barrier: group-commit any pending accepts to the WAL.
@@ -335,6 +396,10 @@ class SimConfig:
     store_replicas: int = 1
     write_quorum: int | None = None
     read_quorum: int | None = None
+    #: broker-spine ingest (relay → LogBroker → consumer-group forwarder);
+    #: durable broker runs require the host partitioner and one consumer
+    via_broker: bool = False
+    n_consumers: int = 1
 
     def events(self):
         """Regenerate the deterministic trace this config describes."""
@@ -562,6 +627,8 @@ def resume_simulation(wal_dir: str | Path, *, injector=None):
         store_replicas=config.store_replicas,
         write_quorum=config.write_quorum,
         read_quorum=config.read_quorum,
+        via_broker=config.via_broker,
+        n_consumers=config.n_consumers,
     )
     stage = _build_stage(config, injector)
     cluster.attach_classifier(stage)
@@ -597,9 +664,22 @@ def resume_simulation(wal_dir: str | Path, *, injector=None):
             Category(cat) if cat is not None else None,
         )
     stage.n_done = min(stage.n_done, len(cluster.store))
-    cluster.forwarder.preload(
-        materialize(e, m) for e, m in state.buffer
-    )
+    if config.via_broker:
+        # broker-mode recovery: events that were polled but not
+        # committed go *back to the broker* — the requeue record drops
+        # them from the buffer and the seen set, so the regenerated
+        # trace republishes them at their stable offsets and the
+        # consumer re-polls them from the journal's committed offsets.
+        # This must happen before the stats recompute below so the
+        # formulas see the post-requeue (empty) buffer.
+        journal.requeue_buffer()
+        cluster.broker.restore_offsets(
+            cluster.forwarder.consumer_group, state.offsets
+        )
+    else:
+        cluster.forwarder.preload(
+            materialize(e, m) for e, m in state.buffer
+        )
     replay_dead = [
         DeadLetter(seq=0, site=d["site"],
                    payload=materialize(d["event"], d["msg"]),

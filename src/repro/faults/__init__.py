@@ -24,12 +24,15 @@ classifier backlog crosses a threshold.  Everything is counted through
 from repro.faults.dlq import DeadLetter, DeadLetterQueue
 from repro.faults.plan import (
     KNOWN_SITES,
+    SITE_ACCEPT_DROP,
     SITE_CHUNK_TIMEOUT,
+    SITE_COMMIT_LOST,
     SITE_CRASH,
     SITE_FLUSH_FAIL,
     SITE_NODE_DOWN,
     SITE_NODE_SLOW,
     SITE_PARTITION,
+    SITE_PARTITION_STALL,
     SITE_POISON,
     SITE_WORKER_CRASH,
     FaultInjector,
@@ -48,12 +51,15 @@ __all__ = [
     "FireRecord",
     "InjectedFault",
     "KNOWN_SITES",
+    "SITE_ACCEPT_DROP",
     "SITE_CHUNK_TIMEOUT",
+    "SITE_COMMIT_LOST",
     "SITE_CRASH",
     "SITE_FLUSH_FAIL",
     "SITE_NODE_DOWN",
     "SITE_NODE_SLOW",
     "SITE_PARTITION",
+    "SITE_PARTITION_STALL",
     "SITE_POISON",
     "SITE_WORKER_CRASH",
 ]

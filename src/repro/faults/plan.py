@@ -41,6 +41,9 @@ __all__ = [
     "SITE_NODE_DOWN",
     "SITE_NODE_SLOW",
     "SITE_PARTITION",
+    "SITE_ACCEPT_DROP",
+    "SITE_PARTITION_STALL",
+    "SITE_COMMIT_LOST",
     "KNOWN_SITES",
     "FaultSpec",
     "FaultPlan",
@@ -70,10 +73,22 @@ SITE_NODE_SLOW = "store.node_slow"
 #: a network partition isolates a minority of store nodes — the next
 #: fire at the site heals it
 SITE_PARTITION = "store.partition"
+#: the ingest listener drops a datagram/line at accept time (models a
+#: full NIC queue) — the drop is counted, never silent
+SITE_ACCEPT_DROP = "ingest.accept_drop"
+#: a broker partition stalls (refuses appends and fetches) — the next
+#: fire at the site unstalls it, so a probabilistic plan produces
+#: stall/heal churn and visible consumer lag
+SITE_PARTITION_STALL = "broker.partition_stall"
+#: a consumer offset commit is lost in flight (the broker's in-memory
+#: committed offset stays behind the journal's) — replay after the
+#: fire must still honor the journal barrier
+SITE_COMMIT_LOST = "broker.commit_lost"
 
 KNOWN_SITES = (
     SITE_WORKER_CRASH, SITE_CHUNK_TIMEOUT, SITE_FLUSH_FAIL, SITE_POISON,
     SITE_CRASH, SITE_NODE_DOWN, SITE_NODE_SLOW, SITE_PARTITION,
+    SITE_ACCEPT_DROP, SITE_PARTITION_STALL, SITE_COMMIT_LOST,
 )
 
 

@@ -1,0 +1,444 @@
+"""Partitioned log broker: the spine between senders and consumers.
+
+The paper's Tivan pipeline (§4: syslog → Fluentd → OpenSearch) couples
+ingest to classification — the forwarder hands messages straight to
+the classifier stage, so neither side can scale or fail independently.
+This module decouples them the way production log pipelines do
+(IBM 2025 makes the same move): noisy senders publish into an
+append-only, partitioned log; an elastic consumer fleet polls at its
+own pace; progress is an *offset*, not an ack per message.
+
+Design
+------
+- **Partitions** are append-only record sequences.  The default
+  partitioner keys by hostname, so one node's messages stay totally
+  ordered — and, critically for the durability layer, a partition's
+  contents are a pure function of the trace (a host's messages in
+  trace order), which makes offsets stable identities across crash
+  and resume.  A hashed partitioner (``n_partitions``) models the
+  per-tenant layout instead.
+- **Segments**: each partition stores records in fixed-size segments;
+  a full segment is sealed (tuple, immutable) and a fresh one opened.
+  This mirrors on-disk log brokers and bounds the cost of any future
+  retention work to whole segments.
+- **Consumer groups** own a committed offset per partition.
+  Partition assignment is round-robin over the sorted partition keys
+  among the sorted member names, recomputed on the fly so partitions
+  created after subscription are picked up without a rebalance
+  protocol.  ``poll`` advances a member's *position*; ``commit``
+  advances the group's *committed* offset.  Positions reset to the
+  committed offset on :meth:`reset_to_committed` — exactly what a
+  restarted consumer does — giving at-least-once delivery.
+- **Sparse offsets**: ``publish`` accepts an explicit offset so the
+  durable path can replay a *subset* of a trace (only not-yet-settled
+  events) while keeping every record's offset identical to its first
+  life.  Consumers tolerate gaps; a committed offset means "everything
+  below this is settled", never "this many records exist".
+
+Fault sites (armed via :class:`repro.faults.FaultPlan`):
+
+- ``broker.partition_stall`` — the target partition refuses appends
+  and fetches until the site fires again (stall/heal churn); refused
+  publishes return ``None`` so callers count, never lose silently.
+- ``broker.commit_lost`` — an offset commit vanishes in flight; the
+  group's committed offset stays behind, so replay re-delivers
+  (at-least-once, never lost).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.message import SyslogMessage
+from repro.faults.plan import (
+    SITE_COMMIT_LOST,
+    SITE_PARTITION_STALL,
+    FaultInjector,
+)
+from repro.obs import wellknown
+
+__all__ = [
+    "BrokerRecord",
+    "BrokerStats",
+    "ConsumerGroup",
+    "LogBroker",
+    "Partition",
+    "hash_partitioner",
+    "host_partitioner",
+]
+
+DEFAULT_SEGMENT_RECORDS = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class BrokerRecord:
+    """One record in a partition.
+
+    ``ident`` carries the durable identity of the message (its trace
+    position) when the publisher is journal-backed; consumers hand it
+    to the journal so accept records survive the broker hop.
+    """
+
+    partition: str
+    offset: int
+    message: SyslogMessage
+    ident: int | None = None
+
+
+class Partition:
+    """An append-only sequence of records, stored in sealed segments."""
+
+    __slots__ = ("key", "segment_records", "_sealed", "_active", "next_offset")
+
+    def __init__(self, key: str, *, segment_records: int = DEFAULT_SEGMENT_RECORDS) -> None:
+        self.key = key
+        self.segment_records = segment_records
+        self._sealed: list[tuple[BrokerRecord, ...]] = []
+        self._active: list[BrokerRecord] = []
+        #: the offset the next blind append receives (last offset + 1;
+        #: sparse replays can leave gaps below it)
+        self.next_offset = 0
+
+    def append(self, record: BrokerRecord) -> None:
+        """Append one record; offsets must be monotonic (gaps allowed)."""
+        if record.offset < self.next_offset:
+            raise ValueError(
+                f"partition {self.key!r}: non-monotonic append at offset "
+                f"{record.offset} (next is {self.next_offset})"
+            )
+        self._active.append(record)
+        self.next_offset = record.offset + 1
+        if len(self._active) >= self.segment_records:
+            self._sealed.append(tuple(self._active))
+            self._active.clear()
+
+    def read_from(self, offset: int, max_records: int) -> list[BrokerRecord]:
+        """Records with ``offset >= offset``, oldest first, up to the cap."""
+        out: list[BrokerRecord] = []
+        for segment in self._sealed:
+            # segments are offset-ordered; skip ones entirely below the cursor
+            if segment[-1].offset < offset:
+                continue
+            for rec in segment:
+                if rec.offset >= offset:
+                    out.append(rec)
+                    if len(out) >= max_records:
+                        return out
+        for rec in self._active:
+            if rec.offset >= offset:
+                out.append(rec)
+                if len(out) >= max_records:
+                    break
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sealed) + len(self._active)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._sealed) + (1 if self._active or not self._sealed else 0)
+
+
+@dataclass
+class ConsumerGroup:
+    """Progress of one named group: committed offsets plus live cursors."""
+
+    name: str
+    members: list[str] = field(default_factory=list)
+    committed: dict[str, int] = field(default_factory=dict)
+    positions: dict[str, int] = field(default_factory=dict)
+    #: round-robin cursor so poll spreads fairly over assigned partitions
+    rr_cursor: int = 0
+
+
+@dataclass
+class BrokerStats:
+    """Broker-lifetime counts (the reconciliation view)."""
+
+    published: int = 0
+    publish_refused: int = 0
+    polled: int = 0
+    commits: int = 0
+    commits_lost: int = 0
+    stall_events: int = 0
+
+
+def host_partitioner(message: SyslogMessage) -> str:
+    """Per-host layout: one partition per originating node."""
+    return message.hostname
+
+
+def hash_partitioner(n_partitions: int) -> Callable[[SyslogMessage], str]:
+    """Per-tenant layout: hostname hashed onto ``n_partitions`` buckets.
+
+    Uses CRC32, not ``hash()``, so the layout is stable across
+    processes (``PYTHONHASHSEED`` randomizes ``str.__hash__``).
+    """
+    if n_partitions < 1:
+        raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+
+    def _partition(message: SyslogMessage) -> str:
+        bucket = zlib.crc32(message.hostname.encode()) % n_partitions
+        return f"p{bucket:03d}"
+
+    return _partition
+
+
+class LogBroker:
+    """In-process partitioned log with consumer groups.
+
+    Thread-safe: the asyncio listener publishes from the event-loop
+    thread while consumers may poll from another (the benchmark does
+    exactly this); one lock guards partition and group state.
+    """
+
+    def __init__(
+        self,
+        *,
+        partitioner: Callable[[SyslogMessage], str] | None = None,
+        n_partitions: int | None = None,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        fault_injector: FaultInjector | None = None,
+        registry=None,
+    ) -> None:
+        if partitioner is not None and n_partitions is not None:
+            raise ValueError("pass either partitioner or n_partitions, not both")
+        if n_partitions is not None:
+            partitioner = hash_partitioner(n_partitions)
+        self.partitioner = partitioner or host_partitioner
+        self.segment_records = segment_records
+        self.injector = fault_injector
+        self.partitions: dict[str, Partition] = {}
+        self.groups: dict[str, ConsumerGroup] = {}
+        self.stats = BrokerStats()
+        self._stalled: str | None = None
+        self._lock = threading.Lock()
+        self._m_published = wellknown.broker_published(registry)
+        self._m_refused = wellknown.broker_publish_refused(registry)
+        self._m_polled = wellknown.broker_polled(registry)
+        self._m_commits = wellknown.broker_commits(registry)
+        self._m_commits_lost = wellknown.broker_commits_lost(registry)
+        self._m_lag = wellknown.broker_lag(registry)
+        self._m_partitions = wellknown.broker_partitions(registry)
+        self._m_stalls = wellknown.broker_partition_stalls(registry)
+
+    # -- publishing ----------------------------------------------------
+
+    def publish(
+        self,
+        message: SyslogMessage,
+        *,
+        key: str | None = None,
+        ident: int | None = None,
+        offset: int | None = None,
+    ) -> BrokerRecord | None:
+        """Append ``message`` to its partition.
+
+        Returns the stored record, or ``None`` when the partition is
+        stalled (the caller must count the refusal — nothing here is
+        silent).  ``offset`` pins an explicit (sparse) offset for
+        durable replay; omitted, the partition's next dense offset is
+        used.
+        """
+        key = key if key is not None else self.partitioner(message)
+        with self._lock:
+            if self.injector is not None and self.injector.should_fire(
+                SITE_PARTITION_STALL
+            ):
+                if self._stalled is None:
+                    self._stalled = key
+                    self.stats.stall_events += 1
+                    self._m_stalls.inc()
+                else:
+                    self._stalled = None
+            if self._stalled == key:
+                self.stats.publish_refused += 1
+                self._m_refused.inc()
+                return None
+            part = self.partitions.get(key)
+            if part is None:
+                part = self.partitions[key] = Partition(
+                    key, segment_records=self.segment_records
+                )
+                self._m_partitions.set(len(self.partitions))
+            record = BrokerRecord(
+                partition=key,
+                offset=offset if offset is not None else part.next_offset,
+                message=message,
+                ident=ident,
+            )
+            part.append(record)
+            self.stats.published += 1
+            self._m_published.inc()
+            return record
+
+    # -- consumer groups -----------------------------------------------
+
+    def _group(self, name: str) -> ConsumerGroup:
+        group = self.groups.get(name)
+        if group is None:
+            group = self.groups[name] = ConsumerGroup(name=name)
+        return group
+
+    def subscribe(self, group: str, member: str) -> None:
+        """Add ``member`` to ``group`` (idempotent)."""
+        with self._lock:
+            g = self._group(group)
+            if member not in g.members:
+                g.members.append(member)
+                g.members.sort()
+
+    def assignment(self, group: str, member: str) -> list[str]:
+        """Partitions ``member`` currently owns (round-robin layout).
+
+        Recomputed against the live partition set, so partitions that
+        appear after subscription are owned without a rebalance.
+        """
+        with self._lock:
+            return self._assignment(group, member)
+
+    def _assignment(self, group: str, member: str) -> list[str]:
+        g = self._group(group)
+        if member not in g.members:
+            raise ValueError(f"member {member!r} is not subscribed to {group!r}")
+        rank = g.members.index(member)
+        n = len(g.members)
+        return [
+            key
+            for i, key in enumerate(sorted(self.partitions))
+            if i % n == rank
+        ]
+
+    def poll(
+        self, group: str, member: str = "member-0", *, max_records: int = 256
+    ) -> list[BrokerRecord]:
+        """Fetch up to ``max_records`` from the member's partitions.
+
+        Starts each partition at the group's live position (initially
+        the committed offset) and advances it past what is returned.
+        Stalled partitions are skipped — their lag simply grows.
+        """
+        with self._lock:
+            g = self._group(group)
+            if member not in g.members:
+                g.members.append(member)
+                g.members.sort()
+            assigned = self._assignment(group, member)
+            if not assigned:
+                return []
+            out: list[BrokerRecord] = []
+            n = len(assigned)
+            for i in range(n):
+                key = assigned[(g.rr_cursor + i) % n]
+                if key == self._stalled:
+                    continue
+                pos = g.positions.get(key)
+                if pos is None:
+                    pos = g.positions[key] = g.committed.get(key, 0)
+                recs = self.partitions[key].read_from(pos, max_records - len(out))
+                if recs:
+                    out.extend(recs)
+                    g.positions[key] = recs[-1].offset + 1
+                if len(out) >= max_records:
+                    break
+            g.rr_cursor = (g.rr_cursor + 1) % max(n, 1)
+            if out:
+                self.stats.polled += len(out)
+                self._m_polled.inc(len(out), group=group)
+            return out
+
+    def commit(self, group: str, partition: str, offset: int) -> bool:
+        """Commit ``offset`` (the next offset to read) for one partition.
+
+        Commits are max-wins — a stale commit never rewinds progress.
+        Returns False when the ``broker.commit_lost`` site eats the
+        commit; the journal remains the durable source of truth and
+        replay after a crash re-delivers from the stale offset
+        (at-least-once).
+        """
+        with self._lock:
+            if self.injector is not None and self.injector.should_fire(
+                SITE_COMMIT_LOST
+            ):
+                self.stats.commits_lost += 1
+                self._m_commits_lost.inc()
+                return False
+            g = self._group(group)
+            if offset > g.committed.get(partition, 0):
+                g.committed[partition] = offset
+            self.stats.commits += 1
+            self._m_commits.inc(group=group)
+            self._m_lag.set(self._lag(g), group=group)
+            return True
+
+    def committed(self, group: str, partition: str) -> int:
+        """The group's committed offset for ``partition`` (0 if none)."""
+        with self._lock:
+            return self._group(group).committed.get(partition, 0)
+
+    def restore_offsets(self, group: str, offsets: dict[str, int]) -> None:
+        """Seed committed offsets (and cursors) from the durable journal.
+
+        Called on crash recovery *before* consumers poll: the journal's
+        flush records — not the broker's lost in-memory state — define
+        where consumption resumes.
+        """
+        with self._lock:
+            g = self._group(group)
+            for partition, offset in offsets.items():
+                if offset > g.committed.get(partition, 0):
+                    g.committed[partition] = offset
+                g.positions.pop(partition, None)
+
+    def reset_to_committed(self, group: str) -> None:
+        """Drop live cursors; the next poll re-reads from committed."""
+        with self._lock:
+            self._group(group).positions.clear()
+
+    # -- introspection -------------------------------------------------
+
+    def _lag(self, g: ConsumerGroup) -> int:
+        return sum(
+            max(0, p.next_offset - g.committed.get(key, 0))
+            for key, p in self.partitions.items()
+        )
+
+    def lag(self, group: str) -> int:
+        """Records published but not yet committed by ``group``.
+
+        Computed against ``next_offset``, so sparse replays (gaps from
+        already-settled events) do not inflate it.
+        """
+        with self._lock:
+            return self._lag(self._group(group))
+
+    def total_records(self) -> int:
+        """Records currently held across every partition."""
+        with self._lock:
+            return sum(len(p) for p in self.partitions.values())
+
+    @property
+    def stalled_partition(self) -> str | None:
+        return self._stalled
+
+    def describe(self) -> dict:
+        """A JSON-ready snapshot for summaries and debugging."""
+        with self._lock:
+            return {
+                "partitions": {
+                    key: {"records": len(p), "next_offset": p.next_offset,
+                          "segments": p.n_segments}
+                    for key, p in sorted(self.partitions.items())
+                },
+                "groups": {
+                    name: {"members": list(g.members),
+                           "committed": dict(sorted(g.committed.items())),
+                           "lag": self._lag(g)}
+                    for name, g in sorted(self.groups.items())
+                },
+                "stats": vars(self.stats).copy(),
+                "stalled": self._stalled,
+            }

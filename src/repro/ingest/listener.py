@@ -1,0 +1,320 @@
+"""Asyncio syslog listener: UDP datagrams and newline-framed TCP.
+
+The real Tivan front door (§4.2) is a syslog relay accepting RFC 3164
+and RFC 5424 wire lines from every node on the cluster.  This listener
+is that front door: an :mod:`asyncio` UDP endpoint plus a TCP server,
+parsing each line through :func:`repro.stream.rfc.safe_parse_line`
+(total — hostile input is quarantined, never raised) and publishing
+accepted messages into a :class:`~repro.ingest.broker.LogBroker`.
+
+The accept path, in order, is:
+
+1. ``ingest.accept_drop`` fault site — a simulated NIC-queue drop,
+   counted into ``accept_dropped``;
+2. token-bucket **rate limiting** — accept-time load shedding: over
+   the budget, the line is shed and counted, the sender is never
+   blocked (syslog's fire-and-forget contract);
+3. **size cap** — oversize lines are quarantined to the DLQ;
+4. **parse** — unparseable lines are quarantined to the DLQ with the
+   parser's reason string;
+5. **publish** — a stalled-partition refusal is quarantined too.
+
+No branch is silent: every received line ends in exactly one of
+``accepted``, ``shed``, ``accept_dropped``, ``oversize``,
+``parse_errors`` or ``publish_refused`` (see
+:meth:`ListenerStats.accounted`).
+
+Metrics are synchronised to the registry in batches (every
+``_SYNC_EVERY`` lines and on ``stop``): at the ≥50k msgs/s rates the
+benchmark holds this path to, per-line registry increments would be
+the bottleneck.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.faults.dlq import DeadLetterQueue
+from repro.faults.plan import SITE_ACCEPT_DROP, FaultInjector
+from repro.ingest.broker import LogBroker
+from repro.obs import wellknown
+from repro.stream.rfc import MAX_LINE_BYTES, safe_parse_line
+
+__all__ = ["ListenerStats", "SyslogListener", "TokenBucket"]
+
+#: where parse/oversize/publish quarantines land in the DLQ
+SITE_INGEST_PARSE = "ingest.parse"
+SITE_INGEST_PUBLISH = "ingest.publish"
+
+_SYNC_EVERY = 1024
+
+
+class TokenBucket:
+    """Accept-time rate limiter: ``rate`` tokens/s, burst of ``burst``.
+
+    Monotonic-clock based and allocation-free on the hot path.  The
+    clock is injectable so tests can drive it deterministically.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(self, rate: float, burst: float | None = None, *, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(self.rate, 1.0)
+        self._tokens = self.burst
+        self._clock = clock
+        self._last = clock()
+
+    def allow(self) -> bool:
+        """Take one token; False when the budget is exhausted."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class ListenerStats:
+    """Per-listener counts; every received line lands in exactly one bin."""
+
+    received_udp: int = 0
+    received_tcp: int = 0
+    accepted: int = 0
+    shed: int = 0
+    accept_dropped: int = 0
+    oversize: int = 0
+    parse_errors: int = 0
+    publish_refused: int = 0
+
+    @property
+    def received(self) -> int:
+        return self.received_udp + self.received_tcp
+
+    def accounted(self) -> bool:
+        """The no-silent-loss check: bins sum back to received."""
+        return self.received == (
+            self.accepted + self.shed + self.accept_dropped
+            + self.oversize + self.parse_errors + self.publish_refused
+        )
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, listener: "SyslogListener") -> None:
+        self._listener = listener
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._listener._handle_line(data, udp=True)
+
+
+class SyslogListener:
+    """UDP + TCP syslog intake feeding a partitioned log broker.
+
+    Parameters
+    ----------
+    broker:
+        Accepted messages are published here.  ``None`` is allowed for
+        parse-only use (the benchmark's listener-alone lane).
+    udp_port, tcp_port:
+        Port to bind (0 = ephemeral, ``None`` = transport disabled).
+    rate_limit, burst:
+        Accept-time token-bucket budget in messages/second; ``None``
+        disables shedding.
+    max_line_bytes:
+        Size cap; longer input is quarantined, not truncated.
+    on_message:
+        Optional tap called with each accepted :class:`SyslogMessage`.
+    """
+
+    def __init__(
+        self,
+        broker: LogBroker | None = None,
+        *,
+        host: str = "127.0.0.1",
+        udp_port: int | None = 0,
+        tcp_port: int | None = 0,
+        rate_limit: float | None = None,
+        burst: float | None = None,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        fault_injector: FaultInjector | None = None,
+        dead_letters: DeadLetterQueue | None = None,
+        on_message=None,
+        clock=time.monotonic,
+        registry=None,
+    ) -> None:
+        self.broker = broker
+        self.host = host
+        self.udp_port = udp_port
+        self.tcp_port = tcp_port
+        self.max_line_bytes = max_line_bytes
+        self.injector = fault_injector
+        self.dead_letters = dead_letters if dead_letters is not None else DeadLetterQueue()
+        self.on_message = on_message
+        self.bucket = TokenBucket(rate_limit, burst, clock=clock) if rate_limit else None
+        self.stats = ListenerStats()
+        self.udp_address: tuple[str, int] | None = None
+        self.tcp_address: tuple[str, int] | None = None
+        self._udp_transport = None
+        self._tcp_server: asyncio.Server | None = None
+        self._tcp_tasks: set[asyncio.Task] = set()
+        self._since_sync = 0
+        self._synced = ListenerStats()
+        self._m_received = wellknown.ingest_received(registry)
+        self._m_accepted = wellknown.ingest_accepted(registry)
+        self._m_shed = wellknown.ingest_shed(registry)
+        self._m_accept_dropped = wellknown.ingest_accept_dropped(registry)
+        self._m_parse_errors = wellknown.ingest_parse_errors(registry)
+        self._m_oversize = wellknown.ingest_oversize(registry)
+        self._m_publish_refused = wellknown.ingest_publish_refused(registry)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the enabled transports; addresses land in
+        :attr:`udp_address` / :attr:`tcp_address`."""
+        loop = asyncio.get_running_loop()
+        if self.udp_port is not None:
+            self._udp_transport, _ = await loop.create_datagram_endpoint(
+                lambda: _UdpProtocol(self), local_addr=(self.host, self.udp_port)
+            )
+            sock = self._udp_transport.get_extra_info("sockname")
+            self.udp_address = (sock[0], sock[1])
+        if self.tcp_port is not None:
+            self._tcp_server = await asyncio.start_server(
+                self._serve_tcp, self.host, self.tcp_port
+            )
+            sock = self._tcp_server.sockets[0].getsockname()
+            self.tcp_address = (sock[0], sock[1])
+
+    async def stop(self) -> None:
+        """Close transports, drain TCP connections, flush metrics."""
+        if self._udp_transport is not None:
+            self._udp_transport.close()
+            self._udp_transport = None
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for task in list(self._tcp_tasks):
+            task.cancel()
+        if self._tcp_tasks:
+            await asyncio.gather(*self._tcp_tasks, return_exceptions=True)
+        self._sync_metrics()
+
+    # -- transports ----------------------------------------------------
+
+    async def _serve_tcp(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        task = asyncio.current_task()
+        if task is not None:
+            self._tcp_tasks.add(task)
+            task.add_done_callback(self._tcp_tasks.discard)
+        buf = b""
+        # a line that outgrows the cap is quarantined once, then bytes
+        # are discarded until its newline finally arrives
+        skipping = False
+        try:
+            while True:
+                chunk = await reader.read(1 << 16)
+                if not chunk:
+                    break
+                buf += chunk
+                while True:
+                    nl = buf.find(b"\n")
+                    if nl < 0:
+                        if skipping:
+                            buf = b""
+                        elif len(buf) > self.max_line_bytes:
+                            self._handle_line(buf, udp=False)  # counted oversize
+                            buf = b""
+                            skipping = True
+                        break
+                    line, buf = buf[:nl], buf[nl + 1:]
+                    if skipping:
+                        skipping = False
+                        continue
+                    if line:
+                        self._handle_line(line, udp=False)
+            if buf and not skipping:
+                self._handle_line(buf, udp=False)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+
+    # -- the accept path -----------------------------------------------
+
+    def _handle_line(self, raw: bytes, *, udp: bool) -> None:
+        stats = self.stats
+        if udp:
+            stats.received_udp += 1
+        else:
+            stats.received_tcp += 1
+        self._since_sync += 1
+        if self._since_sync >= _SYNC_EVERY:
+            self._sync_metrics()
+        if self.injector is not None and self.injector.should_fire(SITE_ACCEPT_DROP):
+            stats.accept_dropped += 1
+            return
+        if self.bucket is not None and not self.bucket.allow():
+            stats.shed += 1
+            return
+        if len(raw) > self.max_line_bytes:
+            stats.oversize += 1
+            self.dead_letters.push(
+                SITE_INGEST_PARSE,
+                raw[:256].decode("utf-8", errors="replace"),
+                f"oversize: {len(raw)} bytes > {self.max_line_bytes}",
+                transport="udp" if udp else "tcp",
+            )
+            return
+        message, error = safe_parse_line(raw, max_bytes=self.max_line_bytes)
+        if message is None:
+            stats.parse_errors += 1
+            self.dead_letters.push(
+                SITE_INGEST_PARSE,
+                raw[:256].decode("utf-8", errors="replace"),
+                error or "unparseable",
+                transport="udp" if udp else "tcp",
+            )
+            return
+        stats.accepted += 1
+        if self.broker is not None:
+            record = self.broker.publish(message)
+            if record is None:
+                stats.publish_refused += 1
+                self.dead_letters.push(
+                    SITE_INGEST_PUBLISH, message, "broker partition stalled",
+                    transport="udp" if udp else "tcp",
+                )
+                return
+        if self.on_message is not None:
+            self.on_message(message)
+
+    # -- metrics -------------------------------------------------------
+
+    def _sync_metrics(self) -> None:
+        """Publish the delta since the last sync into the registry."""
+        s, prev = self.stats, self._synced
+        if s.received_udp > prev.received_udp:
+            self._m_received.inc(s.received_udp - prev.received_udp, proto="udp")
+        if s.received_tcp > prev.received_tcp:
+            self._m_received.inc(s.received_tcp - prev.received_tcp, proto="tcp")
+        for attr, metric in (
+            ("accepted", self._m_accepted),
+            ("shed", self._m_shed),
+            ("accept_dropped", self._m_accept_dropped),
+            ("oversize", self._m_oversize),
+            ("parse_errors", self._m_parse_errors),
+            ("publish_refused", self._m_publish_refused),
+        ):
+            delta = getattr(s, attr) - getattr(prev, attr)
+            if delta:
+                metric.inc(delta)
+        self._synced = ListenerStats(**vars(s))
+        self._since_sync = 0

@@ -68,6 +68,21 @@ __all__ = [
     "store_repair_docs",
     "store_breaker_transitions",
     "store_node_timeouts",
+    "ingest_received",
+    "ingest_accepted",
+    "ingest_shed",
+    "ingest_accept_dropped",
+    "ingest_parse_errors",
+    "ingest_oversize",
+    "ingest_publish_refused",
+    "broker_published",
+    "broker_publish_refused",
+    "broker_polled",
+    "broker_commits",
+    "broker_commits_lost",
+    "broker_lag",
+    "broker_partitions",
+    "broker_partition_stalls",
     "declare_all",
 ]
 
@@ -487,6 +502,137 @@ def store_node_timeouts(registry: MetricsRegistry | None = None) -> Counter:
     )
 
 
+# -- ingest listener & log broker ---------------------------------------
+
+
+def ingest_received(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: wire lines received by the listener, per transport."""
+    return _reg(registry).counter(
+        "repro_ingest_received_total",
+        "Wire lines received by the syslog listener per transport",
+        labels=("proto",),
+    )
+
+
+def ingest_accepted(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: lines parsed and accepted by the listener."""
+    return _reg(registry).counter(
+        "repro_ingest_accepted_total",
+        "Wire lines parsed into messages and accepted by the listener",
+    )
+
+
+def ingest_shed(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: lines shed by accept-time rate limiting."""
+    return _reg(registry).counter(
+        "repro_ingest_shed_total",
+        "Wire lines shed by the listener's accept-time rate limiter",
+    )
+
+
+def ingest_accept_dropped(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: lines dropped by the ingest.accept_drop fault site."""
+    return _reg(registry).counter(
+        "repro_ingest_accept_dropped_total",
+        "Wire lines dropped at accept time by the ingest.accept_drop "
+        "fault site (simulated NIC queue overflow)",
+    )
+
+
+def ingest_parse_errors(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: lines neither RFC matched, quarantined to the DLQ."""
+    return _reg(registry).counter(
+        "repro_ingest_parse_errors_total",
+        "Wire lines that matched neither RFC 3164 nor RFC 5424 and were "
+        "quarantined to the dead-letter queue",
+    )
+
+
+def ingest_oversize(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: lines over the size cap, quarantined to the DLQ."""
+    return _reg(registry).counter(
+        "repro_ingest_oversize_total",
+        "Wire lines over the listener's size cap, quarantined to the "
+        "dead-letter queue",
+    )
+
+
+def ingest_publish_refused(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: accepted messages the broker refused (stalled partition)."""
+    return _reg(registry).counter(
+        "repro_ingest_publish_refused_total",
+        "Accepted messages refused by the broker (stalled partition), "
+        "quarantined to the dead-letter queue",
+    )
+
+
+def broker_published(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: records appended to broker partitions."""
+    return _reg(registry).counter(
+        "repro_broker_published_total",
+        "Records appended to log-broker partitions",
+    )
+
+
+def broker_publish_refused(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: publishes refused by a stalled partition."""
+    return _reg(registry).counter(
+        "repro_broker_publish_refused_total",
+        "Publishes refused because the target partition was stalled",
+    )
+
+
+def broker_polled(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: records delivered to consumers, per group."""
+    return _reg(registry).counter(
+        "repro_broker_polled_total",
+        "Records delivered to consumer-group members by poll",
+        labels=("group",),
+    )
+
+
+def broker_commits(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: offset commits applied, per group."""
+    return _reg(registry).counter(
+        "repro_broker_commits_total",
+        "Consumer-group offset commits applied by the broker",
+        labels=("group",),
+    )
+
+
+def broker_commits_lost(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: offset commits dropped by the broker.commit_lost site."""
+    return _reg(registry).counter(
+        "repro_broker_commits_lost_total",
+        "Consumer-group offset commits dropped in flight by the "
+        "broker.commit_lost fault site",
+    )
+
+
+def broker_lag(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: uncommitted records across partitions, per group."""
+    return _reg(registry).gauge(
+        "repro_broker_lag",
+        "Records published but not yet committed by the consumer group",
+        labels=("group",),
+    )
+
+
+def broker_partitions(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: partitions the broker currently holds."""
+    return _reg(registry).gauge(
+        "repro_broker_partitions", "Partitions the log broker currently holds"
+    )
+
+
+def broker_partition_stalls(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: partition stall events (broker.partition_stall fires)."""
+    return _reg(registry).counter(
+        "repro_broker_partition_stalls_total",
+        "Partition stall events fired by the broker.partition_stall site",
+    )
+
+
 def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
     """Register every well-known family; returns the registry.
 
@@ -511,6 +657,11 @@ def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
         store_quorum_read_seconds, store_quorum_failures, store_hints_queued,
         store_hints_replayed, store_hints_dropped, store_read_repairs,
         store_repair_docs, store_breaker_transitions, store_node_timeouts,
+        ingest_received, ingest_accepted, ingest_shed, ingest_accept_dropped,
+        ingest_parse_errors, ingest_oversize, ingest_publish_refused,
+        broker_published, broker_publish_refused, broker_polled,
+        broker_commits, broker_commits_lost, broker_lag, broker_partitions,
+        broker_partition_stalls,
     ):
         factory(registry)
     return registry

@@ -15,6 +15,20 @@ kept for retry.  Combined with the dead-letter captures, every message
 offered is accounted for: delivered, rejected-and-counted,
 evicted-and-counted, or parked in :attr:`dead_letters` — never lost
 silently.
+
+Broker mode
+-----------
+Given a :class:`~repro.ingest.broker.LogBroker`, the forwarder becomes
+a *consumer-group member* instead of a push target: each flush tick it
+polls its assigned partitions into the buffer (at most the buffer's
+free room — backpressure is expressed as broker lag, so the offer-side
+overflow policies never fire), and each successful flush *commits* the
+batch's high-water offsets back to the broker.  An abandoned batch
+commits too — the poison batch is dead-lettered and the group moves
+past it rather than re-polling it forever.  The buffering/overflow/DLQ
+semantics of push mode are thereby re-expressed as offset lag plus a
+commit policy; a crashed member that re-polls from its committed
+offsets re-delivers only uncommitted messages (at-least-once).
 """
 
 from __future__ import annotations
@@ -114,6 +128,13 @@ class FluentdForwarder:
         every buffer transition is logged to the WAL *before* the
         in-memory mutation (write-ahead), so recovery can rebuild the
         buffer, the delivered set, and the dead letters after a crash.
+    broker:
+        Optional :class:`~repro.ingest.broker.LogBroker`.  When set,
+        the forwarder is a consumer-group member: it polls the broker
+        into its buffer each flush tick and commits batch offsets on
+        flush success (and on abandon).  See *Broker mode* above.
+    consumer_group, consumer_member:
+        Group and member names for broker mode.
     """
 
     engine: EventEngine
@@ -129,6 +150,9 @@ class FluentdForwarder:
     dlq_max_entries: int | None = None
     fault_injector: object = None
     journal: object = None
+    broker: object = None
+    consumer_group: str = "fluentd"
+    consumer_member: str = "member-0"
 
     stats: ForwarderStats = field(default_factory=ForwarderStats)
     #: overflow/abandon captures land here with their reason
@@ -136,6 +160,9 @@ class FluentdForwarder:
         default_factory=DeadLetterQueue, init=False, repr=False
     )
     _buffer: list[SyslogMessage] = field(default_factory=list, init=False, repr=False)
+    #: broker mode: (partition, offset) per buffered message, or None
+    #: for entries that arrived via offer()/preload() (never committed)
+    _offsets: list = field(default_factory=list, init=False, repr=False)
     _retry_delay: float = field(default=0.0, init=False, repr=False)
     _consecutive_failures: int = field(default=0, init=False, repr=False)
     _started: bool = field(default=False, init=False, repr=False)
@@ -168,6 +195,8 @@ class FluentdForwarder:
         self._m_flush_size = wellknown.fluentd_flush_size()
         self._m_flushed = wellknown.fluentd_flushed_messages()
         self._m_dropped = wellknown.fluentd_dropped()
+        if self.broker is not None:
+            self.broker.subscribe(self.consumer_group, self.consumer_member)
 
     def start(self) -> None:
         """Begin the periodic flush cycle."""
@@ -192,6 +221,8 @@ class FluentdForwarder:
                 if self.journal is not None:
                     self.journal.evict_oldest()
                 del self._buffer[0]
+                if self._offsets:
+                    del self._offsets[0]
                 self.stats.evicted += 1
                 self._m_dropped.inc()
             elif self.overflow == "dead_letter":
@@ -211,12 +242,60 @@ class FluentdForwarder:
         if self.journal is not None:
             self.journal.accept(event_idx, message)
         self._buffer.append(message)
+        if self.broker is not None:
+            self._offsets.append(None)
         self.stats.accepted += 1
         self.stats.max_buffer_seen = max(self.stats.max_buffer_seen, len(self._buffer))
         self._m_buffer_depth.set(len(self._buffer))
         return True
 
+    def poll_broker(self, *, max_records: int | None = None) -> int:
+        """Consumer-group intake: poll assigned partitions into the buffer.
+
+        Polls at most the buffer's free room, so a slow consumer shows
+        up as broker *lag*, never as buffer overflow — the offer-side
+        overflow policies are idle in broker mode.  Each polled record
+        is journaled as an accept under its durable identity
+        (``record.ident``), exactly as an offered message would be.
+        Returns the number of records taken.
+        """
+        if self.broker is None:
+            return 0
+        room = self.buffer_limit - len(self._buffer)
+        if room <= 0:
+            return 0
+        if max_records is not None:
+            room = min(room, max_records)
+        records = self.broker.poll(
+            self.consumer_group, self.consumer_member, max_records=room
+        )
+        for rec in records:
+            if self.journal is not None:
+                self.journal.accept(rec.ident, rec.message)
+            self._buffer.append(rec.message)
+            self._offsets.append((rec.partition, rec.offset))
+            self.stats.accepted += 1
+        if records:
+            self.stats.max_buffer_seen = max(
+                self.stats.max_buffer_seen, len(self._buffer)
+            )
+            self._m_buffer_depth.set(len(self._buffer))
+        return len(records)
+
+    def _batch_offsets(self, n: int) -> dict:
+        """Commit offsets for the head batch: partition → next offset."""
+        out: dict = {}
+        for entry in self._offsets[:n]:
+            if entry is None:
+                continue
+            partition, offset = entry
+            if offset + 1 > out.get(partition, 0):
+                out[partition] = offset + 1
+        return out
+
     def _flush_tick(self) -> None:
+        if self.broker is not None:
+            self.poll_broker()
         self.flush()
         delay = self._retry_delay if self._retry_delay > 0 else self.flush_interval_s
         self.engine.schedule(delay, self._flush_tick)
@@ -277,9 +356,21 @@ class FluentdForwarder:
             return 0
         batch = self._buffer[: self.batch_size]
         if self._attempt_sink(batch):
+            offsets = (
+                self._batch_offsets(len(batch)) if self.broker is not None else None
+            )
             if self.journal is not None:
-                self.journal.flushed(len(batch))
+                self.journal.flushed(len(batch), offsets=offsets)
+            if offsets:
+                # journal first, broker second: the journal is the
+                # durable truth; a commit the broker loses (the
+                # broker.commit_lost site) is re-seeded from the
+                # journal's flush records on recovery
+                for partition, next_offset in offsets.items():
+                    self.broker.commit(self.consumer_group, partition, next_offset)
             del self._buffer[: len(batch)]
+            if self.broker is not None:
+                del self._offsets[: len(batch)]
             self.stats.flushed_batches += 1
             self.stats.flushed_messages += len(batch)
             self._retry_delay = 0.0
@@ -302,13 +393,27 @@ class FluentdForwarder:
         return 0
 
     def _abandon(self, batch: list[SyslogMessage]) -> None:
-        """Dead-letter a head batch that exhausted its retry budget."""
+        """Dead-letter a head batch that exhausted its retry budget.
+
+        In broker mode the batch's offsets are committed too: the
+        poison batch is parked in the DLQ and the group moves *past*
+        it, instead of re-polling the same doomed records forever.
+        """
+        offsets = (
+            self._batch_offsets(len(batch)) if self.broker is not None else None
+        )
         if self.journal is not None:
             self.journal.abandoned(
                 len(batch), ABANDON_SITE,
                 f"flush failed {self._consecutive_failures} times",
+                offsets=offsets,
             )
+        if offsets:
+            for partition, next_offset in offsets.items():
+                self.broker.commit(self.consumer_group, partition, next_offset)
         del self._buffer[: len(batch)]
+        if self.broker is not None:
+            del self._offsets[: len(batch)]
         self.stats.abandoned_flushes += 1
         self.stats.abandoned_messages += len(batch)
         for pos, message in enumerate(batch):
@@ -364,6 +469,8 @@ class FluentdForwarder:
         n = 0
         for m in messages:
             self._buffer.append(m)
+            if self.broker is not None:
+                self._offsets.append(None)
             n += 1
         self.stats.max_buffer_seen = max(
             self.stats.max_buffer_seen, len(self._buffer)

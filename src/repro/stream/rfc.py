@@ -1,0 +1,230 @@
+"""Syslog wire formats: RFC 3164 / RFC 5424 rendering and parsing.
+
+The Darwin test-bed forwards node syslog in both RFC 3164 ("BSD
+syslog") and RFC 5424 framing depending on vendor and firmware age
+(§4.2) — the heterogeneity of framing is itself part of what makes the
+corpus heterogeneous.  This module is the single source of truth for
+both directions of the wire format; ``repro.datagen`` senders render
+with it and the ``repro.ingest`` listener parses with it, so a
+formatting change can never desynchronise the two.
+
+Timestamps use the simulation calendar: fixed 30-day months and
+360-day years anchored at 2023-01-01, so render→parse round-trips are
+exact (to whole seconds) without ever touching the host clock.
+
+Two parsing entry points:
+
+``parse_line``
+    Strict; raises :class:`ValueError` on anything unparseable.
+    Used where the caller controls the input (tests, trace replay).
+``safe_parse_line``
+    Total; never raises.  Accepts raw ``bytes`` straight off a
+    socket, enforces a size cap, survives NUL bytes, truncated UTF-8
+    and malformed PRI/timestamps, and returns ``(message, error)``
+    where exactly one side is ``None``.  This is the listener's
+    accept path: garbage is quarantined, not thrown.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.message import Facility, Severity, SyslogMessage
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "format_rfc3164",
+    "format_rfc5424",
+    "parse_line",
+    "safe_parse_line",
+]
+
+# Default cap on a single wire line; RFC 5424 §6.1 lets transports
+# limit message length — 8 KiB is the conventional datagram ceiling.
+MAX_LINE_BYTES = 8192
+
+_MONTHS = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+_MONTH_INDEX = {m: i + 1 for i, m in enumerate(_MONTHS)}
+
+_SECONDS_PER_DAY = 86400.0
+# Simulation epoch: days roll over every 86400 s; month length fixed at
+# 30 days — good enough for rendering/parsing round trips in the
+# simulator, which never crosses real calendar boundaries.
+_DAYS_PER_MONTH = 30
+
+# Enum lookup tables: Severity(x)/Facility(x) go through EnumMeta.__call__,
+# which dominates the per-line budget at ingest rates.
+_SEVERITY_BY_CODE = tuple(Severity(i) for i in range(8))
+_FACILITY_BY_CODE = {int(f): f for f in Facility}
+
+
+def _format_bsd_time(ts: float) -> str:
+    day_total = int(ts // _SECONDS_PER_DAY)
+    month = _MONTHS[(day_total // _DAYS_PER_MONTH) % 12]
+    day = day_total % _DAYS_PER_MONTH + 1
+    rem = int(ts % _SECONDS_PER_DAY)
+    return f"{month} {day:2d} {rem // 3600:02d}:{rem % 3600 // 60:02d}:{rem % 60:02d}"
+
+
+def _format_iso_time(ts: float) -> str:
+    day_total = int(ts // _SECONDS_PER_DAY)
+    year = 2023 + day_total // 360
+    month = (day_total // _DAYS_PER_MONTH) % 12 + 1
+    day = day_total % _DAYS_PER_MONTH + 1
+    rem = int(ts % _SECONDS_PER_DAY)
+    return (
+        f"{year:04d}-{month:02d}-{day:02d}T"
+        f"{rem // 3600:02d}:{rem % 3600 // 60:02d}:{rem % 60:02d}Z"
+    )
+
+
+def format_rfc3164(msg: SyslogMessage) -> str:
+    """Render in BSD-syslog framing (no year, local timestamp)."""
+    tag = f"{msg.app}[{msg.pid}]" if msg.pid is not None else msg.app
+    ts = _format_bsd_time(msg.timestamp)
+    return f"<{msg.pri}>{ts} {msg.hostname} {tag}: {msg.text}"
+
+
+def format_rfc5424(msg: SyslogMessage) -> str:
+    """Render in RFC 5424 framing (version 1, no structured data)."""
+    pid = str(msg.pid) if msg.pid is not None else "-"
+    ts = _format_iso_time(msg.timestamp)
+    return f"<{msg.pri}>1 {ts} {msg.hostname} {msg.app} {pid} - - {msg.text}"
+
+
+_PRI_RE = re.compile(r"^<(\d{1,3})>")
+_BSD_RE = re.compile(
+    r"^(?P<mon>[A-Z][a-z]{2})\s+(?P<day>\d{1,2})\s"
+    r"(?P<h>\d{2}):(?P<m>\d{2}):(?P<s>\d{2})\s"
+    r"(?P<host>\S+)\s(?P<tag>[^:\[]+)(?:\[(?P<pid>\d+)\])?:\s?(?P<text>.*)$"
+)
+_5424_RE = re.compile(
+    r"^1\s(?P<ts>\S+)\s(?P<host>\S+)\s(?P<app>\S+)\s(?P<pid>\S+)\s\S+\s(?:-|\[.*?\])\s?"
+    r"(?P<text>.*)$"
+)
+_ISO_RE = re.compile(
+    r"^(?P<Y>\d{4})-(?P<M>\d{2})-(?P<D>\d{2})T(?P<h>\d{2}):(?P<m>\d{2}):(?P<s>\d{2})"
+)
+
+
+def parse_line(line: str) -> SyslogMessage:
+    """Parse an RFC 3164 or RFC 5424 syslog line.
+
+    Severity/facility default to INFO/USER when no PRI field is
+    present (some vendors omit it when writing to local files).
+
+    Raises
+    ------
+    ValueError
+        If the line matches neither format.
+    """
+    severity, facility = Severity.INFO, Facility.USER
+    m = _PRI_RE.match(line)
+    if m:
+        pri = int(m.group(1))
+        if pri > 191:
+            raise ValueError(f"invalid PRI value {pri} in syslog line: {line!r}")
+        severity = _SEVERITY_BY_CODE[pri % 8]
+        facility = _FACILITY_BY_CODE.get(pri // 8, Facility.USER)
+        line = line[m.end():]
+
+    m5 = _5424_RE.match(line)
+    if m5:
+        ts = _parse_iso_time(m5.group("ts"))
+        pid_s = m5.group("pid")
+        return SyslogMessage(
+            timestamp=ts,
+            hostname=m5.group("host"),
+            app=m5.group("app"),
+            text=m5.group("text"),
+            severity=severity,
+            facility=facility,
+            pid=int(pid_s) if pid_s.isdigit() else None,
+        )
+
+    mb = _BSD_RE.match(line)
+    if mb:
+        mon = _MONTH_INDEX.get(mb.group("mon"))
+        if mon is None:
+            raise ValueError(f"unrecognized month in syslog line: {line!r}")
+        day = int(mb.group("day"))
+        if not 1 <= day <= _DAYS_PER_MONTH:
+            raise ValueError(f"day {day} out of range in syslog line: {line!r}")
+        day_total = (mon - 1) * _DAYS_PER_MONTH + day - 1
+        ts = (
+            day_total * _SECONDS_PER_DAY
+            + _clock_seconds(mb.group("h"), mb.group("m"), mb.group("s"), line)
+        )
+        pid_s = mb.group("pid")
+        return SyslogMessage(
+            timestamp=float(ts),
+            hostname=mb.group("host"),
+            app=mb.group("tag").strip(),
+            text=mb.group("text"),
+            severity=severity,
+            facility=facility,
+            pid=int(pid_s) if pid_s else None,
+        )
+    raise ValueError(f"unparseable syslog line: {line!r}")
+
+
+def _clock_seconds(h: str, m: str, s: str, context: str) -> int:
+    """Validated HH:MM:SS → seconds; hostile digits must not parse."""
+    hh, mm, ss = int(h), int(m), int(s)
+    if hh > 23 or mm > 59 or ss > 59:
+        raise ValueError(
+            f"time {hh:02d}:{mm:02d}:{ss:02d} out of range in: {context!r}"
+        )
+    return hh * 3600 + mm * 60 + ss
+
+
+def _parse_iso_time(ts: str) -> float:
+    m = _ISO_RE.match(ts)
+    if not m:
+        raise ValueError(f"unparseable RFC5424 timestamp: {ts!r}")
+    month, day = int(m.group("M")), int(m.group("D"))
+    if not 1 <= month <= 12 or not 1 <= day <= _DAYS_PER_MONTH:
+        raise ValueError(f"date out of range in RFC5424 timestamp: {ts!r}")
+    day_total = (
+        (int(m.group("Y")) - 2023) * 360
+        + (month - 1) * _DAYS_PER_MONTH
+        + day - 1
+    )
+    return (
+        day_total * _SECONDS_PER_DAY
+        + _clock_seconds(m.group("h"), m.group("m"), m.group("s"), ts)
+    )
+
+
+def safe_parse_line(
+    raw: bytes | str, *, max_bytes: int = MAX_LINE_BYTES
+) -> tuple[SyslogMessage | None, str | None]:
+    """Parse hostile wire input without ever raising.
+
+    Returns ``(message, None)`` on success, ``(None, reason)`` on any
+    failure — oversize input, empty lines, undecodable bytes, or lines
+    neither RFC matches.  ``reason`` is a short machine-greppable slug
+    followed by detail, suitable for a dead-letter record.
+    """
+    try:
+        if isinstance(raw, bytes):
+            if max_bytes is not None and len(raw) > max_bytes:
+                return None, f"oversize: {len(raw)} bytes > {max_bytes}"
+            line = raw.decode("utf-8", errors="replace")
+        else:
+            if max_bytes is not None and len(raw) > max_bytes:
+                return None, f"oversize: {len(raw)} chars > {max_bytes}"
+            line = raw
+        # Trailing frame noise: newline framing and NUL padding (some
+        # senders NUL-terminate datagrams).
+        line = line.strip("\r\n\x00 \t")
+        if not line:
+            return None, "empty line"
+        return parse_line(line), None
+    except ValueError as exc:
+        return None, f"unparseable: {exc}"
+    except Exception as exc:  # pragma: no cover - belt and braces
+        return None, f"parser error: {type(exc).__name__}: {exc}"

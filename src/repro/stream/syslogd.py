@@ -38,6 +38,8 @@ class SyslogRelay:
     n_received: int = field(default=0, init=False)
     n_forwarded: int = field(default=0, init=False)
     n_dropped: int = field(default=0, init=False)
+    #: wire lines that failed to parse in :meth:`receive_line`
+    n_parse_errors: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         # cached: receive() runs once per message
@@ -56,14 +58,59 @@ class SyslogRelay:
             self.n_dropped += 1
             self._m_dropped.inc()
 
+    def receive_line(self, raw: bytes | str) -> bool:
+        """Accept one RFC 3164/5424 *wire line* from a network daemon.
+
+        The parsed copy is a new object, so this intake is for
+        non-durable relays only (durable identity is keyed by the trace
+        object's ``id``).  Unparseable lines are counted into
+        :attr:`n_parse_errors` and never raise.  Returns True when the
+        line parsed and the downstream accepted it.
+        """
+        from repro.stream.rfc import safe_parse_line
+
+        message, _error = safe_parse_line(raw)
+        if message is None:
+            self.n_parse_errors += 1
+            return False
+        before = self.n_forwarded
+        self.receive(message)
+        return self.n_forwarded > before
+
 
 @dataclass
 class SyslogDaemon:
-    """One node's rsyslogd, replaying its share of a message trace."""
+    """One node's rsyslogd, replaying its share of a message trace.
+
+    ``wire_format`` selects how :meth:`render_line` serialises:
+    ``"3164"``, ``"5424"``, or ``"mixed"`` — a heterogeneous fleet
+    where the format alternates deterministically per emitted message
+    (by :attr:`n_emitted` parity), the shape the listener's parser has
+    to cope with in practice.
+    """
 
     hostname: str
     relay: SyslogRelay
+    wire_format: str = "3164"
     n_emitted: int = field(default=0, init=False)
+
+    _WIRE_FORMATS = ("3164", "5424", "mixed")
+
+    def __post_init__(self) -> None:
+        if self.wire_format not in self._WIRE_FORMATS:
+            raise ValueError(
+                f"wire_format must be one of {self._WIRE_FORMATS}, "
+                f"got {self.wire_format!r}"
+            )
+
+    def render_line(self, message: SyslogMessage) -> str:
+        """Serialise ``message`` in this daemon's wire format."""
+        fmt = self.wire_format
+        if fmt == "mixed":
+            fmt = "3164" if self.n_emitted % 2 == 0 else "5424"
+        if fmt == "5424":
+            return message.to_rfc5424()
+        return message.to_rfc3164()
 
     def load_trace(
         self, engine: EventEngine, messages: Sequence[SyslogMessage]

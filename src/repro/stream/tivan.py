@@ -116,6 +116,14 @@ class IngestReport:
     classified_degraded: int = 0
     #: degraded-mode enter+exit transitions during the run
     degrade_transitions: int = 0
+    #: broker-mode counters (zero when the run is push-mode)
+    broker_published: int = 0
+    broker_publish_refused: int = 0
+    broker_polled: int = 0
+    broker_lag: int = 0
+    broker_commits_lost: int = 0
+    broker_partition_stalls: int = 0
+    broker_partitions: int = 0
 
     @property
     def keeping_up(self) -> bool:
@@ -169,6 +177,22 @@ class TivanCluster:
         Copies per shard beyond the primary (replicated store only).
     write_quorum, read_quorum:
         W and R for the replicated store; default to majority.
+    via_broker:
+        Route the relay through a :class:`~repro.ingest.broker.LogBroker`
+        instead of pushing straight into the forwarder: the relay
+        *publishes* to per-host partitions and the forwarder(s) become
+        consumer-group members polling at their own pace.  Backpressure
+        is then broker lag, not relay drops.
+    broker_partitions:
+        Hash the hostname onto this many partitions instead of the
+        per-host layout (requires ``via_broker``; incompatible with
+        ``journal`` — only the per-host layout gives offsets that are a
+        pure function of the trace, which is what makes them durable
+        identities across crash and resume).
+    n_consumers:
+        Consumer-group members sharing the partitions (requires
+        ``via_broker``).  Durable runs require exactly one — the
+        journal models a single buffer.
     """
 
     def __init__(
@@ -189,6 +213,9 @@ class TivanCluster:
         store_replicas: int = 1,
         write_quorum: int | None = None,
         read_quorum: int | None = None,
+        via_broker: bool = False,
+        broker_partitions: int | None = None,
+        n_consumers: int = 1,
     ) -> None:
         if degrade_backlog is not None and degrade_backlog < 1:
             raise ValueError(
@@ -207,6 +234,27 @@ class TivanCluster:
             raise ValueError(
                 f"checkpoint_every_s must be positive, got {checkpoint_every_s}"
             )
+        if n_consumers < 1:
+            raise ValueError(f"n_consumers must be >= 1, got {n_consumers}")
+        if not via_broker:
+            if broker_partitions is not None:
+                raise ValueError("broker_partitions requires via_broker")
+            if n_consumers != 1:
+                raise ValueError("n_consumers > 1 requires via_broker")
+        elif journal is not None:
+            # durable identities are per-host trace ordinals; only the
+            # host partitioner keeps partition appends monotonic under
+            # the resume clock clamp, and the journal models one buffer
+            if broker_partitions is not None:
+                raise ValueError(
+                    "broker_partitions is incompatible with journal: durable "
+                    "broker runs require the per-host partition layout"
+                )
+            if n_consumers != 1:
+                raise ValueError(
+                    "durable broker runs require exactly one consumer, "
+                    f"got n_consumers={n_consumers}"
+                )
         self.engine = EventEngine()
         if store_nodes is not None:
             from repro.replication import ReplicatedLogStore
@@ -224,20 +272,43 @@ class TivanCluster:
             self.store = LogStore(n_shards=n_shards)
         self.journal = journal
         self.checkpoint_every_s = checkpoint_every_s
-        self.forwarder = FluentdForwarder(
-            engine=self.engine,
-            sink=self.store.bulk_index,
-            flush_interval_s=flush_interval_s,
-            batch_size=batch_size,
-            buffer_limit=buffer_limit,
-            overflow=overflow,
-            flush_retry_limit=flush_retry_limit,
-            fault_injector=fault_injector,
-            journal=journal,
+        self.broker = None
+        if via_broker:
+            from repro.ingest.broker import LogBroker
+
+            self.broker = LogBroker(
+                n_partitions=broker_partitions,
+                fault_injector=fault_injector,
+            )
+        self.consumers: list[FluentdForwarder] = [
+            FluentdForwarder(
+                engine=self.engine,
+                sink=self.store.bulk_index,
+                flush_interval_s=flush_interval_s,
+                batch_size=batch_size,
+                buffer_limit=buffer_limit,
+                overflow=overflow,
+                flush_retry_limit=flush_retry_limit,
+                fault_injector=fault_injector,
+                # the journal models a single buffer; with several
+                # consumers only the first may be durable (validated
+                # above: durable runs get exactly one)
+                journal=journal if i == 0 else None,
+                broker=self.broker,
+                consumer_member=f"fluentd-{i:02d}",
+            )
+            for i in range(n_consumers)
+        ]
+        #: the primary consumer — push-mode code paths address only this
+        self.forwarder = self.consumers[0]
+        self.relay = SyslogRelay(
+            downstream=self._publish if via_broker else self._offer
         )
-        self.relay = SyslogRelay(downstream=self._offer)
         self.daemons: dict[str, SyslogDaemon] = {}
         self._event_idx: dict[int, int] = {}
+        #: durable broker mode: trace position → (partition key, stable
+        #: per-host offset), computed over the *full* trace in load_events
+        self._event_pub: dict[int, tuple[str, int]] = {}
         self.degrade_backlog = degrade_backlog
         self.recover_backlog = recover_backlog
         self.degraded = False
@@ -259,6 +330,16 @@ class TivanCluster:
         stated over every generated message).
         """
         skip = set(skip)
+        if self.broker is not None and self.journal is not None:
+            # stable offsets: event i's offset is its per-host ordinal
+            # over the FULL trace (skipped events included), so a
+            # sparse resume republishes every event at the offset it
+            # had in its first life and committed offsets stay valid
+            ordinals: dict[str, int] = {}
+            for i, e in enumerate(events):
+                h = e.message.hostname
+                self._event_pub[i] = (h, ordinals.get(h, 0))
+                ordinals[h] = ordinals.get(h, 0) + 1
         messages = []
         for i, e in enumerate(events):
             if i in skip:
@@ -282,7 +363,8 @@ class TivanCluster:
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
         horizon = max(duration_s, self.engine.now)
-        self.forwarder.start()
+        for consumer in self.consumers:
+            consumer.start()
         if self._stage is not None:
             self.engine.schedule(0.0, self._classifier_tick)
         self._schedule_sampler(sample_every_s, horizon)
@@ -295,10 +377,13 @@ class TivanCluster:
         indexed_at_horizon = len(self.store)
         classified = self._stage.n_done if self._stage else 0
         # settle: drain remaining buffered messages into the index
-        drained = self.forwarder.drain() if self.forwarder.buffered else 0
+        if self.broker is not None:
+            drained = self._settle_broker()
+        else:
+            drained = self.forwarder.drain() if self.forwarder.buffered else 0
         if self.journal is not None:
             self.write_checkpoint()
-        return IngestReport(
+        report = IngestReport(
             duration_s=duration_s,
             produced=getattr(self, "_n_produced", 0),
             relay_received=self.relay.n_received,
@@ -311,6 +396,35 @@ class TivanCluster:
             classified_degraded=self._stage.n_degraded if self._stage else 0,
             degrade_transitions=self.n_degrade_transitions,
         )
+        if self.broker is not None:
+            bs = self.broker.stats
+            report.broker_published = bs.published
+            report.broker_publish_refused = bs.publish_refused
+            report.broker_polled = bs.polled
+            report.broker_lag = self.broker.lag(self.forwarder.consumer_group)
+            report.broker_commits_lost = bs.commits_lost
+            report.broker_partition_stalls = bs.stall_events
+            report.broker_partitions = len(self.broker.partitions)
+        return report
+
+    def _settle_broker(self) -> int:
+        """Post-horizon settle for broker mode.
+
+        Alternate poll and drain across every consumer until neither
+        moves: records still in the broker at the horizon (lag) are
+        consumed and flushed, exactly as push mode drains its buffer.
+        A stalled partition ends the loop with its lag intact — the
+        report carries it as ``broker_lag``.
+        """
+        drained = 0
+        while True:
+            polled = 0
+            for consumer in self.consumers:
+                polled += consumer.poll_broker()
+                if consumer.buffered:
+                    drained += consumer.drain()
+            if polled == 0 and all(not c.buffered for c in self.consumers):
+                return drained
 
     def write_checkpoint(self):
         """Write one atomic checkpoint of this durable run's state."""
@@ -327,6 +441,23 @@ class TivanCluster:
         return self.forwarder.offer(
             message, event_idx=self._event_idx.get(id(message))
         )
+
+    def _publish(self, message) -> bool:
+        """Relay downstream, broker mode: publish to the message's partition.
+
+        Durable runs publish at the event's stable per-host offset; a
+        refused publish (stalled partition) is journaled as a reject —
+        a recorded disposition, never republished on resume.
+        """
+        if self.journal is None:
+            return self.broker.publish(message) is not None
+        idx = self._event_idx.get(id(message))
+        key, offset = self._event_pub[idx]
+        record = self.broker.publish(message, key=key, ident=idx, offset=offset)
+        if record is None:
+            self.journal.reject(idx)
+            return False
+        return True
 
     def _schedule_checkpoint(self, horizon: float) -> None:
         every = self.checkpoint_every_s

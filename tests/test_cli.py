@@ -194,6 +194,68 @@ class TestSimulate:
         assert "Tivan overview" in out
         assert "categories" in out
 
+    def test_simulate_via_broker_reports_broker_line(self, model_dir, capsys):
+        assert main(["simulate", "--model-dir", str(model_dir),
+                     "--duration", "120", "--rate", "3",
+                     "--via-broker", "--consumers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "broker: partitions=" in out
+        assert "lag=0" in out
+        assert "keeping_up=True" in out
+
+    def test_broker_partitions_refused_with_wal_dir(self, model_dir, tmp_path):
+        with pytest.raises(SystemExit, match="incompatible"):
+            main(["simulate", "--model-dir", str(model_dir),
+                  "--duration", "60", "--rate", "2",
+                  "--via-broker", "--broker-partitions", "4",
+                  "--wal-dir", str(tmp_path / "wal")])
+
+
+class TestListen:
+    def test_loopback_smoke(self, tmp_path, capsys):
+        """`repro-syslog listen` on loopback: real sockets, real lines,
+        full accounting in the summary."""
+        import threading
+        import time
+
+        from repro.datagen.sender import send_tcp, send_udp, wire_lines
+        from repro.datagen.workload import standard_simulation_events
+
+        port_file = tmp_path / "ports.json"
+        result = {}
+
+        def run():
+            result["code"] = main([
+                "listen", "--max-messages", "120", "--duration", "30",
+                "--port-file", str(port_file),
+            ])
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not port_file.exists():
+            assert time.monotonic() < deadline, "listener never bound"
+            time.sleep(0.02)
+        time.sleep(0.1)
+        ports = json.loads(port_file.read_text())
+        events = standard_simulation_events(
+            duration_s=10, background_rate=20, seed=4
+        )
+        lines = wire_lines([e.message for e in events[:120]])
+        send_udp(("127.0.0.1", ports["udp"]), lines[:60])
+        send_tcp(("127.0.0.1", ports["tcp"]), lines[60:120])
+        thread.join(timeout=40)
+        assert not thread.is_alive(), "listen command did not exit"
+        assert result["code"] == 0
+        out = capsys.readouterr().out
+        assert "received=120" in out
+        assert "accounted=True" in out
+        assert "lag=0" in out
+
+    def test_rejects_no_transports(self):
+        with pytest.raises(SystemExit, match="at least one"):
+            main(["listen", "--udp-port", "-1", "--tcp-port", "-1"])
+
 
 class TestMetrics:
     def test_classify_writes_prometheus_file(self, model_dir, tmp_path, capsys):

@@ -1,6 +1,5 @@
 """Property-based fuzzing across module boundaries."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -243,6 +242,81 @@ class TestHostileInputProperties:
         fwd.drain()
         assert [m.text for m in sunk] == [m.text for m in msgs]
         assert fwd.stats.failed_flushes == raised[0]
+
+
+class TestRfcParserProperties:
+    """The wire parser is total: hostile bytes are quarantined with a
+    reason, never an escaped exception — the listener's DLQ contract."""
+
+    @staticmethod
+    def _never_raises(raw):
+        from repro.stream.rfc import safe_parse_line
+
+        message, error = safe_parse_line(raw)
+        assert (message is None) != (error is None)
+        if message is not None:
+            assert isinstance(message, SyslogMessage)
+        else:
+            assert isinstance(error, str) and error
+        return message, error
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_raise(self, blob):
+        self._never_raises(blob)
+
+    @given(st.integers(min_value=192, max_value=999))
+    @settings(max_examples=30, deadline=None)
+    def test_malformed_pri_rejected(self, pri):
+        """PRI above 191 is invalid per RFC 5424 — quarantined, not
+        mapped onto a bogus facility."""
+        message, error = self._never_raises(
+            f"<{pri}>Jan  1 00:00:00 h app: text".encode()
+        )
+        assert message is None
+        assert "PRI" in error
+
+    @given(
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bad_clock_fields_never_raise(self, h, m, s):
+        """Out-of-range HH:MM:SS parses only when it is a real clock."""
+        message, error = self._never_raises(
+            f"<34>Jan  1 {h:02d}:{m:02d}:{s:02d} h app: text".encode()
+        )
+        if h > 23 or m > 59 or s > 59:
+            assert message is None
+        else:
+            assert message is not None
+
+    @given(st.text(min_size=1, max_size=60), st.integers(min_value=1, max_value=59))
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_utf8_never_raises(self, text, cut):
+        line = f"<13>1 2023-01-01T00:00:00Z host app - - - {text}"
+        self._never_raises(line.encode("utf-8")[:cut])
+
+    @given(st.integers(min_value=8193, max_value=70_000))
+    @settings(max_examples=20, deadline=None)
+    def test_oversize_datagram_quarantined(self, size):
+        message, error = self._never_raises(b"A" * size)
+        assert message is None
+        assert error.startswith("oversize:")
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_nul_bytes_stripped_or_quarantined(self, positions):
+        base = bytearray(b"<34>Jan  1 00:00:00 cn001 kernel: link up")
+        for p in positions:
+            base.insert(min(p * 7, len(base)), 0)
+        self._never_raises(bytes(base))
+        # NULs at the edges are wire framing noise: stripped, parsed
+        message, error = self._never_raises(
+            b"\x00<34>Jan  1 00:00:00 cn001 kernel: link up\x00"
+        )
+        assert message is not None and message.text == "link up"
 
 
 class TestVectorizerClassifierProperty:

@@ -11,9 +11,11 @@ Subcommands
 ``classify``   classify messages (file or stdin) with a saved pipeline
 ``evaluate``   train/test evaluation report on a JSONL corpus
 ``tables``     regenerate paper artifacts (table1|table2|table3|fig3)
-``metrics``    pretty-print a metrics snapshot file (.prom or .json)
+``metrics``    pretty-print a metrics snapshot (file, WAL dir, or ops URL)
 ``simulate``   run the Tivan stream simulation (``--wal-dir`` = durable)
+``listen``     bind a real UDP/TCP syslog listener feeding the broker
 ``recover``    resume a killed durable simulation from its WAL directory
+``trace``      render cross-hop trace waterfalls (checkpoint or live server)
 
 Example
 -------
@@ -57,6 +59,24 @@ def _positive_int(value: str) -> int:
     if n < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {n}")
     return n
+
+
+def _add_telemetry_flags(p) -> None:
+    """The shared end-to-end telemetry knobs (simulate + listen)."""
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve /metrics, /health, and /trace/<id> on this "
+                        "port for the duration of the run (0 = ephemeral; "
+                        "the bound port is printed to stderr)")
+    p.add_argument("--trace-sample", type=float, default=0.0,
+                   help="fraction of accepted messages carrying a cross-hop "
+                        "trace context, 0..1 (default 0 = tracing off)")
+    p.add_argument("--trace-seed", type=int, default=0,
+                   help="seed of the deterministic sampling decision "
+                        "(same seed + same message ordinal = same verdict)")
+    p.add_argument("--slo-file", type=Path, default=None,
+                   help="JSON list of SLO targets driving the /metrics "
+                        "burn gauges (default: built-in e2e/loss/quorum "
+                        "targets; requires --metrics-port)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,11 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics",
         help="pretty-print a metrics snapshot written with --metrics-out",
     )
-    p.add_argument("snapshot", type=Path,
+    p.add_argument("snapshot",
                    help="snapshot file (.prom/.txt Prometheus text, "
-                        "or the JSON form), or a durable-run WAL "
+                        "or the JSON form), a durable-run WAL "
                         "directory (renders the newest checkpoint's "
-                        "embedded metrics)")
+                        "embedded metrics), or the http://host:port "
+                        "URL of a --metrics-port ops server")
+    p.add_argument("--watch", type=_positive_int, default=None, metavar="N",
+                   help="re-read the source and re-render every N "
+                        "seconds until interrupted")
+    p.add_argument("--count", type=_positive_int, default=None,
+                   help="with --watch: stop after this many renders")
 
     p = sub.add_parser("tables", help="regenerate a paper artifact")
     p.add_argument("artifact", choices=["table1", "table2", "table3", "fig3"])
@@ -189,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--consumers", type=_positive_int, default=1,
                    help="consumer-group members sharing the partitions "
                         "(requires --via-broker; durable runs need 1)")
+    _add_telemetry_flags(p)
 
     p = sub.add_parser(
         "listen",
@@ -217,7 +244,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop once this many lines were received")
     p.add_argument("--port-file", type=Path, default=None,
                    help="write the bound ports as JSON once listening "
-                        "(handshake for scripted senders)")
+                        "(handshake for scripted senders; includes the "
+                        "metrics port when --metrics-port is set)")
+    _add_telemetry_flags(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="render cross-hop trace waterfalls from a durable run "
+             "or a live ops server",
+    )
+    p.add_argument("trace_id", nargs="?", default=None,
+                   help="32-hex trace id to render (default: list the "
+                        "traces the source holds)")
+    p.add_argument("--wal-dir", type=Path, default=None,
+                   help="durable-run WAL directory; spans come from the "
+                        "newest checkpoint (run with --trace-sample > 0)")
+    p.add_argument("--url", default=None,
+                   help="http://host:port of a running --metrics-port "
+                        "ops server (fetches /trace endpoints)")
+    p.add_argument("--limit", type=_positive_int, default=10,
+                   help="traces listed when no trace id is given")
 
     p = sub.add_parser(
         "recover",
@@ -407,29 +453,62 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
-def _cmd_metrics(args) -> int:
-    from repro.monitor.dashboard import render_metrics_panel
-    from repro.obs import load_snapshot
+def _http_get(url: str) -> str:
+    from urllib.request import urlopen
 
-    if not args.snapshot.exists():
-        raise SystemExit(f"{args.snapshot}: no such snapshot file")
-    if args.snapshot.is_dir():
+    try:
+        with urlopen(url, timeout=10.0) as resp:
+            return resp.read().decode("utf-8")
+    except OSError as e:
+        raise SystemExit(f"{url}: {e}")
+
+
+def _render_metrics_source(source: str) -> str:
+    """One metrics render from a file, WAL directory, or ops URL."""
+    from repro.monitor.dashboard import render_metrics_panel
+    from repro.obs import load_snapshot, parse_prometheus
+
+    if source.startswith(("http://", "https://")):
+        url = source.rstrip("/")
+        if not url.endswith("/metrics"):
+            url += "/metrics"
+        return render_metrics_panel(parse_prometheus(_http_get(url)), title=url)
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(f"{path}: no such snapshot file")
+    if path.is_dir():
         # a durable-run WAL directory: render the metrics snapshot the
         # newest valid checkpoint carries
         from repro.durability import load_latest_checkpoint
 
-        payload, path = load_latest_checkpoint(args.snapshot)
+        payload, ckpt = load_latest_checkpoint(path)
         if payload is None:
-            raise SystemExit(
-                f"{args.snapshot}: no valid checkpoint in directory"
-            )
-        print(render_metrics_panel(payload["metrics"], title=str(path)))
-        return 0
+            raise SystemExit(f"{path}: no valid checkpoint in directory")
+        return render_metrics_panel(payload["metrics"], title=str(ckpt))
     try:
-        snapshot = load_snapshot(args.snapshot)
+        snapshot = load_snapshot(path)
     except ValueError as e:
-        raise SystemExit(f"{args.snapshot}: {e}")
-    print(render_metrics_panel(snapshot, title=str(args.snapshot)))
+        raise SystemExit(f"{path}: {e}")
+    return render_metrics_panel(snapshot, title=str(path))
+
+
+def _cmd_metrics(args) -> int:
+    import itertools
+    import time
+
+    try:
+        for i in itertools.count():
+            if i:
+                time.sleep(args.watch)
+                if sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+            print(_render_metrics_source(args.snapshot))
+            if args.watch is None:
+                break
+            if args.count is not None and i + 1 >= args.count:
+                break
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -473,6 +552,26 @@ def _cmd_tables(args) -> int:
             [[r.name, r.weighted_f1, r.train_s, r.test_s] for r in rows],
         ))
     return 0
+
+
+def _start_ops(args):
+    """Started :class:`OpsServer` from ``--metrics-port``, or None."""
+    port = getattr(args, "metrics_port", None)
+    if port is None:
+        return None
+    from repro.obs import OpsServer, SloTracker, default_slos, load_slo_file
+
+    slo_path = getattr(args, "slo_file", None)
+    try:
+        targets = load_slo_file(slo_path) if slo_path else default_slos()
+    except (OSError, ValueError, KeyError) as e:
+        raise SystemExit(f"{slo_path}: bad SLO file: {e}")
+    server = OpsServer(port=port, slo_tracker=SloTracker(targets)).start()
+    print(
+        f"ops: serving /metrics /health /trace at {server.url}",
+        file=sys.stderr,
+    )
+    return server
 
 
 def _build_injector(args):
@@ -535,6 +634,8 @@ def _run_simulation(args):
             read_quorum=getattr(args, "read_quorum", None),
             via_broker=bool(getattr(args, "via_broker", False)),
             n_consumers=getattr(args, "consumers", 1),
+            trace_sample=getattr(args, "trace_sample", 0.0),
+            trace_seed=getattr(args, "trace_seed", 0),
         ).save(wal_dir)
         cluster, config, journal = resume_simulation(wal_dir, injector=injector)
         report = cluster.run(duration + 30.0)
@@ -560,6 +661,8 @@ def _run_simulation(args):
         via_broker=bool(getattr(args, "via_broker", False)),
         broker_partitions=getattr(args, "broker_partitions", None),
         n_consumers=getattr(args, "consumers", 1),
+        trace_sample=getattr(args, "trace_sample", 0.0),
+        trace_seed=getattr(args, "trace_seed", 0),
     )
     cluster.load_events(events)
 
@@ -583,7 +686,14 @@ def _run_simulation(args):
 def _cmd_simulate(args) -> int:
     from repro.monitor.dashboard import render_overview
 
-    cluster, report, injector = _run_simulation(args)
+    server = _start_ops(args)
+    try:
+        cluster, report, injector = _run_simulation(args)
+    finally:
+        # the ops thread exists to be scraped *during* the run; stop it
+        # before printing so a crash mid-simulation also tears it down
+        if server is not None:
+            server.stop()
     print(
         f"produced={report.produced} indexed={report.indexed} "
         f"classified={report.classified} backlog={report.final_backlog} "
@@ -706,6 +816,14 @@ def _cmd_listen(args) -> int:
     if args.udp_port < 0 and args.tcp_port < 0:
         raise SystemExit("at least one of --udp-port/--tcp-port must be enabled")
 
+    sampler = None
+    m_e2e = None
+    if args.trace_sample > 0.0:
+        from repro.obs import TraceSampler, wellknown
+
+        sampler = TraceSampler(args.trace_sample, seed=args.trace_seed)
+        m_e2e = wellknown.e2e_latency_seconds().labels()
+
     broker = LogBroker(n_partitions=args.partitions)
     store = LogStore()
     listener = SyslogListener(
@@ -716,15 +834,19 @@ def _cmd_listen(args) -> int:
         rate_limit=args.rate_limit,
         burst=args.burst,
         max_line_bytes=args.max_line_bytes,
+        trace_sampler=sampler,
     )
+    server = _start_ops(args)
 
     async def serve() -> None:
         await listener.start()
         ports = {
             "udp": listener.udp_address[1] if listener.udp_address else None,
             "tcp": listener.tcp_address[1] if listener.tcp_address else None,
+            "metrics": server.port if server is not None else None,
         }
-        print(f"listening: udp={ports['udp']} tcp={ports['tcp']}")
+        print(f"listening: udp={ports['udp']} tcp={ports['tcp']} "
+              f"metrics={ports['metrics']}")
         if args.port_file is not None:
             args.port_file.write_text(json.dumps(ports) + "\n")
         loop = asyncio.get_running_loop()
@@ -732,18 +854,36 @@ def _cmd_listen(args) -> int:
             loop.time() + args.duration if args.duration is not None else None
         )
         def consume() -> None:
+            import time
+
+            from repro.obs import record_hop
+
             records = broker.poll("cli", "cli-0", max_records=1 << 20)
             high: dict[str, int] = {}
             for record in records:
                 store.index(record.message)
+                if record.ctx is not None:
+                    # no forwarder on this path — the consumer loop
+                    # itself is the poll and index hops
+                    now = time.time()
+                    hop = record_hop(record.ctx, "broker.poll", now,
+                                     group="cli")
+                    record_hop(hop, "store.index", now, docs=1)
+                    m_e2e.observe(now - record.ctx.origin_s)
                 high[record.partition] = record.offset + 1
             for partition, next_offset in high.items():
                 broker.commit("cli", partition, next_offset)
 
+        # batched listener counters flush on a timer too, so /metrics
+        # scrapes see trickle traffic, not just every-1024th-line syncs
+        next_sync = loop.time() + 1.0
         try:
             while True:
                 await asyncio.sleep(0.05)
                 consume()
+                if loop.time() >= next_sync:
+                    listener.sync_metrics()
+                    next_sync = loop.time() + 1.0
                 if deadline is not None and loop.time() >= deadline:
                     break
                 if (
@@ -762,6 +902,9 @@ def _cmd_listen(args) -> int:
         asyncio.run(serve())
     except KeyboardInterrupt:
         pass
+    finally:
+        if server is not None:
+            server.stop()
     s = listener.stats
     print(
         f"received={s.received} (udp={s.received_udp} tcp={s.received_tcp}) "
@@ -776,6 +919,69 @@ def _cmd_listen(args) -> int:
     )
     if len(listener.dead_letters):
         print(f"dead_letters={len(listener.dead_letters)}")
+    return 0
+
+
+def _print_trace_index(index: list, *, limit: int) -> None:
+    if not index:
+        print("(no traces)")
+        return
+    shown = sorted(index, key=lambda r: (-r["hops"], r["trace_id"]))[:limit]
+    print(f"{len(index)} trace(s); showing {len(shown)} "
+          f"(pass a trace id for its waterfall)")
+    for row in shown:
+        print(f"  {row['trace_id']}  hops={row['hops']} "
+              f"span={row['span_s']:.3f}s  {' > '.join(row['names'])}")
+
+
+def _cmd_trace(args) -> int:
+    """Render trace waterfalls from a checkpoint or a live ops server."""
+    from repro.obs import Tracer, render_waterfall
+
+    if (args.wal_dir is None) == (args.url is None):
+        raise SystemExit("exactly one of --wal-dir/--url is required")
+
+    if args.url is not None:
+        base = args.url.rstrip("/")
+        if args.trace_id:
+            body = _http_get(f"{base}/trace/{args.trace_id}")
+            print(body, end="" if body.endswith("\n") else "\n")
+        else:
+            _print_trace_index(json.loads(_http_get(f"{base}/trace")),
+                               limit=args.limit)
+        return 0
+
+    from repro.durability import load_latest_checkpoint
+
+    payload, path = load_latest_checkpoint(args.wal_dir)
+    if payload is None:
+        raise SystemExit(f"{args.wal_dir}: no valid checkpoint in directory")
+    spans = payload.get("spans") or []
+    if not spans:
+        raise SystemExit(
+            f"{path}: checkpoint carries no trace spans "
+            f"(simulate with --trace-sample > 0)"
+        )
+    tracer = Tracer()
+    tracer.adopt(spans)
+    traces = tracer.traces()
+    if args.trace_id:
+        if args.trace_id not in traces:
+            raise SystemExit(f"trace {args.trace_id}: not found in {path}")
+        print(render_waterfall(traces[args.trace_id]))
+        return 0
+    index = []
+    for trace_id, trace_spans in sorted(traces.items()):
+        starts = [s.start_s for s in trace_spans]
+        ends = [s.end_s if s.end_s is not None else s.start_s
+                for s in trace_spans]
+        index.append({
+            "trace_id": trace_id,
+            "hops": len(trace_spans),
+            "names": sorted({s.name for s in trace_spans}),
+            "span_s": max(ends) - min(starts),
+        })
+    _print_trace_index(index, limit=args.limit)
     return 0
 
 
@@ -796,6 +1002,7 @@ _HANDLERS = {
     "tables": _cmd_tables,
     "simulate": _cmd_simulate,
     "listen": _cmd_listen,
+    "trace": _cmd_trace,
     "recover": _cmd_recover,
     "assist": _cmd_assist,
     "report": _cmd_report,

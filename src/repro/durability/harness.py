@@ -58,7 +58,7 @@ def child_main(argv: list[str] | None = None) -> int:
     report = cluster.run(horizon)
     conservation = reconcile(journal.state, report.produced)
     journal.wal.close()
-    (args.wal_dir / REPORT_FILENAME).write_text(json.dumps({
+    payload = {
         "produced": report.produced,
         "indexed": report.indexed,
         "classified": report.classified,
@@ -66,9 +66,49 @@ def child_main(argv: list[str] | None = None) -> int:
         "relay_received": report.relay_received,
         "relay_dropped": report.relay_dropped,
         "conservation": asdict(conservation),
-    }, indent=2, sort_keys=True) + "\n")
+    }
+    if config.trace_sample > 0:
+        payload["traces"] = _trace_report(config)
+    (args.wal_dir / REPORT_FILENAME).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     print(conservation.render())
     return 0 if conservation.ok else 1
+
+
+def _trace_report(config: SimConfig) -> dict:
+    """Summarize cross-hop trace continuity for the child's report.
+
+    ``complete`` counts traces covering every spine hop; a trace whose
+    tail spans were recorded after the last checkpoint of a killed
+    generation loses those hops, so callers assert ``complete >= 1``,
+    not completeness for all.  ``multiprocess`` counts traces whose
+    hops were recorded by more than one pid — the direct evidence that
+    stitching crossed a process boundary.
+    """
+    from repro.obs import default_registry, default_tracer, trace_is_complete
+
+    traces = default_tracer().traces()
+    complete = 0
+    multiprocess = 0
+    for spans in traces.values():
+        if trace_is_complete({s.name for s in spans}, journal=True):
+            complete += 1
+        if len({s.attributes.get("pid") for s in spans}) > 1:
+            multiprocess += 1
+    snap = default_registry().snapshot()
+    e2e_count = sum(
+        int(sample["count"])
+        for fam in snap["metrics"]
+        if fam["name"] == "repro_e2e_latency_seconds"
+        for sample in fam["samples"]
+    )
+    return {
+        "total": len(traces),
+        "complete": complete,
+        "multiprocess": multiprocess,
+        "e2e_observations": e2e_count,
+    }
 
 
 def run_child(

@@ -400,6 +400,11 @@ class SimConfig:
     #: durable broker runs require the host partitioner and one consumer
     via_broker: bool = False
     n_consumers: int = 1
+    #: cross-hop trace sampling (0.0 disables); the seed keys the
+    #: deterministic per-event decision, so a resumed process re-traces
+    #: the same messages with the same trace IDs
+    trace_sample: float = 0.0
+    trace_seed: int = 0
 
     def events(self):
         """Regenerate the deterministic trace this config describes."""
@@ -442,7 +447,7 @@ class SimConfig:
 def build_checkpoint_payload(cluster) -> dict:
     """Snapshot a running durable cluster as a JSON-ready payload."""
     from repro.faults.dlq import entry_to_dict
-    from repro.obs import default_registry
+    from repro.obs import default_registry, default_tracer
     from repro.obs.wellknown import declare_all
 
     journal = cluster.journal
@@ -474,6 +479,9 @@ def build_checkpoint_payload(cluster) -> dict:
             "dlq": [entry_to_dict(e) for e in cluster.forwarder.dead_letters],
         },
         "metrics": default_registry().snapshot(),
+        # hop spans accumulate across generations: each resumed child
+        # re-adopts them, so one trace survives any number of SIGKILLs
+        "spans": default_tracer().export(clear=False),
     }
 
 
@@ -591,7 +599,7 @@ def resume_simulation(wal_dir: str | Path, *, injector=None):
     from repro.core.message import SyslogMessage
     from repro.core.taxonomy import Category
     from repro.faults.dlq import DeadLetter, entry_from_dict
-    from repro.obs import restore_snapshot
+    from repro.obs import default_tracer, restore_snapshot
     from repro.stream.fluentd import ABANDON_SITE, OVERFLOW_SITE
     from repro.stream.tivan import TivanCluster
 
@@ -629,6 +637,8 @@ def resume_simulation(wal_dir: str | Path, *, injector=None):
         read_quorum=config.read_quorum,
         via_broker=config.via_broker,
         n_consumers=config.n_consumers,
+        trace_sample=config.trace_sample,
+        trace_seed=config.trace_seed,
     )
     stage = _build_stage(config, injector)
     cluster.attach_classifier(stage)
@@ -638,6 +648,9 @@ def resume_simulation(wal_dir: str | Path, *, injector=None):
     if checkpoint is not None:
         cluster.engine.now = float(checkpoint["sim_time"])
         restore_snapshot(checkpoint["metrics"])
+        # re-adopt the previous generations' hop spans so this
+        # process's tracer holds the full cross-crash traces
+        default_tracer().adopt(checkpoint.get("spans") or [])
         cl = checkpoint["cluster"]
         stats = cluster.forwarder.stats
         for name, value in cl["stats"].items():

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -225,6 +226,7 @@ class WriteAheadLog:
         self._m_append_kind: dict = {}
         self._m_bytes = wellknown.wal_bytes(registry).labels()
         self._m_last_seq = wellknown.wal_last_seq(registry).labels()
+        self._m_fsync_seconds = wellknown.wal_fsync_seconds(registry).labels()
 
         _records, self.recovery = _scan(self.directory, repair=True)
         if self.recovery.truncated_bytes:
@@ -300,7 +302,9 @@ class WriteAheadLog:
     # -- internals ---------------------------------------------------------
 
     def _fsync(self) -> None:
+        t0 = time.perf_counter()
         os.fsync(self._fh.fileno())
+        self._m_fsync_seconds.observe(time.perf_counter() - t0)
         self._appends_since_sync = 0
         self._m_fsyncs.inc()
 

@@ -48,6 +48,7 @@ Fault sites (armed via :class:`repro.faults.FaultPlan`):
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -59,6 +60,7 @@ from repro.faults.plan import (
     FaultInjector,
 )
 from repro.obs import wellknown
+from repro.obs.propagation import TraceContext, record_hop
 
 __all__ = [
     "BrokerRecord",
@@ -72,6 +74,10 @@ __all__ = [
 
 DEFAULT_SEGMENT_RECORDS = 4096
 
+#: publish-side registry syncs are batched; any poll flushes the
+#: remainder, so scrapes lag a publish burst by at most one poll cycle
+_PUBLISH_SYNC_EVERY = 1024
+
 
 @dataclass(frozen=True, slots=True)
 class BrokerRecord:
@@ -80,12 +86,18 @@ class BrokerRecord:
     ``ident`` carries the durable identity of the message (its trace
     position) when the publisher is journal-backed; consumers hand it
     to the journal so accept records survive the broker hop.
+    ``ctx`` is the cross-hop trace context for head-sampled messages
+    (chained past the publish hop); ``pub_s`` is the broker-clock
+    publish time every record carries, the base of queue-age and
+    lag-age signals.
     """
 
     partition: str
     offset: int
     message: SyslogMessage
     ident: int | None = None
+    ctx: TraceContext | None = None
+    pub_s: float | None = None
 
 
 class Partition:
@@ -203,6 +215,7 @@ class LogBroker:
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
         fault_injector: FaultInjector | None = None,
         registry=None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if partitioner is not None and n_partitions is not None:
             raise ValueError("pass either partitioner or n_partitions, not both")
@@ -216,14 +229,21 @@ class LogBroker:
         self.stats = BrokerStats()
         self._stalled: str | None = None
         self._lock = threading.Lock()
-        self._m_published = wellknown.broker_published(registry)
-        self._m_refused = wellknown.broker_publish_refused(registry)
+        self._clock = clock
+        # publish runs per message: bind the unlabeled children once,
+        # and batch the published counter (listener-style) — a registry
+        # increment per record would dominate the telemetry budget
+        self._pub_unsynced = 0
+        self._m_published = wellknown.broker_published(registry).labels()
+        self._m_refused = wellknown.broker_publish_refused(registry).labels()
         self._m_polled = wellknown.broker_polled(registry)
         self._m_commits = wellknown.broker_commits(registry)
-        self._m_commits_lost = wellknown.broker_commits_lost(registry)
+        self._m_commits_lost = wellknown.broker_commits_lost(registry).labels()
         self._m_lag = wellknown.broker_lag(registry)
-        self._m_partitions = wellknown.broker_partitions(registry)
-        self._m_stalls = wellknown.broker_partition_stalls(registry)
+        self._m_lag_age = wellknown.broker_lag_age_seconds(registry)
+        self._m_partitions = wellknown.broker_partitions(registry).labels()
+        self._m_stalls = wellknown.broker_partition_stalls(registry).labels()
+        self._m_queue_age = wellknown.broker_queue_age_seconds(registry).labels()
 
     # -- publishing ----------------------------------------------------
 
@@ -234,6 +254,7 @@ class LogBroker:
         key: str | None = None,
         ident: int | None = None,
         offset: int | None = None,
+        ctx: TraceContext | None = None,
     ) -> BrokerRecord | None:
         """Append ``message`` to its partition.
 
@@ -241,7 +262,9 @@ class LogBroker:
         stalled (the caller must count the refusal — nothing here is
         silent).  ``offset`` pins an explicit (sparse) offset for
         durable replay; omitted, the partition's next dense offset is
-        used.
+        used.  ``ctx`` attaches a sampled trace context: the publish
+        hop is recorded and the stored record carries the chained
+        context for the consumer side.
         """
         key = key if key is not None else self.partitioner(message)
         with self._lock:
@@ -264,15 +287,25 @@ class LogBroker:
                     key, segment_records=self.segment_records
                 )
                 self._m_partitions.set(len(self.partitions))
+            pub_s = self._clock()
+            if ctx is not None:
+                ctx = record_hop(
+                    ctx, "broker.publish", pub_s, partition=key
+                )
             record = BrokerRecord(
                 partition=key,
                 offset=offset if offset is not None else part.next_offset,
                 message=message,
                 ident=ident,
+                ctx=ctx,
+                pub_s=pub_s,
             )
             part.append(record)
             self.stats.published += 1
-            self._m_published.inc()
+            self._pub_unsynced += 1
+            if self._pub_unsynced >= _PUBLISH_SYNC_EVERY:
+                self._m_published.inc(self._pub_unsynced)
+                self._pub_unsynced = 0
             return record
 
     # -- consumer groups -----------------------------------------------
@@ -326,6 +359,9 @@ class LogBroker:
             if member not in g.members:
                 g.members.append(member)
                 g.members.sort()
+            if self._pub_unsynced:
+                self._m_published.inc(self._pub_unsynced)
+                self._pub_unsynced = 0
             assigned = self._assignment(group, member)
             if not assigned:
                 return []
@@ -348,6 +384,20 @@ class LogBroker:
             if out:
                 self.stats.polled += len(out)
                 self._m_polled.inc(len(out), group=group)
+                # queue-age dwell: sampled (traced) records only, so the
+                # histogram costs nothing on the untraced hot path
+                now: float | None = None
+                for rec in out:
+                    if rec.ctx is not None and rec.pub_s is not None:
+                        if now is None:
+                            now = self._clock()
+                        self._m_queue_age.observe(now - rec.pub_s)
+            # the lag gauges scan every partition, so they refresh once
+            # per poll — not on each per-partition commit — and only
+            # when a live registry will actually keep the value
+            if self._m_lag.live:
+                self._m_lag.set(self._lag(g), group=group)
+                self._m_lag_age.set(self._lag_age(g), group=group)
             return out
 
     def commit(self, group: str, partition: str, offset: int) -> bool:
@@ -371,7 +421,6 @@ class LogBroker:
                 g.committed[partition] = offset
             self.stats.commits += 1
             self._m_commits.inc(group=group)
-            self._m_lag.set(self._lag(g), group=group)
             return True
 
     def committed(self, group: str, partition: str) -> int:
@@ -405,6 +454,30 @@ class LogBroker:
             max(0, p.next_offset - g.committed.get(key, 0))
             for key, p in self.partitions.items()
         )
+
+    def _lag_age(self, g: ConsumerGroup) -> float:
+        """Age of the group's oldest uncommitted record, in clock seconds.
+
+        Lag in *records* says how much is queued; lag in *seconds* says
+        how stale the consumer is — the signal an autoscaler actually
+        wants.  0.0 when fully caught up.
+        """
+        now = self._clock()
+        oldest: float | None = None
+        for key, p in self.partitions.items():
+            committed = g.committed.get(key, 0)
+            if p.next_offset <= committed:
+                continue
+            head = p.read_from(committed, 1)
+            if head and head[0].pub_s is not None:
+                if oldest is None or head[0].pub_s < oldest:
+                    oldest = head[0].pub_s
+        return 0.0 if oldest is None else max(0.0, now - oldest)
+
+    def lag_age(self, group: str) -> float:
+        """Public wrapper: oldest-uncommitted-record age for ``group``."""
+        with self._lock:
+            return self._lag_age(self._group(group))
 
     def lag(self, group: str) -> int:
         """Records published but not yet committed by ``group``.

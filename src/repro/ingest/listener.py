@@ -130,6 +130,10 @@ class SyslogListener:
         Size cap; longer input is quarantined, not truncated.
     on_message:
         Optional tap called with each accepted :class:`SyslogMessage`.
+    trace_sampler:
+        Optional :class:`~repro.obs.propagation.TraceSampler`; sampled
+        accepts start a cross-hop trace (keyed by the accept ordinal)
+        whose context rides the broker record downstream.
     """
 
     def __init__(
@@ -147,6 +151,7 @@ class SyslogListener:
         on_message=None,
         clock=time.monotonic,
         registry=None,
+        trace_sampler=None,
     ) -> None:
         self.broker = broker
         self.host = host
@@ -156,6 +161,13 @@ class SyslogListener:
         self.injector = fault_injector
         self.dead_letters = dead_letters if dead_letters is not None else DeadLetterQueue()
         self.on_message = on_message
+        self.trace_sampler = trace_sampler
+        # the next accept ordinal the sampler will trace (inf: never):
+        # the untraced majority costs one int comparison on accept
+        self._next_traced = (
+            trace_sampler.next_sampled_after(0)
+            if trace_sampler is not None else float("inf")
+        )
         self.bucket = TokenBucket(rate_limit, burst, clock=clock) if rate_limit else None
         self.stats = ListenerStats()
         self.udp_address: tuple[str, int] | None = None
@@ -284,8 +296,19 @@ class SyslogListener:
             )
             return
         stats.accepted += 1
+        ctx = None
+        # keyed by the accept ordinal: deterministic under a fixed
+        # seed, so replays re-trace the same messages
+        if stats.accepted >= self._next_traced:
+            sampler = self.trace_sampler
+            ctx = sampler.begin(
+                stats.accepted,
+                proto="udp" if udp else "tcp",
+                host=message.hostname,
+            )
+            self._next_traced = sampler.next_sampled_after(stats.accepted)
         if self.broker is not None:
-            record = self.broker.publish(message)
+            record = self.broker.publish(message, ctx=ctx)
             if record is None:
                 stats.publish_refused += 1
                 self.dead_letters.push(
@@ -297,6 +320,15 @@ class SyslogListener:
             self.on_message(message)
 
     # -- metrics -------------------------------------------------------
+
+    def sync_metrics(self) -> None:
+        """Flush pending stat deltas to the registry now.
+
+        The accept path batches registry writes every ``_SYNC_EVERY``
+        lines; a serving loop with a live ``/metrics`` endpoint calls
+        this periodically so scrapes see trickle traffic too.
+        """
+        self._sync_metrics()
 
     def _sync_metrics(self) -> None:
         """Publish the delta since the last sync into the registry."""

@@ -117,6 +117,26 @@ def _fmt_labels(labels: dict) -> str:
     return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
 
 
+#: panel section -> wellknown family-name prefixes, in display order
+_PANEL_SECTIONS = (
+    ("pipeline", ("repro_pipeline_", "repro_shard_")),
+    ("stream", ("repro_stream_",)),
+    ("ingest", ("repro_ingest_",)),
+    ("broker", ("repro_broker_",)),
+    ("store", ("repro_store_",)),
+    ("durability", ("repro_wal_", "repro_checkpoint_")),
+    ("faults", ("repro_faults_",)),
+    ("e2e + slo", ("repro_e2e_", "repro_trace_", "repro_slo_")),
+)
+
+
+def _panel_section(name: str) -> str:
+    for section, prefixes in _PANEL_SECTIONS:
+        if name.startswith(prefixes):
+            return section
+    return "other"
+
+
 def render_metrics_panel(source, *, title: str = "metrics") -> str:
     """Live registry state as a terminal panel (the Grafana stand-in).
 
@@ -126,6 +146,12 @@ def render_metrics_panel(source, *, title: str = "metrics") -> str:
     plus a per-second rate over the registry's uptime when known;
     histograms render a sparkline over their log-scale buckets with
     count/mean and interpolated p50/p95/p99.
+
+    Families are grouped into subsystem sections (pipeline, stream,
+    ingest, broker, store, durability, faults, e2e + slo) by their
+    wellknown name prefix; names outside the scheme land in ``other``.
+    Section headers are omitted when everything is unprefixed, so
+    ad-hoc registries render as a flat panel.
     """
     from repro.obs.metrics import histogram_quantile
 
@@ -135,15 +161,16 @@ def render_metrics_panel(source, *, title: str = "metrics") -> str:
     if uptime is not None:
         header += f"  (uptime {uptime:.1f}s)"
     lines = [header]
-    name_rows: list[tuple[str, str]] = []
+    name_rows: list[tuple[str, str, str]] = []
     for metric in snapshot["metrics"]:
         kind = metric["type"]
+        section = _panel_section(metric["name"])
         for sample in metric["samples"]:
             label = f"{metric['name']}{_fmt_labels(sample.get('labels', {}))}"
             if kind == "histogram":
                 count = sample.get("count", 0)
                 if not count:
-                    name_rows.append((label, "(no observations)"))
+                    name_rows.append((section, label, "(no observations)"))
                     continue
                 # cumulative -> per-bucket counts for the sparkline,
                 # trimmed to the occupied range so shape is visible
@@ -162,6 +189,7 @@ def render_metrics_panel(source, *, title: str = "metrics") -> str:
                 p50, p95, p99 = (histogram_quantile(buckets, q)
                                  for q in (0.5, 0.95, 0.99))
                 name_rows.append((
+                    section,
                     label,
                     f"[{spark}] n={count} mean={mean:.3g} "
                     f"p50={p50:.3g} p95={p95:.3g} p99={p99:.3g}",
@@ -171,11 +199,20 @@ def render_metrics_panel(source, *, title: str = "metrics") -> str:
                 text = _fmt_metric_value(value)
                 if kind == "counter" and uptime:
                     text += f"  ({value / uptime:.2f}/s)"
-                name_rows.append((label, text))
+                name_rows.append((section, label, text))
     if not name_rows:
         return header + "\n(no metrics)"
-    name_w = max(len(n) for n, _ in name_rows)
-    lines += [f"{name:<{name_w}}  {body}" for name, body in name_rows]
+    name_w = max(len(n) for _s, n, _ in name_rows)
+    order = [s for s, _p in _PANEL_SECTIONS] + ["other"]
+    grouped = {s: [r for r in name_rows if r[0] == s] for s in order}
+    flat = all(s == "other" for s, _n, _b in name_rows)
+    for section in order:
+        rows = grouped[section]
+        if not rows:
+            continue
+        if not flat:
+            lines.append(f"-- {section} --")
+        lines += [f"{name:<{name_w}}  {body}" for _s, name, body in rows]
     return "\n".join(lines)
 
 

@@ -14,13 +14,21 @@ writes into:
   parent links and cross-process propagation (the sharded executor
   stitches worker spans into one trace),
 - :mod:`repro.obs.wellknown` — the single home of every metric family
-  the pipeline, executor, and Tivan stream layer emit.
+  the pipeline, executor, and Tivan stream layer emit,
+- :mod:`repro.obs.propagation` — cross-hop trace contexts: seedable
+  head sampling at listener accept, hop spans chained through broker /
+  forwarder / store / WAL, surviving SIGKILL+resume,
+- :mod:`repro.obs.slo` — declarative SLO targets (latency quantiles,
+  loss ratios) evaluated from the registry with error-budget gauges,
+- :mod:`repro.obs.httpd` — the stdlib ``/metrics`` + ``/health`` +
+  ``/trace/<id>`` HTTP thread behind ``--metrics-port``.
 
 Instrumented code resolves the process-wide default registry/tracer at
 write time, so swapping them (:func:`use_registry`,
 :func:`set_default_tracer`) redirects all telemetry without re-wiring.
 """
 
+from repro.obs.httpd import OpsServer
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -36,6 +44,26 @@ from repro.obs.metrics import (
     set_default_registry,
     use_registry,
     write_snapshot,
+)
+from repro.obs.propagation import (
+    TraceContext,
+    TraceSampler,
+    carried,
+    carrying,
+    derive_trace_id,
+    record_hop,
+    render_waterfall,
+    trace_is_complete,
+)
+from repro.obs.slo import (
+    SloStatus,
+    SloTarget,
+    SloTracker,
+    default_slos,
+    load_slo_file,
+    quantile_slo,
+    ratio_slo,
+    render_slo_panel,
 )
 from repro.obs.trace import (
     Span,
@@ -65,4 +93,21 @@ __all__ = [
     "default_tracer",
     "set_default_tracer",
     "render_trace",
+    "TraceContext",
+    "TraceSampler",
+    "derive_trace_id",
+    "record_hop",
+    "carrying",
+    "carried",
+    "render_waterfall",
+    "trace_is_complete",
+    "SloTarget",
+    "SloStatus",
+    "SloTracker",
+    "quantile_slo",
+    "ratio_slo",
+    "default_slos",
+    "load_slo_file",
+    "render_slo_panel",
+    "OpsServer",
 ]

@@ -78,6 +78,12 @@ class _Child:
 
     __slots__ = ("_family",)
 
+    #: real metrics record what they are given; instrumented code may
+    #: check this before *computing* an expensive value (a gauge that
+    #: scans a data structure, say) so a :class:`NullRegistry` skips
+    #: the computation too, not just the write
+    live = True
+
     def __init__(self, family: "_Family") -> None:
         self._family = family
 
@@ -149,6 +155,8 @@ class _Family:
 
     kind = "untyped"
     _child_cls: type = _Child
+    #: see :attr:`_Child.live`
+    live = True
 
     def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
         if not _NAME_RE.match(name):
@@ -389,6 +397,9 @@ class MetricsRegistry:
 
 class _NullMetric:
     """A metric that forgets everything; answers every family API."""
+
+    #: lets callers skip computing values that would be thrown away
+    live = False
 
     def labels(self, **labels: str) -> "_NullMetric":
         return self

@@ -83,6 +83,16 @@ __all__ = [
     "broker_lag",
     "broker_partitions",
     "broker_partition_stalls",
+    "trace_sampled",
+    "e2e_latency_seconds",
+    "broker_queue_age_seconds",
+    "broker_lag_age_seconds",
+    "poll_to_flush_seconds",
+    "wal_fsync_seconds",
+    "slo_value",
+    "slo_target",
+    "slo_compliant",
+    "slo_budget_remaining",
     "declare_all",
 ]
 
@@ -633,6 +643,98 @@ def broker_partition_stalls(registry: MetricsRegistry | None = None) -> Counter:
     )
 
 
+# -- end-to-end telemetry (tracing, latency, SLOs) ----------------------
+
+
+def trace_sampled(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages head-sampled into a cross-hop trace."""
+    return _reg(registry).counter(
+        "repro_trace_sampled_total",
+        "Messages head-sampled into a cross-hop trace at accept time",
+    )
+
+
+def e2e_latency_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: accept-to-indexed seconds for sampled messages."""
+    return _reg(registry).histogram(
+        "repro_e2e_latency_seconds",
+        "Listener-accept to store-indexed seconds for sampled messages",
+    )
+
+
+def broker_queue_age_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: publish-to-poll dwell of sampled records in the broker."""
+    return _reg(registry).histogram(
+        "repro_broker_queue_age_seconds",
+        "Publish-to-poll dwell seconds of sampled records in broker "
+        "partitions",
+    )
+
+
+def broker_lag_age_seconds(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: age of the oldest uncommitted record, per consumer group."""
+    return _reg(registry).gauge(
+        "repro_broker_lag_age_seconds",
+        "Age in seconds of the oldest record published but not yet "
+        "committed by the consumer group",
+        labels=("group",),
+    )
+
+
+def poll_to_flush_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: forwarder-buffer dwell (poll/offer to flushed)."""
+    return _reg(registry).histogram(
+        "repro_stream_poll_to_flush_seconds",
+        "Seconds a sampled message dwelt in the forwarder buffer between "
+        "poll/offer and a successful flush",
+    )
+
+
+def wal_fsync_seconds(registry: MetricsRegistry | None = None) -> Histogram:
+    """Histogram: wall-clock seconds per WAL fsync call."""
+    return _reg(registry).histogram(
+        "repro_wal_fsync_seconds",
+        "Wall-clock seconds per write-ahead-log fsync call",
+    )
+
+
+def slo_value(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: current observed value of each declared SLO."""
+    return _reg(registry).gauge(
+        "repro_slo_value",
+        "Current observed value of the declared SLO",
+        labels=("slo",),
+    )
+
+
+def slo_target(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: declared target (threshold) of each SLO."""
+    return _reg(registry).gauge(
+        "repro_slo_target",
+        "Declared threshold the SLO's observed value must stay under",
+        labels=("slo",),
+    )
+
+
+def slo_compliant(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: 1 while the SLO meets its target, else 0."""
+    return _reg(registry).gauge(
+        "repro_slo_compliant",
+        "1 while the SLO's observed value meets its target, else 0",
+        labels=("slo",),
+    )
+
+
+def slo_budget_remaining(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: fraction of the SLO's error budget still unburned."""
+    return _reg(registry).gauge(
+        "repro_slo_error_budget_remaining",
+        "Fraction of the SLO's error budget still unburned "
+        "(1 - value/target, clamped to [-1, 1])",
+        labels=("slo",),
+    )
+
+
 def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
     """Register every well-known family; returns the registry.
 
@@ -661,7 +763,10 @@ def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
         ingest_parse_errors, ingest_oversize, ingest_publish_refused,
         broker_published, broker_publish_refused, broker_polled,
         broker_commits, broker_commits_lost, broker_lag, broker_partitions,
-        broker_partition_stalls,
+        broker_partition_stalls, trace_sampled, e2e_latency_seconds,
+        broker_queue_age_seconds, broker_lag_age_seconds,
+        poll_to_flush_seconds, wal_fsync_seconds, slo_value, slo_target,
+        slo_compliant, slo_budget_remaining,
     ):
         factory(registry)
     return registry

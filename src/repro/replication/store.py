@@ -40,6 +40,7 @@ from collections.abc import Sequence
 from repro.core.message import Severity, SyslogMessage
 from repro.core.taxonomy import Category
 from repro.faults.plan import SITE_NODE_DOWN, SITE_NODE_SLOW, SITE_PARTITION
+from repro.obs.propagation import carried, record_hop
 from repro.replication.health import BREAKER_CLOSED, CircuitBreaker
 from repro.replication.node import StoreNode
 from repro.replication.placement import ShardPlacement
@@ -326,7 +327,17 @@ class ReplicatedLogStore:
                     )
                 else:
                     self._hint(owner, doc_id)
-        self._m_write_seconds.observe(time.perf_counter() - t0)
+        wall = time.perf_counter() - t0
+        self._m_write_seconds.observe(wall)
+        ctxs, clock = carried()
+        if ctxs:
+            now = clock()
+            for ctx in ctxs:
+                record_hop(
+                    ctx, "store.quorum_write", now,
+                    docs=len(messages), quorum=self.write_quorum,
+                    wall_ms=round(wall * 1e3, 3),
+                )
         return True
 
     def index(self, message: SyslogMessage, category: Category | None = None) -> int:

@@ -33,12 +33,14 @@ offsets re-delivers only uncommitted messages (at-least-once).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.message import SyslogMessage
 from repro.faults.dlq import DeadLetterQueue
 from repro.faults.plan import SITE_FLUSH_FAIL
+from repro.obs.propagation import carrying, record_hop
 from repro.stream.events import EventEngine
 
 __all__ = ["FluentdForwarder", "ForwarderStats", "OVERFLOW_POLICIES"]
@@ -153,6 +155,8 @@ class FluentdForwarder:
     broker: object = None
     consumer_group: str = "fluentd"
     consumer_member: str = "member-0"
+    #: trace/dwell clock; ``None`` means the engine's simulated now
+    clock: Callable[[], float] | None = None
 
     stats: ForwarderStats = field(default_factory=ForwarderStats)
     #: overflow/abandon captures land here with their reason
@@ -163,6 +167,9 @@ class FluentdForwarder:
     #: broker mode: (partition, offset) per buffered message, or None
     #: for entries that arrived via offer()/preload() (never committed)
     _offsets: list = field(default_factory=list, init=False, repr=False)
+    #: per buffered message: (TraceContext, entered_s) for sampled
+    #: messages, None otherwise — mirrors every _buffer mutation
+    _ctxs: list = field(default_factory=list, init=False, repr=False)
     _retry_delay: float = field(default=0.0, init=False, repr=False)
     _consecutive_failures: int = field(default=0, init=False, repr=False)
     _started: bool = field(default=False, init=False, repr=False)
@@ -195,6 +202,10 @@ class FluentdForwarder:
         self._m_flush_size = wellknown.fluentd_flush_size()
         self._m_flushed = wellknown.fluentd_flushed_messages()
         self._m_dropped = wellknown.fluentd_dropped()
+        self._m_poll_to_flush = wellknown.poll_to_flush_seconds().labels()
+        self._m_e2e = wellknown.e2e_latency_seconds().labels()
+        if self.clock is None:
+            self.clock = lambda: self.engine.now
         if self.broker is not None:
             self.broker.subscribe(self.consumer_group, self.consumer_member)
 
@@ -204,7 +215,13 @@ class FluentdForwarder:
             self._started = True
             self.engine.schedule(self.flush_interval_s, self._flush_tick)
 
-    def offer(self, message: SyslogMessage, *, event_idx: int | None = None) -> bool:
+    def offer(
+        self,
+        message: SyslogMessage,
+        *,
+        event_idx: int | None = None,
+        ctx=None,
+    ) -> bool:
         """Accept a message into the buffer; False when rejected.
 
         A full buffer applies :attr:`overflow`: ``block`` returns False
@@ -223,6 +240,8 @@ class FluentdForwarder:
                 del self._buffer[0]
                 if self._offsets:
                     del self._offsets[0]
+                if self._ctxs:
+                    del self._ctxs[0]
                 self.stats.evicted += 1
                 self._m_dropped.inc()
             elif self.overflow == "dead_letter":
@@ -244,6 +263,7 @@ class FluentdForwarder:
         self._buffer.append(message)
         if self.broker is not None:
             self._offsets.append(None)
+        self._ctxs.append((ctx, self.clock()) if ctx is not None else None)
         self.stats.accepted += 1
         self.stats.max_buffer_seen = max(self.stats.max_buffer_seen, len(self._buffer))
         self._m_buffer_depth.set(len(self._buffer))
@@ -269,11 +289,24 @@ class FluentdForwarder:
         records = self.broker.poll(
             self.consumer_group, self.consumer_member, max_records=room
         )
+        now: float | None = None
         for rec in records:
             if self.journal is not None:
                 self.journal.accept(rec.ident, rec.message)
             self._buffer.append(rec.message)
             self._offsets.append((rec.partition, rec.offset))
+            if rec.ctx is not None:
+                if now is None:
+                    now = self.clock()
+                self._ctxs.append((
+                    record_hop(
+                        rec.ctx, "broker.poll", now,
+                        group=self.consumer_group, member=self.consumer_member,
+                    ),
+                    now,
+                ))
+            else:
+                self._ctxs.append(None)
             self.stats.accepted += 1
         if records:
             self.stats.max_buffer_seen = max(
@@ -355,12 +388,26 @@ class FluentdForwarder:
             self._consecutive_failures = 0
             return 0
         batch = self._buffer[: self.batch_size]
-        if self._attempt_sink(batch):
+        traced = [e for e in self._ctxs[: len(batch)] if e is not None]
+        if traced:
+            # the store picks the contexts up via carried() and records
+            # its own hop against the same clock
+            sink_start = self.clock()
+            with carrying([c for c, _ in traced], self.clock):
+                ok = self._attempt_sink(batch)
+        else:
+            sink_start = 0.0
+            ok = self._attempt_sink(batch)
+        if ok:
             offsets = (
                 self._batch_offsets(len(batch)) if self.broker is not None else None
             )
+            wal_ms = 0.0
             if self.journal is not None:
+                wal_t0 = time.perf_counter() if traced else 0.0
                 self.journal.flushed(len(batch), offsets=offsets)
+                if traced:
+                    wal_ms = (time.perf_counter() - wal_t0) * 1e3
             if offsets:
                 # journal first, broker second: the journal is the
                 # durable truth; a commit the broker loses (the
@@ -371,6 +418,7 @@ class FluentdForwarder:
             del self._buffer[: len(batch)]
             if self.broker is not None:
                 del self._offsets[: len(batch)]
+            del self._ctxs[: len(batch)]
             self.stats.flushed_batches += 1
             self.stats.flushed_messages += len(batch)
             self._retry_delay = 0.0
@@ -378,6 +426,18 @@ class FluentdForwarder:
             self._m_buffer_depth.set(len(self._buffer))
             self._m_flush_size.set(len(batch))
             self._m_flushed.inc(len(batch))
+            if traced:
+                now = self.clock()
+                for ctx, entered_s in traced:
+                    self._m_poll_to_flush.observe(now - entered_s)
+                    hop = record_hop(
+                        ctx, "fluentd.flush", sink_start, now, batch=len(batch)
+                    )
+                    if self.journal is not None:
+                        record_hop(
+                            hop, "wal.append", now, wall_ms=round(wal_ms, 3)
+                        )
+                    self._m_e2e.observe(now - ctx.origin_s)
             return len(batch)
         self.stats.failed_flushes += 1
         self._consecutive_failures += 1
@@ -414,6 +474,7 @@ class FluentdForwarder:
         del self._buffer[: len(batch)]
         if self.broker is not None:
             del self._offsets[: len(batch)]
+        del self._ctxs[: len(batch)]
         self.stats.abandoned_flushes += 1
         self.stats.abandoned_messages += len(batch)
         for pos, message in enumerate(batch):
@@ -471,6 +532,7 @@ class FluentdForwarder:
             self._buffer.append(m)
             if self.broker is not None:
                 self._offsets.append(None)
+            self._ctxs.append(None)
             n += 1
         self.stats.max_buffer_seen = max(
             self.stats.max_buffer_seen, len(self._buffer)

@@ -19,6 +19,7 @@ internals, so :class:`LogStore` implements:
 from __future__ import annotations
 
 import bisect
+import time
 from collections import Counter, defaultdict
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -135,10 +136,27 @@ class LogStore:
         the whole batch cleanly: the exception propagates with the
         store unchanged, the forwarder counts a failed flush, and the
         batch stays buffered for retry — no half-indexed flush.
+
+        When the caller carries sampled trace contexts
+        (:func:`repro.obs.propagation.carrying`), a ``store.index`` hop
+        is recorded per context — the cross-hop trace's store stop on
+        the single-node path.
         """
+        from repro.obs.propagation import carried, record_hop
+
+        ctxs, clock = carried()
+        wall_t0 = time.perf_counter() if ctxs else 0.0
         analyzed = [self._analyze(m.text) for m in messages]
         for m, toks in zip(messages, analyzed):
             self.index(m, _tokens=toks)
+        if ctxs:
+            now = clock()
+            wall_ms = (time.perf_counter() - wall_t0) * 1e3
+            for ctx in ctxs:
+                record_hop(
+                    ctx, "store.index", now,
+                    docs=len(messages), wall_ms=round(wall_ms, 3),
+                )
         return True
 
     def set_category(self, doc_id: int, category: Category) -> None:

@@ -193,6 +193,14 @@ class TivanCluster:
         Consumer-group members sharing the partitions (requires
         ``via_broker``).  Durable runs require exactly one — the
         journal models a single buffer.
+    trace_sample:
+        Fraction of messages head-sampled into a cross-hop trace
+        (relay → broker → consumer → store → WAL).  Sampling is keyed
+        by the message's trace position under ``trace_seed``, so a
+        resumed run re-traces exactly the same messages and their
+        trace IDs match across the crash.
+    trace_seed:
+        Seed for the deterministic sampling/ID derivation.
     """
 
     def __init__(
@@ -216,6 +224,8 @@ class TivanCluster:
         via_broker: bool = False,
         broker_partitions: int | None = None,
         n_consumers: int = 1,
+        trace_sample: float = 0.0,
+        trace_seed: int = 0,
     ) -> None:
         if degrade_backlog is not None and degrade_backlog < 1:
             raise ValueError(
@@ -272,6 +282,13 @@ class TivanCluster:
             self.store = LogStore(n_shards=n_shards)
         self.journal = journal
         self.checkpoint_every_s = checkpoint_every_s
+        self.sampler = None
+        if trace_sample > 0.0:
+            from repro.obs.propagation import TraceSampler
+
+            self.sampler = TraceSampler(
+                trace_sample, seed=trace_seed, clock=lambda: self.engine.now
+            )
         self.broker = None
         if via_broker:
             from repro.ingest.broker import LogBroker
@@ -279,6 +296,7 @@ class TivanCluster:
             self.broker = LogBroker(
                 n_partitions=broker_partitions,
                 fault_injector=fault_injector,
+                clock=lambda: self.engine.now,
             )
         self.consumers: list[FluentdForwarder] = [
             FluentdForwarder(
@@ -434,13 +452,28 @@ class TivanCluster:
 
     # -- internals ---------------------------------------------------------
 
+    def _begin_trace(self, message, idx):
+        """Head-sample at relay accept, keyed by trace position.
+
+        The key is the event's position in the deterministic trace, so
+        a resumed process (same seed) re-derives the same decisions and
+        the same trace IDs — continuity across SIGKILL.
+        """
+        if (
+            self.sampler is None
+            or idx is None
+            or not self.sampler.sample_ordinal(idx)
+        ):
+            return None
+        return self.sampler.begin(idx, host=message.hostname)
+
     def _offer(self, message) -> bool:
         """Relay downstream: forward with the message's trace identity."""
+        idx = self._event_idx.get(id(message))
+        ctx = self._begin_trace(message, idx)
         if self.journal is None:
-            return self.forwarder.offer(message)
-        return self.forwarder.offer(
-            message, event_idx=self._event_idx.get(id(message))
-        )
+            return self.forwarder.offer(message, ctx=ctx)
+        return self.forwarder.offer(message, event_idx=idx, ctx=ctx)
 
     def _publish(self, message) -> bool:
         """Relay downstream, broker mode: publish to the message's partition.
@@ -449,11 +482,14 @@ class TivanCluster:
         refused publish (stalled partition) is journaled as a reject —
         a recorded disposition, never republished on resume.
         """
-        if self.journal is None:
-            return self.broker.publish(message) is not None
         idx = self._event_idx.get(id(message))
+        ctx = self._begin_trace(message, idx)
+        if self.journal is None:
+            return self.broker.publish(message, ctx=ctx) is not None
         key, offset = self._event_pub[idx]
-        record = self.broker.publish(message, key=key, ident=idx, offset=offset)
+        record = self.broker.publish(
+            message, key=key, ident=idx, offset=offset, ctx=ctx
+        )
         if record is None:
             self.journal.reject(idx)
             return False

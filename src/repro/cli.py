@@ -61,6 +61,17 @@ def _positive_int(value: str) -> int:
     return n
 
 
+def _add_cache_flags(p) -> None:
+    """The template-dedup cache knobs (classify + simulate + listen)."""
+    p.add_argument("--template-cache", action="store_true",
+                   help="memoize classify results per masked template "
+                        "(exact: cached and uncached results are "
+                        "bit-for-bit identical)")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="template-cache LRU capacity (default 4096; "
+                        "0 disables)")
+
+
 def _add_telemetry_flags(p) -> None:
     """The shared end-to-end telemetry knobs (simulate + listen)."""
     p.add_argument("--metrics-port", type=int, default=None,
@@ -100,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-features", type=int, default=2000)
     p.add_argument("--blacklist", action="store_true",
                    help="attach the §5.1 noise blacklist pre-filter")
+    p.add_argument("--hashing", action="store_true",
+                   help="use the stateless hashed-feature vectorizer "
+                        "instead of a learned TF-IDF vocabulary")
 
     p = sub.add_parser("classify", help="classify messages with a saved pipeline")
     p.add_argument("--model-dir", type=Path, required=True)
@@ -118,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", type=Path, default=None,
                    help="write a metrics snapshot on exit (Prometheus "
                         "text for .prom/.txt, JSON otherwise)")
+    _add_cache_flags(p)
 
     p = sub.add_parser("evaluate", help="train/test evaluation on a corpus")
     p.add_argument("--corpus", type=Path, required=True)
@@ -215,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--consumers", type=_positive_int, default=1,
                    help="consumer-group members sharing the partitions "
                         "(requires --via-broker; durable runs need 1)")
+    _add_cache_flags(p)
     _add_telemetry_flags(p)
 
     p = sub.add_parser(
@@ -246,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the bound ports as JSON once listening "
                         "(handshake for scripted senders; includes the "
                         "metrics port when --metrics-port is set)")
+    p.add_argument("--model-dir", type=Path, default=None,
+                   help="classify consumed messages with this saved "
+                        "pipeline and store their categories")
+    _add_cache_flags(p)
     _add_telemetry_flags(p)
 
     p = sub.add_parser(
@@ -350,11 +370,16 @@ def _cmd_train(args) -> int:
     from repro.buckets.blacklist import BlacklistFilter
     from repro.core.pipeline import ClassificationPipeline
     from repro.core.serialize import save_pipeline
-    from repro.textproc.tfidf import TfidfVectorizer
+    from repro.textproc.tfidf import HashingVectorizer, TfidfVectorizer
 
     texts, labels = _read_corpus(args.corpus)
+    vectorizer = (
+        HashingVectorizer()
+        if args.hashing
+        else TfidfVectorizer(max_features=args.max_features)
+    )
     pipe = ClassificationPipeline(
-        vectorizer=TfidfVectorizer(max_features=args.max_features),
+        vectorizer=vectorizer,
         classifier=_CLASSIFIERS[args.classifier](),
         blacklist=BlacklistFilter(threshold=3) if args.blacklist else None,
     )
@@ -393,6 +418,14 @@ def _emit_result(result, *, jsonl: bool) -> None:
     print(f"{result.category.value}{conf}{flag}\t{result.text}")
 
 
+def _attach_cache(pipe, args) -> None:
+    """Attach a :class:`TemplateCache` when ``--template-cache`` is set."""
+    if getattr(args, "template_cache", False):
+        from repro.core.template_cache import TemplateCache
+
+        pipe.template_cache = TemplateCache(max_entries=args.cache_size)
+
+
 def _cmd_classify(args) -> int:
     from contextlib import ExitStack, nullcontext
 
@@ -400,6 +433,9 @@ def _cmd_classify(args) -> int:
     from repro.runtime import MessageBatch, ShardedExecutor
 
     pipe = load_pipeline(args.model_dir)
+    # attached before the executor exists, so sharded workers each
+    # inherit their own per-worker copy of the cache
+    _attach_cache(pipe, args)
     with ExitStack() as stack:
         runner = pipe
         if args.workers > 1:
@@ -416,6 +452,33 @@ def _cmd_classify(args) -> int:
                 _emit_result(result, jsonl=args.jsonl)
     if args.timing:
         print(pipe.timing_report().render(), file=sys.stderr)
+        if pipe.template_cache is not None:
+            if args.workers > 1:
+                # the workers hold the caches; their counter deltas are
+                # mirrored into the parent registry under worker=<pid>,
+                # so sum across every worker label
+                from repro.obs import wellknown
+
+                def _total(family) -> int:
+                    return int(sum(c.value for _, c in family().samples()))
+
+                hits = _total(wellknown.template_cache_hits)
+                misses = _total(wellknown.template_cache_misses)
+                st = {
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": hits / max(1, hits + misses),
+                    "size": _total(wellknown.template_cache_size),
+                    "evictions": _total(wellknown.template_cache_evictions),
+                }
+            else:
+                st = pipe.template_cache.stats()
+            print(
+                f"template cache: hits={st['hits']} misses={st['misses']} "
+                f"hit_rate={st['hit_rate']:.3f} size={st['size']} "
+                f"evictions={st['evictions']}",
+                file=sys.stderr,
+            )
     if args.metrics_out:
         _write_metrics(args.metrics_out)
     return 0
@@ -636,6 +699,11 @@ def _run_simulation(args):
             n_consumers=getattr(args, "consumers", 1),
             trace_sample=getattr(args, "trace_sample", 0.0),
             trace_seed=getattr(args, "trace_seed", 0),
+            template_cache=(
+                getattr(args, "cache_size", 4096)
+                if getattr(args, "template_cache", False)
+                else None
+            ),
         ).save(wal_dir)
         cluster, config, journal = resume_simulation(wal_dir, injector=injector)
         report = cluster.run(duration + 30.0)
@@ -643,6 +711,7 @@ def _run_simulation(args):
         return cluster, report, injector
 
     pipe = load_pipeline(args.model_dir)
+    _attach_cache(pipe, args)
     if injector is not None:
         pipe.fault_injector = injector
     events = standard_simulation_events(
@@ -712,6 +781,21 @@ def _cmd_simulate(args) -> int:
         print(
             f"degraded: classified_degraded={report.classified_degraded} "
             f"transitions={report.degrade_transitions}"
+        )
+    if getattr(args, "template_cache", False):
+        import os
+
+        from repro.obs import wellknown
+
+        worker = str(os.getpid())
+        hits = wellknown.template_cache_hits().value(worker=worker)
+        misses = wellknown.template_cache_misses().value(worker=worker)
+        total = hits + misses
+        print(
+            f"template cache: hits={int(hits)} misses={int(misses)} "
+            f"hit_rate={hits / total if total else 0.0:.3f} "
+            f"evictions="
+            f"{int(wellknown.template_cache_evictions().value(worker=worker))}"
         )
     if cluster.broker is not None:
         print(
@@ -824,6 +908,13 @@ def _cmd_listen(args) -> int:
         sampler = TraceSampler(args.trace_sample, seed=args.trace_seed)
         m_e2e = wellknown.e2e_latency_seconds().labels()
 
+    pipe = None
+    if args.model_dir is not None:
+        from repro.core.serialize import load_pipeline
+
+        pipe = load_pipeline(args.model_dir)
+        _attach_cache(pipe, args)
+
     broker = LogBroker(n_partitions=args.partitions)
     store = LogStore()
     listener = SyslogListener(
@@ -860,8 +951,9 @@ def _cmd_listen(args) -> int:
 
             records = broker.poll("cli", "cli-0", max_records=1 << 20)
             high: dict[str, int] = {}
+            doc_ids: list[int] = []
             for record in records:
-                store.index(record.message)
+                doc_ids.append(store.index(record.message))
                 if record.ctx is not None:
                     # no forwarder on this path — the consumer loop
                     # itself is the poll and index hops
@@ -871,6 +963,10 @@ def _cmd_listen(args) -> int:
                     record_hop(hop, "store.index", now, docs=1)
                     m_e2e.observe(now - record.ctx.origin_s)
                 high[record.partition] = record.offset + 1
+            if pipe is not None and records:
+                texts = [record.message.text for record in records]
+                for doc_id, result in zip(doc_ids, pipe.classify_batch(texts)):
+                    store.set_category(doc_id, result.category)
             for partition, next_offset in high.items():
                 broker.commit("cli", partition, next_offset)
 
@@ -917,6 +1013,15 @@ def _cmd_listen(args) -> int:
         f"published={broker.stats.published} polled={broker.stats.polled} "
         f"lag={broker.lag('cli')} indexed={len(store)}"
     )
+    if pipe is not None:
+        line = f"classified={pipe.n_classified}"
+        if pipe.template_cache is not None:
+            st = pipe.template_cache.stats()
+            line += (
+                f" cache_hits={st['hits']} cache_misses={st['misses']} "
+                f"hit_rate={st['hit_rate']:.3f}"
+            )
+        print(line)
     if len(listener.dead_letters):
         print(f"dead_letters={len(listener.dead_letters)}")
     return 0

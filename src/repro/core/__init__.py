@@ -11,6 +11,7 @@ of the legacy bucketing approach, §3).
 from repro.core.taxonomy import Category, CATEGORIES, TAXONOMY, CategorySpec
 from repro.core.message import SyslogMessage, parse_syslog_line, Severity, Facility
 from repro.core.pipeline import ClassificationPipeline, PipelineResult
+from repro.core.template_cache import TemplateCache
 from repro.core.alerts import AlertRule, AlertRouter, Alert, EmailSink, MemorySink
 from repro.core.drift import DriftMonitor, DriftReport
 from repro.core.registry import ModelRegistry, ModelRecord
@@ -28,6 +29,7 @@ __all__ = [
     "Facility",
     "ClassificationPipeline",
     "PipelineResult",
+    "TemplateCache",
     "AlertRule",
     "AlertRouter",
     "Alert",

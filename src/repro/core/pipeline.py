@@ -10,6 +10,7 @@ keeps up with the message arrival rate (§5's feasibility argument).
 
 from __future__ import annotations
 
+import os
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -17,10 +18,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.taxonomy import Category
+from repro.core.template_cache import TemplateCache
 from repro.faults.dlq import DeadLetterQueue
 from repro.faults.plan import SITE_POISON, InjectedFault
 from repro.runtime.batch import MessageBatch
 from repro.runtime.timing import StageReport, StageTimer
+from repro.textproc.fingerprint import TemplateFingerprinter
 from repro.textproc.tfidf import TfidfVectorizer
 
 __all__ = ["ClassificationPipeline", "PipelineResult"]
@@ -84,6 +87,16 @@ class ClassificationPipeline:
         ``pipeline.poison`` it condemns individual messages so the
         quarantine path can be exercised deterministically.  Never
         consulted when ``None`` (the production default).
+    template_cache:
+        Optional :class:`~repro.core.template_cache.TemplateCache`.
+        When attached, ``classify_batch`` memoizes the final
+        ``(category, confidence)`` per masked template and only sends
+        cache misses through the model stage.  The cache key is the
+        exact masked text, so a hit reproduces the model's answer
+        bit-for-bit; blacklist, poison-salvage, and quarantine
+        semantics are preserved exactly (filtered/quarantined results
+        are never cached, poison-injected messages bypass the cache),
+        and ``fit`` invalidates atomically via the generation stamp.
     """
 
     vectorizer: TfidfVectorizer = field(default_factory=TfidfVectorizer)
@@ -91,6 +104,7 @@ class ClassificationPipeline:
     blacklist: object = None
     blacklist_coverage: float = 0.9
     fault_injector: object = None
+    template_cache: TemplateCache | None = None
 
     #: poison messages parked here with their exception context
     dead_letters: DeadLetterQueue = field(
@@ -102,6 +116,12 @@ class ClassificationPipeline:
     n_classified: int = field(default=0, init=False)
     #: per-stage (filter/normalize/vectorize/predict/route) accounting
     timer: StageTimer = field(default_factory=StageTimer, init=False, repr=False)
+    #: bumped by every successful ``fit``; stamps the template cache so
+    #: a refit atomically invalidates memoized results
+    _generation: int = field(default=0, init=False, repr=False)
+    _fingerprinter: TemplateFingerprinter | None = field(
+        default=None, init=False, repr=False
+    )
 
     def fit(self, texts: Sequence[str], labels: Sequence[Category]) -> "ClassificationPipeline":
         """Fit vectorizer and classifier on a labelled corpus.
@@ -147,6 +167,12 @@ class ClassificationPipeline:
         X = self.vectorizer.fit_transform(texts)
         self.classifier.fit(X, y)
         self._fitted = True
+        # a refit changes what the model would answer: bump the
+        # generation so an attached template cache clears atomically on
+        # its next lookup, and rebuild the fingerprinter in case the
+        # vectorizer's normalization changed
+        self._generation += 1
+        self._fingerprinter = None
         return self
 
     def classify(self, text: str) -> PipelineResult:
@@ -173,6 +199,13 @@ class ClassificationPipeline:
         offenders are quarantined — dead-lettered with their exception
         context and returned as fail-closed UNIMPORTANT results with
         ``quarantined=True``.  Exactly one result per input, always.
+
+        With a :attr:`template_cache` attached, messages whose masked
+        template was already classified are served from the cache under
+        a ``fingerprint`` stage and only misses run the model stages —
+        same results, bit-for-bit (see
+        ``tests/test_template_cache.py``), at a fraction of the cost on
+        skewed workloads.
         """
         if not self._fitted:
             raise RuntimeError("ClassificationPipeline used before fit")
@@ -201,7 +234,11 @@ class ClassificationPipeline:
         if to_model:
             model_texts = [texts[i] for i in to_model]
             poisoned = self._poisoned_indices(len(model_texts))
-            if poisoned:
+            if self.template_cache is not None:
+                cats, confs, condemned = self._model_stage_cached(
+                    model_texts, poisoned, self.template_cache
+                )
+            elif poisoned:
                 cats, confs, condemned = self._model_salvage(model_texts, poisoned)
             else:
                 try:
@@ -223,7 +260,9 @@ class ClassificationPipeline:
                             text=texts[i],
                             category=_as_category(cats[j]),
                             confidence=(
-                                float(confs[j]) if confs is not None else None
+                                float(confs[j])
+                                if confs is not None and confs[j] is not None
+                                else None
                             ),
                         )
         elapsed = time.perf_counter() - t0
@@ -252,6 +291,93 @@ class ClassificationPipeline:
             if hasattr(self.classifier, "predict_proba"):
                 probs = self.classifier.predict_proba(X).max(axis=1)
         return preds, probs
+
+    def _template_keys(self, texts: Sequence[str]) -> list[str]:
+        """Template-cache keys: the exact masked form of each text."""
+        fp = self._fingerprinter
+        if fp is None:
+            fp = self._fingerprinter = TemplateFingerprinter.for_vectorizer(
+                self.vectorizer
+            )
+        return fp.mask_many(texts)
+
+    def _model_stage_cached(self, model_texts, poisoned: set[int], cache):
+        """Template-dedup front of the model stage.
+
+        Returns the same ``(cats, confs, condemned)`` contract as the
+        uncached paths, with hits served from ``cache`` and only misses
+        sent through :meth:`_model_stage` / :meth:`_model_salvage`.
+        Soundness: the key is the exact masked text, and everything the
+        model stage computes is a deterministic per-row function of it,
+        so a hit replays precisely what the miss path stored.  Poisoned
+        indices never read nor write the cache (the injector decision
+        is positional, not textual), and quarantined results are never
+        stored.
+        """
+        n = len(model_texts)
+        before = cache.counters()
+        cache.sync_generation(self._generation)
+        with self.timer.stage("fingerprint", n):
+            keys = self._template_keys(model_texts)
+        cats: list = [None] * n
+        confs: list = [None] * n
+        condemned: dict[int, Exception] = {}
+        miss_j: list[int] = []
+        for j in range(n):
+            if j in poisoned:
+                miss_j.append(j)
+                continue
+            entry = cache.get(keys[j])
+            if entry is None:
+                miss_j.append(j)
+            else:
+                cats[j], confs[j] = entry
+        if miss_j:
+            miss_texts = [model_texts[j] for j in miss_j]
+            miss_poisoned = {k for k, j in enumerate(miss_j) if j in poisoned}
+            if miss_poisoned:
+                m_cats, m_confs, m_condemned = self._model_salvage(
+                    miss_texts, miss_poisoned
+                )
+            else:
+                try:
+                    m_cats, m_confs = self._model_stage(miss_texts)
+                    m_condemned = {}
+                except Exception:
+                    m_cats, m_confs, m_condemned = self._model_salvage(
+                        miss_texts, set()
+                    )
+            for k, j in enumerate(miss_j):
+                if k in m_condemned:
+                    condemned[j] = m_condemned[k]
+                    continue
+                # store the *converted* result so hits skip the
+                # label→Category and numpy→float conversions too
+                conf = m_confs[k] if m_confs is not None else None
+                cats[j] = _as_category(m_cats[k])
+                confs[j] = float(conf) if conf is not None else None
+                if j not in poisoned:
+                    cache.put(keys[j], (cats[j], confs[j]))
+        self._record_cache_metrics(cache, before)
+        return cats, confs, condemned
+
+    def _record_cache_metrics(self, cache, before: dict) -> None:
+        """Mirror one batch's cache counter deltas into the registry."""
+        from repro.obs import wellknown
+
+        registry = self.timer.registry
+        worker = str(os.getpid())
+        after = cache.counters()
+        for name, family in (
+            ("hits", wellknown.template_cache_hits),
+            ("misses", wellknown.template_cache_misses),
+            ("evictions", wellknown.template_cache_evictions),
+            ("invalidations", wellknown.template_cache_invalidations),
+        ):
+            delta = after[name] - before[name]
+            if delta:
+                family(registry).inc(delta, worker=worker)
+        wellknown.template_cache_size(registry).set(len(cache), worker=worker)
 
     def _model_salvage(self, model_texts, poisoned: set[int]):
         """Per-message fallback when the columnar path cannot run.

@@ -31,7 +31,7 @@ from repro.ml.knn import KNeighborsClassifier
 from repro.ml.linear import LogisticRegression, RidgeClassifier
 from repro.ml.sgd import SGDClassifier
 from repro.ml.svm import LinearSVC
-from repro.textproc.tfidf import TfidfVectorizer
+from repro.textproc.tfidf import HashingVectorizer, TfidfVectorizer
 from repro.textproc.vocab import Vocabulary
 
 __all__ = [
@@ -238,6 +238,19 @@ def _rebuild_classifier(name, manifest, arrays, classes, directory):
 
 
 def _save_vectorizer(vec: TfidfVectorizer, directory: Path) -> None:
+    if isinstance(vec, HashingVectorizer):
+        # stateless: hyperparameters are the whole artifact (no
+        # vocabulary, no IDF array)
+        manifest = {
+            "kind": "hashing",
+            "normalize": vec.normalize,
+            "lemmatize": vec.lemmatize,
+            "sublinear_tf": vec.sublinear_tf,
+            "l2_normalize": vec.l2_normalize,
+            "n_features": vec.n_features,
+        }
+        (directory / "vectorizer.json").write_text(json.dumps(manifest))
+        return
     if vec.vocabulary is None or vec.idf_ is None:
         raise RuntimeError("vectorizer is not fitted")
     manifest = {
@@ -257,6 +270,11 @@ def _save_vectorizer(vec: TfidfVectorizer, directory: Path) -> None:
 def _load_vectorizer(directory: Path) -> TfidfVectorizer:
     with _loading(directory / "vectorizer.json", "vectorizer manifest"):
         manifest = json.loads((directory / "vectorizer.json").read_text())
+        kind = manifest.pop("kind", "tfidf")
+        if kind == "hashing":
+            return HashingVectorizer(**manifest)
+        if kind != "tfidf":
+            raise ValueError(f"unknown vectorizer kind {kind!r}")
         vocab_tokens = manifest.pop("vocabulary")
         vec = TfidfVectorizer(**manifest)
         vec.vocabulary = Vocabulary(tuple(vocab_tokens))

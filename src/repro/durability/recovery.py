@@ -405,6 +405,10 @@ class SimConfig:
     #: the same messages with the same trace IDs
     trace_sample: float = 0.0
     trace_seed: int = 0
+    #: template-dedup cache capacity for the classifier stage's
+    #: pipeline (None = no cache); exact memoization, so a resumed run
+    #: classifies identically with or without it
+    template_cache: int | None = None
 
     def events(self):
         """Regenerate the deterministic trace this config describes."""
@@ -564,6 +568,12 @@ def _build_stage(config: SimConfig, injector):
         from repro.core.serialize import load_pipeline
 
         pipe = load_pipeline(config.model_dir)
+        if config.template_cache is not None:
+            from repro.core.template_cache import TemplateCache
+
+            pipe.template_cache = TemplateCache(
+                max_entries=config.template_cache
+            )
         if injector is not None:
             pipe.fault_injector = injector
         return ClassifierStage(

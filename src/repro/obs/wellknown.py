@@ -30,6 +30,11 @@ __all__ = [
     "shard_queue_wait_seconds",
     "shard_messages",
     "shard_chunks",
+    "template_cache_hits",
+    "template_cache_misses",
+    "template_cache_evictions",
+    "template_cache_invalidations",
+    "template_cache_size",
     "fluentd_buffer_depth",
     "fluentd_flush_size",
     "fluentd_flushed_messages",
@@ -185,6 +190,61 @@ def shard_chunks(registry: MetricsRegistry | None = None) -> Counter:
     return _reg(registry).counter(
         "repro_shard_chunks_total",
         "Chunks scattered per worker process",
+        labels=("worker",),
+    )
+
+
+# -- template-dedup cache ----------------------------------------------
+
+
+def template_cache_hits(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: classify lookups served from the template cache."""
+    return _reg(registry).counter(
+        "repro_template_cache_hits_total",
+        "Classify lookups served from the template-dedup cache per "
+        "worker process",
+        labels=("worker",),
+    )
+
+
+def template_cache_misses(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: template-cache lookups that ran the model stage."""
+    return _reg(registry).counter(
+        "repro_template_cache_misses_total",
+        "Template-cache lookups that fell through to the model stage "
+        "per worker process",
+        labels=("worker",),
+    )
+
+
+def template_cache_evictions(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: LRU entries evicted from the template cache."""
+    return _reg(registry).counter(
+        "repro_template_cache_evictions_total",
+        "LRU entries evicted from the template-dedup cache per worker "
+        "process",
+        labels=("worker",),
+    )
+
+
+def template_cache_invalidations(
+    registry: MetricsRegistry | None = None,
+) -> Counter:
+    """Counter: generation-change clears of the template cache."""
+    return _reg(registry).counter(
+        "repro_template_cache_invalidations_total",
+        "Template-cache clears caused by a pipeline refit bumping the "
+        "generation stamp, per worker process",
+        labels=("worker",),
+    )
+
+
+def template_cache_size(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: entries currently held by the template cache."""
+    return _reg(registry).gauge(
+        "repro_template_cache_size",
+        "Entries currently held by the template-dedup cache per worker "
+        "process",
         labels=("worker",),
     )
 
@@ -747,6 +807,8 @@ def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
         stage_seconds, stage_items, pipeline_batches, pipeline_messages,
         pipeline_filtered, pipeline_batch_seconds, shard_dispatch_seconds,
         shard_queue_wait_seconds, shard_messages, shard_chunks,
+        template_cache_hits, template_cache_misses, template_cache_evictions,
+        template_cache_invalidations, template_cache_size,
         fluentd_buffer_depth, fluentd_flush_size, fluentd_flushed_messages,
         relay_received, relay_dropped, classifier_backlog,
         fluentd_dropped, degraded_mode, degraded_transitions,

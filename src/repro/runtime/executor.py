@@ -91,6 +91,8 @@ def _classify_chunk(texts: tuple[str, ...], span_ctx: dict | None = None,
     tracer = Tracer()
     _WORKER_PIPELINE.reset_timing()
     dlq_mark = len(_WORKER_PIPELINE.dead_letters)
+    cache = _WORKER_PIPELINE.template_cache
+    cache_mark = cache.counters() if cache is not None else None
     t0 = perf_counter()
     with tracer.span(
         "shard.worker_chunk", parent=span_ctx,
@@ -98,6 +100,11 @@ def _classify_chunk(texts: tuple[str, ...], span_ctx: dict | None = None,
     ):
         results = _WORKER_PIPELINE.classify_batch(MessageBatch(texts=texts))
     busy_s = perf_counter() - t0
+    cache_stats = None
+    if cache is not None:
+        after = cache.counters()
+        cache_stats = {k: after[k] - cache_mark[k] for k in after}
+        cache_stats["size"] = len(cache)
     return (
         results,
         _WORKER_PIPELINE.timing_report().as_dict(),
@@ -105,6 +112,7 @@ def _classify_chunk(texts: tuple[str, ...], span_ctx: dict | None = None,
         os.getpid(),
         busy_s,
         _WORKER_PIPELINE.dead_letters.since(dlq_mark),
+        cache_stats,
     )
 
 
@@ -342,6 +350,30 @@ class ShardedExecutor:
             results.extend(chunk_results)
         return results
 
+    def _mirror_cache_stats(self, cache_stats, pid, registry) -> None:
+        """Adopt one worker's template-cache counter deltas.
+
+        Worker-process registries are invisible here, so the chunk
+        result carries the deltas by value and the parent republishes
+        them under the worker's pid label — the same families the
+        serial path emits.
+        """
+        from repro.obs import wellknown
+
+        worker = str(pid)
+        for name, family in (
+            ("hits", wellknown.template_cache_hits),
+            ("misses", wellknown.template_cache_misses),
+            ("evictions", wellknown.template_cache_evictions),
+            ("invalidations", wellknown.template_cache_invalidations),
+        ):
+            delta = cache_stats.get(name, 0)
+            if delta:
+                family(registry).inc(delta, worker=worker)
+        wellknown.template_cache_size(registry).set(
+            cache_stats.get("size", 0), worker=worker
+        )
+
     def _gather_resilient(self, chunks, ctx, registry, tracer):
         """Dispatch every chunk until classified; never loses a chunk.
 
@@ -391,7 +423,8 @@ class ShardedExecutor:
                 fut, t_submit = entry
                 try:
                     (chunk_results, report_dict, spans, pid, busy_s,
-                     dlq_entries) = fut.result(timeout=self.chunk_timeout_s)
+                     dlq_entries, cache_stats) = fut.result(
+                        timeout=self.chunk_timeout_s)
                 except BrokenProcessPool:
                     pool_broken = True
                     failed.append(idx)
@@ -412,6 +445,8 @@ class ShardedExecutor:
                 if dlq_entries:
                     pipe.dead_letters.extend(dlq_entries)
                     wellknown.faults_quarantined(registry).inc(len(dlq_entries))
+                if cache_stats is not None:
+                    self._mirror_cache_stats(cache_stats, pid, registry)
                 by_chunk[idx] = chunk_results
             if pool_broken:
                 self._respawn_pool(registry)

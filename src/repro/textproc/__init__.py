@@ -13,7 +13,9 @@ described in §4.3 of the paper:
   frequency pruning,
 - :mod:`repro.textproc.tfidf` — a sparse TF-IDF vectorizer plus the
   per-category top-token extraction used for Table 1 and for LLM prompt
-  construction,
+  construction, and a vocabulary-free hashing variant,
+- :mod:`repro.textproc.fingerprint` — one-pass masked-template
+  fingerprinting (the template-dedup cache key),
 - :mod:`repro.textproc.distance` — Levenshtein / Hamming / token edit
   distances, including the thresholded variant used by the legacy
   bucketing classifier (§3).
@@ -23,7 +25,16 @@ from repro.textproc.tokenize import tokenize, Tokenizer
 from repro.textproc.normalize import normalize_message, MaskingNormalizer
 from repro.textproc.lemmatize import Lemmatizer, lemmatize_token
 from repro.textproc.vocab import Vocabulary, build_vocabulary
-from repro.textproc.tfidf import TfidfVectorizer, category_top_tokens
+from repro.textproc.tfidf import (
+    TfidfVectorizer,
+    HashingVectorizer,
+    category_top_tokens,
+)
+from repro.textproc.fingerprint import (
+    TemplateFingerprinter,
+    fingerprint,
+    mask_template,
+)
 from repro.textproc.drain import DrainTemplateMiner, LogTemplate
 from repro.textproc.distance import (
     levenshtein,
@@ -42,7 +53,11 @@ __all__ = [
     "Vocabulary",
     "build_vocabulary",
     "TfidfVectorizer",
+    "HashingVectorizer",
     "category_top_tokens",
+    "TemplateFingerprinter",
+    "fingerprint",
+    "mask_template",
     "DrainTemplateMiner",
     "LogTemplate",
     "levenshtein",

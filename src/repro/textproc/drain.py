@@ -99,6 +99,11 @@ class DrainTemplateMiner:
 
     @staticmethod
     def _similarity(a: list[str], b: list[str]) -> float:
+        # mismatched lengths must compare as dissimilar: zip truncation
+        # would otherwise overstate similarity against len(a) and a
+        # merge would silently drop the longer tail
+        if len(a) != len(b):
+            return 0.0
         same = sum(
             1 for x, y in zip(a, b) if x == y or x == _WILDCARD or y == _WILDCARD
         )

@@ -18,6 +18,7 @@ reproduces the paper's setup.
 
 from __future__ import annotations
 
+import zlib
 from collections import Counter
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -30,7 +31,7 @@ from repro.textproc.normalize import MaskingNormalizer
 from repro.textproc.tokenize import Tokenizer
 from repro.textproc.vocab import Vocabulary, build_vocabulary
 
-__all__ = ["TfidfVectorizer", "category_top_tokens"]
+__all__ = ["HashingVectorizer", "TfidfVectorizer", "category_top_tokens"]
 
 
 @dataclass
@@ -195,6 +196,87 @@ class TfidfVectorizer:
         if self.vocabulary is None:
             raise RuntimeError("TfidfVectorizer not fitted")
         return self.vocabulary.tokens
+
+
+#: bound the token→column memo so adversarial streams (unbounded
+#: distinct slot values) cannot grow it without limit
+_HASH_MEMO_MAX_ENTRIES = 1 << 16
+_HASH_MEMO_MAX_TOKEN_LEN = 256
+
+
+@dataclass
+class HashingVectorizer(TfidfVectorizer):
+    """Stateless hashed-feature sibling of :class:`TfidfVectorizer`.
+
+    Shares the full ``analyze_batch`` preprocessing chain but maps
+    tokens to columns with a hash (CRC-32 mod ``n_features``) instead
+    of a learned vocabulary, so :meth:`fit` learns nothing and the
+    transform path skips the vocab-dict lookups and IDF multiply — the
+    cheap miss path for the template-dedup cache.
+
+    The hash is unsigned (no sign-split like scikit-learn's
+    ``HashingVectorizer``) because the naive-Bayes classifiers require
+    non-negative features; collisions merely merge token counts, which
+    naive Bayes tolerates.
+
+    Parameters
+    ----------
+    n_features:
+        Number of hash buckets (columns).  The default ``2**18`` keeps
+        the collision rate negligible for syslog-sized vocabularies.
+    """
+
+    n_features: int = 1 << 18
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {self.n_features}")
+        self._hash_memo: dict[str, int] = {}
+
+    def fit(self, messages: Sequence[str]) -> "HashingVectorizer":
+        """No-op (hashing needs no vocabulary); returns ``self``."""
+        return self
+
+    def transform_analyzed(self, docs: Sequence[Sequence[str]]) -> sp.csr_matrix:
+        """Vectorize pre-analyzed token documents via hashed columns."""
+        memo = self._hash_memo
+        n_features = self.n_features
+        indptr = [0]
+        indices: list[int] = []
+        data: list[int] = []
+        for doc in docs:
+            row: Counter[int] = Counter()
+            for t in doc:
+                col = memo.get(t)
+                if col is None:
+                    col = zlib.crc32(t.encode("utf-8", "surrogatepass")) % n_features
+                    if (
+                        len(t) <= _HASH_MEMO_MAX_TOKEN_LEN
+                        and len(memo) < _HASH_MEMO_MAX_ENTRIES
+                    ):
+                        memo[t] = col
+                row[col] += 1
+            indices.extend(row.keys())
+            data.extend(row.values())
+            indptr.append(len(indices))
+        x = sp.csr_matrix(
+            (
+                np.asarray(data, dtype=np.float64),
+                np.asarray(indices, dtype=np.int32),
+                np.asarray(indptr, dtype=np.int64),
+            ),
+            shape=(len(docs), n_features),
+        )
+        if self.sublinear_tf:
+            x.data = 1.0 + np.log(x.data)
+        if self.l2_normalize:
+            _l2_normalize_rows(x)
+        return x
+
+    def feature_names(self) -> tuple[str, ...]:
+        """Unavailable: hashed columns have no token names."""
+        raise RuntimeError("HashingVectorizer has no feature names")
 
 
 def _l2_normalize_rows(x: sp.csr_matrix) -> None:

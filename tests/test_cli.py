@@ -252,6 +252,53 @@ class TestListen:
         assert "accounted=True" in out
         assert "lag=0" in out
 
+    def test_classify_at_ingest_with_template_cache(
+        self, model_dir, tmp_path, capsys
+    ):
+        """`listen --model-dir --template-cache` classifies consumed
+        records (regression: records carry SyslogMessage, the pipeline
+        needs `.text`) and reports cache accounting."""
+        import re
+        import threading
+        import time
+
+        from repro.datagen.sender import send_tcp, wire_lines
+        from repro.datagen.workload import standard_simulation_events
+
+        port_file = tmp_path / "ports.json"
+        result = {}
+
+        def run():
+            result["code"] = main([
+                "listen", "--udp-port", "-1", "--max-messages", "120",
+                "--duration", "30", "--port-file", str(port_file),
+                "--model-dir", str(model_dir),
+                "--template-cache", "--cache-size", "64",
+            ])
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not port_file.exists():
+            assert time.monotonic() < deadline, "listener never bound"
+            time.sleep(0.02)
+        time.sleep(0.1)
+        ports = json.loads(port_file.read_text())
+        events = standard_simulation_events(
+            duration_s=10, background_rate=20, seed=4
+        )
+        lines = wire_lines([e.message for e in events[:120]])
+        send_tcp(("127.0.0.1", ports["tcp"]), lines)
+        thread.join(timeout=40)
+        assert not thread.is_alive(), "listen command did not exit"
+        assert result["code"] == 0
+        out = capsys.readouterr().out
+        assert "received=120" in out
+        assert "classified=120" in out
+        m = re.search(r"cache_hits=(\d+) cache_misses=(\d+)", out)
+        assert m, out
+        assert int(m.group(1)) + int(m.group(2)) == 120
+
     def test_rejects_no_transports(self):
         with pytest.raises(SystemExit, match="at least one"):
             main(["listen", "--udp-port", "-1", "--tcp-port", "-1"])

@@ -138,3 +138,22 @@ class TestOnCorpus:
         fresh = CorpusGenerator(scale=0.003, seed=999).generate()
         matched = sum(1 for t in fresh.texts if m.match(t) is not None)
         assert matched / len(fresh) > 0.9
+
+
+class TestSimilarityLengthGuard:
+    def test_mismatched_lengths_are_dissimilar(self):
+        """Regression: zip truncation must not overstate similarity.
+
+        ``_similarity(["a"], ["a", "b", "c"])`` used to return 1.0
+        (1 match / len(a)=1), so a short wildcard-leaf template could
+        swallow a longer message and the merge would silently drop its
+        tail tokens.
+        """
+        sim = DrainTemplateMiner._similarity
+        assert sim(["a"], ["a", "b", "c"]) == 0.0
+        assert sim(["a", "b", "c"], ["a"]) == 0.0
+        assert sim(["<*>"], ["<*>", "x"]) == 0.0
+        # equal lengths keep the usual semantics
+        assert sim(["a", "b"], ["a", "b"]) == 1.0
+        assert sim(["a", "<*>"], ["a", "zz"]) == 1.0
+        assert sim([], []) == 1.0

@@ -339,3 +339,76 @@ class TestVectorizerClassifierProperty:
         texts = [f"message about {c.value.lower()} body" for c in cats]
         X = TfidfVectorizer().fit_transform(texts)
         assert X.shape[0] == len(texts)
+
+
+class TestFingerprintProperties:
+    """Hostile-input totality + determinism of the template fingerprint."""
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=120, deadline=None)
+    def test_byte_garbage_never_raises(self, payload):
+        from repro.textproc.fingerprint import fingerprint, mask_template
+
+        fp = fingerprint(payload)
+        assert isinstance(fp, str) and len(fp) == 16
+        assert int(fp, 16) >= 0  # 16 hex chars
+        assert isinstance(mask_template(payload), str)
+
+    @given(st.text(min_size=0, max_size=200))
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_text_deterministic(self, text):
+        from repro.textproc.fingerprint import fingerprint
+
+        assert fingerprint(text) == fingerprint(text)
+
+    @given(st.text(min_size=1, max_size=80), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_utf8_never_raises(self, text, cut):
+        from repro.textproc.fingerprint import fingerprint
+
+        assert len(fingerprint(text.encode("utf-8")[:cut])) == 16
+
+    def test_nuls_and_controls_never_raise(self):
+        from repro.textproc.fingerprint import fingerprint, mask_template
+
+        for hostile in [
+            b"\x00\x00\x00", "NUL\x00inside", "\x1b[31mansi\x1b[0m",
+            "\x00", "", b"", "\udc80lone surrogate",
+        ]:
+            assert len(fingerprint(hostile)) == 16
+            assert isinstance(mask_template(hostile), str)
+
+    def test_megabyte_line_never_raises(self):
+        from repro.textproc.fingerprint import fingerprint
+
+        line = ("kernel panic at 0xdeadbeef code 12345 " * 27_000)[:1_048_576]
+        assert len(fingerprint(line)) == 16
+        assert len(fingerprint(line.encode())) == 16
+
+    def test_stable_across_processes(self):
+        """BLAKE2b keys survive hash randomization — safe to shard on."""
+        import subprocess
+        import sys
+
+        from repro.textproc.fingerprint import fingerprint
+
+        msg = "Connection closed by 10.0.0.7 port 22"
+        code = (
+            "from repro.textproc.fingerprint import fingerprint;"
+            f"print(fingerprint({msg!r}))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+        ).stdout.strip()
+        assert out == fingerprint(msg)
+
+    @given(st.text(min_size=0, max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_mask_equals_normalizer_on_hostile_text(self, text):
+        """The soundness identity holds on arbitrary unicode too."""
+        from repro.textproc.fingerprint import mask_template
+        from repro.textproc.normalize import MaskingNormalizer
+
+        assert mask_template(text) == MaskingNormalizer().normalize(text)

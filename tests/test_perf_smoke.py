@@ -79,3 +79,45 @@ class TestScalingSmoke:
             eng.schedule(float(i % 100), bump)
         _clocked(lambda: eng.run(), 8.0, "50k events")
         assert counter[0] == 50_000
+
+
+class TestTemplateCacheSpeedup:
+    def test_cached_beats_uncached_on_zipf_batch(self, corpus):
+        """The dedup fast path must win ≥3× on a skewed workload.
+
+        Relative ratio on the same machine in the same process — not an
+        absolute throughput bound — so the floor is loud on a fast-path
+        regression but deaf to slow CI hardware.
+        """
+        import numpy as np
+
+        from repro.core.pipeline import ClassificationPipeline
+        from repro.core.template_cache import TemplateCache
+        from repro.ml import ComplementNB
+
+        pipe = ClassificationPipeline(classifier=ComplementNB())
+        pipe.fit(corpus.texts, corpus.labels)
+
+        # Zipf-skewed draw over the corpus templates: a few shapes
+        # dominate, like production syslog
+        rng = np.random.default_rng(0)
+        ranks = np.minimum(rng.zipf(1.3, size=15_000) - 1, len(corpus) - 1)
+        msgs = [corpus.texts[r] for r in ranks]
+
+        base = pipe.classify_batch(msgs)  # warm interpreter/allocator
+        t0 = time.perf_counter()
+        assert pipe.classify_batch(msgs) == base
+        uncached_s = time.perf_counter() - t0
+
+        pipe.template_cache = TemplateCache(4096)
+        assert pipe.classify_batch(msgs) == base  # cold fill
+        t0 = time.perf_counter()
+        assert pipe.classify_batch(msgs) == base
+        cached_s = time.perf_counter() - t0
+
+        ratio = uncached_s / cached_s
+        assert ratio >= 3.0, (
+            f"template cache speedup {ratio:.2f}x < 3x floor "
+            f"(uncached {uncached_s:.3f}s, cached {cached_s:.3f}s, "
+            f"stats {pipe.template_cache.stats()})"
+        )

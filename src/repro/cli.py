@@ -90,6 +90,37 @@ def _add_telemetry_flags(p) -> None:
                         "targets; requires --metrics-port)")
 
 
+def _add_control_flags(p) -> None:
+    """The closed-loop control-plane knobs (simulate + listen)."""
+    p.add_argument("--control", action="store_true",
+                   help="attach the closed-loop overload controller "
+                        "(autoscaling + backpressure + brownout) with "
+                        "the built-in policy")
+    p.add_argument("--control-policy", type=Path, default=None,
+                   help="JSON control policy file driving the "
+                        "controller (implies --control; see "
+                        "repro.control.ControlPolicy)")
+
+
+def _control_policy(args, *, listen: bool = False):
+    """Resolve --control/--control-policy into a ControlPolicy or None."""
+    from repro.control import (
+        default_listen_policy,
+        default_policy,
+        load_policy_file,
+    )
+
+    path = getattr(args, "control_policy", None)
+    if path is not None:
+        try:
+            return load_policy_file(path)
+        except (OSError, ValueError, KeyError, TypeError) as e:
+            raise SystemExit(f"{path}: bad control policy: {e}")
+    if getattr(args, "control", False):
+        return default_listen_policy() if listen else default_policy()
+    return None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
@@ -230,8 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--consumers", type=_positive_int, default=1,
                    help="consumer-group members sharing the partitions "
                         "(requires --via-broker; durable runs need 1)")
+    p.add_argument("--load-profile",
+                   choices=["standard", "surge", "diurnal", "constant"],
+                   default="standard",
+                   help="offered-load shape: the standard trace, a "
+                        "--load-swing step surge for the middle third, "
+                        "a sinusoidal diurnal sweep, or constant Poisson")
+    p.add_argument("--load-swing", type=float, default=10.0,
+                   help="peak/base offered-load ratio for surge/diurnal "
+                        "profiles (default 10)")
     _add_cache_flags(p)
     _add_telemetry_flags(p)
+    _add_control_flags(p)
 
     p = sub.add_parser(
         "listen",
@@ -267,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "pipeline and store their categories")
     _add_cache_flags(p)
     _add_telemetry_flags(p)
+    _add_control_flags(p)
 
     p = sub.add_parser(
         "trace",
@@ -661,18 +703,35 @@ def _run_simulation(args):
     """
     from repro.core.serialize import load_pipeline
     from repro.core.taxonomy import Category
-    from repro.datagen.workload import standard_simulation_events
+    from repro.datagen.workload import (
+        offered_load_events,
+        standard_simulation_events,
+    )
     from repro.stream.tivan import ClassifierStage, TivanCluster
 
     injector = _build_injector(args)
     duration = getattr(args, "duration", 600.0)
     rate = getattr(args, "rate", 5.0)
     incident = bool(getattr(args, "incident", True))
+    control_policy = _control_policy(args)
+    load_profile = getattr(args, "load_profile", "standard")
 
     wal_dir = getattr(args, "wal_dir", None)
     if wal_dir is not None:
         from repro.durability import SimConfig, resume_simulation
 
+        if control_policy is not None:
+            # controller state (cooldowns, ladder counters) is not
+            # journaled, so a resumed run could not replay decisions
+            raise SystemExit(
+                "--control is incompatible with --wal-dir: controller "
+                "state is not journaled across crash and resume"
+            )
+        if load_profile != "standard":
+            raise SystemExit(
+                "--load-profile is incompatible with --wal-dir: durable "
+                "runs regenerate the standard trace from meta.json"
+            )
         if (wal_dir / "meta.json").exists():
             raise SystemExit(
                 f"{wal_dir}: already holds a durable run — resume it "
@@ -714,10 +773,16 @@ def _run_simulation(args):
     _attach_cache(pipe, args)
     if injector is not None:
         pipe.fault_injector = injector
-    events = standard_simulation_events(
-        duration_s=duration, background_rate=rate,
-        seed=args.seed, incident=incident,
-    )
+    if load_profile == "standard":
+        events = standard_simulation_events(
+            duration_s=duration, background_rate=rate,
+            seed=args.seed, incident=incident,
+        )
+    else:
+        events = offered_load_events(
+            profile=load_profile, duration_s=duration, base_rate=rate,
+            swing=getattr(args, "load_swing", 10.0), seed=args.seed,
+        )
     cluster = TivanCluster(
         overflow=getattr(args, "overflow", "block"),
         flush_retry_limit=getattr(args, "flush_retries", None),
@@ -748,6 +813,11 @@ def _run_simulation(args):
         batch_size=64,
         cheap_classify_batch=cheap_batch,
     ))
+    if control_policy is not None:
+        try:
+            cluster.attach_controller(control_policy)
+        except ValueError as e:
+            raise SystemExit(f"control policy not bindable: {e}")
     report = cluster.run(duration + 30.0)
     return cluster, report, injector
 
@@ -781,6 +851,16 @@ def _cmd_simulate(args) -> int:
         print(
             f"degraded: classified_degraded={report.classified_degraded} "
             f"transitions={report.degrade_transitions}"
+        )
+    if cluster.controller is not None:
+        print(
+            f"control: ticks={report.control_ticks} "
+            f"actuations={report.control_actuations} "
+            f"flips={report.control_flips} "
+            f"worker_seconds={report.control_worker_seconds:.1f} "
+            f"brownout_level={report.brownout_level} "
+            f"brownout_changes={report.brownout_changes} "
+            f"shed={report.shed_messages}"
         )
     if getattr(args, "template_cache", False):
         import os
@@ -927,6 +1007,26 @@ def _cmd_listen(args) -> int:
         max_line_bytes=args.max_line_bytes,
         trace_sampler=sampler,
     )
+    control_policy = _control_policy(args, listen=True)
+    controller = None
+    if control_policy is not None:
+        from repro.control import Controller, ListenerRateActuator
+
+        controller = Controller(control_policy)
+        for lever_policy in control_policy.levers:
+            if lever_policy.name != "listener_rate":
+                raise SystemExit(
+                    f"listen mode can only bind the 'listener_rate' "
+                    f"lever, policy names {lever_policy.name!r}"
+                )
+            if listener.bucket is None:
+                raise SystemExit(
+                    "the 'listener_rate' lever needs --rate-limit to "
+                    "create the token bucket it actuates"
+                )
+            controller.bind(
+                lever_policy.name, ListenerRateActuator(listener.bucket)
+            )
     server = _start_ops(args)
 
     async def serve() -> None:
@@ -973,6 +1073,10 @@ def _cmd_listen(args) -> int:
         # batched listener counters flush on a timer too, so /metrics
         # scrapes see trickle traffic, not just every-1024th-line syncs
         next_sync = loop.time() + 1.0
+        next_control = (
+            loop.time() + controller.policy.tick_every_s
+            if controller is not None else None
+        )
         try:
             while True:
                 await asyncio.sleep(0.05)
@@ -980,6 +1084,13 @@ def _cmd_listen(args) -> int:
                 if loop.time() >= next_sync:
                     listener.sync_metrics()
                     next_sync = loop.time() + 1.0
+                if next_control is not None and loop.time() >= next_control:
+                    # counters must be registry-fresh before the read
+                    listener.sync_metrics()
+                    controller.tick(loop.time())
+                    next_control = (
+                        loop.time() + controller.policy.tick_every_s
+                    )
                 if deadline is not None and loop.time() >= deadline:
                     break
                 if (
@@ -1022,6 +1133,14 @@ def _cmd_listen(args) -> int:
                 f"hit_rate={st['hit_rate']:.3f}"
             )
         print(line)
+    if controller is not None:
+        cs = controller.stats()
+        print(
+            f"control: ticks={cs['ticks']} "
+            f"actuations={sum(cs['actuations'].values())} "
+            f"flips={sum(cs['flips'].values())} "
+            f"rate={listener.bucket.rate:.0f}"
+        )
     if len(listener.dead_letters):
         print(f"dead_letters={len(listener.dead_letters)}")
     return 0

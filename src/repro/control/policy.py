@@ -1,0 +1,302 @@
+"""Declarative control policies: the ``--control-policy`` JSON schema.
+
+A :class:`ControlPolicy` is pure data — which levers the controller
+drives, the AIMD/deadband/cooldown parameters of each, and the brownout
+ladder thresholds.  Like fault plans and SLO targets it round-trips
+through plain dicts (:func:`load_policy_file` reads a JSON object), so
+a policy can be reviewed, versioned, and replayed byte-for-byte.
+
+Binding a policy's lever *names* to live objects (a cluster stage, a
+listener bucket) happens in :mod:`repro.control.controller`; the policy
+itself never references process state, which is what keeps control runs
+deterministic and resumable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.control.signals import SIGNALS
+
+__all__ = [
+    "LeverPolicy",
+    "BrownoutPolicy",
+    "ControlPolicy",
+    "default_policy",
+    "default_listen_policy",
+    "load_policy_file",
+]
+
+#: lever names the controller knows how to bind (see Controller.bind)
+KNOWN_LEVERS = (
+    "stage_workers",
+    "stage_batch",
+    "fluentd_batch",
+    "degrade_threshold",
+    "listener_rate",
+    "executor_workers",
+    "store_active_nodes",
+)
+
+
+@dataclass(frozen=True)
+class LeverPolicy:
+    """AIMD parameters for one actuated lever.
+
+    The controller moves the lever additively by ``up_step`` when the
+    driving signal crosses ``high`` (after ``cooldown_s`` since the
+    lever's last move), and multiplicatively by ``down_factor`` only
+    after the signal has stayed under ``low`` for ``hold_ticks``
+    consecutive ticks — the deadband between ``low`` and ``high`` moves
+    nothing, which is what keeps a converged controller silent.
+
+    ``pressure_up`` distinguishes capacity levers (workers, batch
+    sizes: overload pushes the value *up*) from admission levers (the
+    listener rate: overload pushes the value *down*); the AIMD shape is
+    the same either way — the direction toward more provisioning is
+    additive, the direction toward less is multiplicative.
+
+    ``costed`` marks the lever whose value × time integral is the run's
+    worker-seconds bill (the autoscaling economy the bench compares
+    against static provisioning).
+    """
+
+    name: str
+    signal: str
+    high: float
+    low: float
+    min_value: float
+    max_value: float
+    up_step: float = 1.0
+    down_factor: float = 0.5
+    cooldown_s: float = 10.0
+    hold_ticks: int = 3
+    pressure_up: bool = True
+    costed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.name not in KNOWN_LEVERS:
+            raise ValueError(
+                f"unknown lever {self.name!r}; known: {KNOWN_LEVERS}"
+            )
+        if self.signal not in SIGNALS:
+            raise ValueError(
+                f"unknown signal {self.signal!r}; known: {tuple(SIGNALS)}"
+            )
+        if not self.low <= self.high:
+            raise ValueError(
+                f"{self.name}: low must be <= high, got "
+                f"low={self.low} high={self.high}"
+            )
+        if not 0 < self.min_value <= self.max_value:
+            raise ValueError(
+                f"{self.name}: need 0 < min_value <= max_value, got "
+                f"min={self.min_value} max={self.max_value}"
+            )
+        if self.up_step <= 0:
+            raise ValueError(f"{self.name}: up_step must be > 0")
+        if not 0.0 < self.down_factor < 1.0:
+            raise ValueError(
+                f"{self.name}: down_factor must be in (0, 1), got "
+                f"{self.down_factor}"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(f"{self.name}: cooldown_s must be >= 0")
+        if self.hold_ticks < 1:
+            raise ValueError(f"{self.name}: hold_ticks must be >= 1")
+
+    def to_dict(self) -> dict:
+        """The JSON form ``load_policy_file`` reads back."""
+        return {
+            "name": self.name,
+            "signal": self.signal,
+            "high": self.high,
+            "low": self.low,
+            "min": self.min_value,
+            "max": self.max_value,
+            "up_step": self.up_step,
+            "down_factor": self.down_factor,
+            "cooldown_s": self.cooldown_s,
+            "hold_ticks": self.hold_ticks,
+            "pressure_up": self.pressure_up,
+            "costed": self.costed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LeverPolicy":
+        """Build a lever policy from its JSON dict form."""
+        return cls(
+            name=data["name"],
+            signal=data["signal"],
+            high=float(data["high"]),
+            low=float(data["low"]),
+            min_value=float(data["min"]),
+            max_value=float(data["max"]),
+            up_step=float(data.get("up_step", 1.0)),
+            down_factor=float(data.get("down_factor", 0.5)),
+            cooldown_s=float(data.get("cooldown_s", 10.0)),
+            hold_ticks=int(data.get("hold_ticks", 3)),
+            pressure_up=bool(data.get("pressure_up", True)),
+            costed=bool(data.get("costed", False)),
+        )
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """When and how far the cluster descends the brownout ladder.
+
+    The ladder has four rungs: L0 normal, L1 shrink batches, L2 force
+    the cheap-classify path, L3 shed at accept (reason-labelled drops).
+    The controller descends one rung after ``enter_ticks`` consecutive
+    overloaded ticks and climbs one rung after ``exit_ticks``
+    consecutive healthy ticks — asymmetric counts (slow to climb back)
+    are the ladder's hysteresis.  A tick is *overloaded* when the
+    classifier backlog exceeds ``backlog_high`` or any SLO error-budget
+    gauge sits below ``budget_threshold``.
+    """
+
+    enter_ticks: int = 3
+    exit_ticks: int = 6
+    max_level: int = 3
+    backlog_high: float = 2000.0
+    budget_threshold: float = 0.0
+    shed_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.enter_ticks < 1 or self.exit_ticks < 1:
+            raise ValueError("enter_ticks and exit_ticks must be >= 1")
+        if not 0 <= self.max_level <= 3:
+            raise ValueError(f"max_level must be in [0, 3], got {self.max_level}")
+        if not 0.0 < self.shed_fraction <= 1.0:
+            raise ValueError(
+                f"shed_fraction must be in (0, 1], got {self.shed_fraction}"
+            )
+
+    def to_dict(self) -> dict:
+        """The JSON form ``load_policy_file`` reads back."""
+        return {
+            "enter_ticks": self.enter_ticks,
+            "exit_ticks": self.exit_ticks,
+            "max_level": self.max_level,
+            "backlog_high": self.backlog_high,
+            "budget_threshold": self.budget_threshold,
+            "shed_fraction": self.shed_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BrownoutPolicy":
+        """Build a brownout policy from its JSON dict form."""
+        return cls(
+            enter_ticks=int(data.get("enter_ticks", 3)),
+            exit_ticks=int(data.get("exit_ticks", 6)),
+            max_level=int(data.get("max_level", 3)),
+            backlog_high=float(data.get("backlog_high", 2000.0)),
+            budget_threshold=float(data.get("budget_threshold", 0.0)),
+            shed_fraction=float(data.get("shed_fraction", 0.5)),
+        )
+
+
+@dataclass(frozen=True)
+class ControlPolicy:
+    """One complete controller configuration (the ``--control-policy`` file).
+
+    ``tick_every_s`` is the control interval on the driving clock (the
+    simulation engine for ``simulate``, the event loop for ``listen``).
+    ``utilization_cap`` bounds capacity-guarded scale-down: a costed
+    capacity lever may only shrink while the estimated demand fits into
+    the post-shrink capacity at this utilization.
+    """
+
+    tick_every_s: float = 5.0
+    levers: tuple[LeverPolicy, ...] = ()
+    brownout: BrownoutPolicy | None = field(default_factory=BrownoutPolicy)
+    utilization_cap: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.tick_every_s <= 0:
+            raise ValueError(
+                f"tick_every_s must be positive, got {self.tick_every_s}"
+            )
+        if not 0.0 < self.utilization_cap <= 1.0:
+            raise ValueError(
+                f"utilization_cap must be in (0, 1], got {self.utilization_cap}"
+            )
+        names = [lv.name for lv in self.levers]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate lever names in policy: {names}")
+
+    def to_dict(self) -> dict:
+        """The JSON form ``load_policy_file`` reads back."""
+        return {
+            "tick_every_s": self.tick_every_s,
+            "utilization_cap": self.utilization_cap,
+            "levers": [lv.to_dict() for lv in self.levers],
+            "brownout": self.brownout.to_dict() if self.brownout else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ControlPolicy":
+        """Build a control policy from its JSON dict form."""
+        brownout = data.get("brownout")
+        return cls(
+            tick_every_s=float(data.get("tick_every_s", 5.0)),
+            utilization_cap=float(data.get("utilization_cap", 0.8)),
+            levers=tuple(
+                LeverPolicy.from_dict(d) for d in data.get("levers", ())
+            ),
+            brownout=(
+                BrownoutPolicy.from_dict(brownout)
+                if brownout is not None else None
+            ),
+        )
+
+
+def default_policy() -> ControlPolicy:
+    """The stock simulation policy: scale classifier workers with the
+    backlog (costed), grow the forwarder batch under broker lag, and
+    arm the full brownout ladder."""
+    return ControlPolicy(
+        tick_every_s=5.0,
+        levers=(
+            LeverPolicy(
+                name="stage_workers", signal="classifier_backlog",
+                high=200.0, low=40.0, min_value=1, max_value=16,
+                up_step=1, down_factor=0.5, cooldown_s=10.0,
+                hold_ticks=3, costed=True,
+            ),
+            LeverPolicy(
+                name="fluentd_batch", signal="broker_lag",
+                high=1000.0, low=100.0, min_value=100, max_value=20_000,
+                up_step=500, down_factor=0.5, cooldown_s=10.0,
+                hold_ticks=4,
+            ),
+        ),
+        brownout=BrownoutPolicy(),
+    )
+
+
+def default_listen_policy() -> ControlPolicy:
+    """The stock listener policy: trim the token-bucket admit rate
+    under broker lag, probe it back additively when lag clears."""
+    return ControlPolicy(
+        tick_every_s=1.0,
+        levers=(
+            LeverPolicy(
+                name="listener_rate", signal="broker_lag",
+                high=5000.0, low=500.0, min_value=100, max_value=1_000_000,
+                up_step=2000, down_factor=0.5, cooldown_s=2.0,
+                hold_ticks=3, pressure_up=False,
+            ),
+        ),
+        brownout=BrownoutPolicy(backlog_high=float("inf")),
+    )
+
+
+def load_policy_file(path: str | Path) -> ControlPolicy:
+    """Read a control policy from its JSON file form."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError("control policy file must contain a JSON object")
+    return ControlPolicy.from_dict(data)

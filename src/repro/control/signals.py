@@ -1,0 +1,195 @@
+"""Control signals read straight from the metrics registry.
+
+The controller's entire view of the world is the registry — the same
+families the dashboards and SLO tracker read (ISSUE: "a controller loop
+driven by the metrics registry").  :class:`SignalReader` wraps one
+registry with tick-scoped helpers:
+
+- gauge reads (classifier backlog, broker lag/lag-age, SLO budgets),
+- counter *rates* over the last control interval (arrival estimates),
+- **windowed histogram quantiles**: cumulative bucket snapshots are
+  diffed between consecutive ticks and the quantile is interpolated
+  over just that window's observations, so a recovering pipeline's p99
+  reflects the last interval, not the whole run's history.
+
+Every value is a pure function of registry state and the injected tick
+clock; nothing here touches the wall clock, so control decisions are
+replayable.  ``SIGNALS`` maps the policy file's signal names onto these
+helpers.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    histogram_quantile,
+)
+
+__all__ = ["SignalReader", "SIGNALS"]
+
+
+class SignalReader:
+    """Tick-scoped registry reads: gauges, counter rates, windowed quantiles.
+
+    Call :meth:`begin_tick` with the controller's clock before reading
+    and :meth:`finish_tick` after — the window state (previous counter
+    values, previous cumulative buckets) only advances on finish, so
+    every read inside one tick sees the same window.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry
+        self._now: float | None = None
+        self._prev_now: float | None = None
+        self._prev: dict[str, object] = {}
+        self._pending: dict[str, object] = {}
+        self._cache: dict[tuple, float] = {}
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry this reader observes (default: process-wide)."""
+        return self._registry if self._registry is not None else default_registry()
+
+    # -- tick lifecycle ------------------------------------------------
+
+    def begin_tick(self, now: float) -> None:
+        """Open the read window for one control tick at time ``now``."""
+        self._now = now
+        self._cache = {}
+        self._pending = {}
+
+    def finish_tick(self) -> None:
+        """Close the tick: window baselines advance to this tick's reads."""
+        self._prev.update(self._pending)
+        self._pending = {}
+        self._prev_now = self._now
+
+    @property
+    def dt(self) -> float:
+        """Seconds since the previous tick (0.0 on the first tick)."""
+        if self._now is None or self._prev_now is None:
+            return 0.0
+        return max(0.0, self._now - self._prev_now)
+
+    # -- primitive reads -----------------------------------------------
+
+    def gauge_value(self, name: str, **labels: str) -> float:
+        """Current value of one gauge child (0.0 when absent)."""
+        fam = self.registry.get(name)
+        if fam is None:
+            return 0.0
+        try:
+            return float(fam.value(**labels))
+        except (ValueError, AttributeError):
+            return 0.0
+
+    def gauge_sum(self, name: str) -> float:
+        """Sum of a gauge/counter family across all label children."""
+        fam = self.registry.get(name)
+        if fam is None:
+            return 0.0
+        return float(sum(child.value for _labels, child in fam.samples()))
+
+    def gauge_max(self, name: str) -> float:
+        """Max of a gauge family across all label children (0.0 empty)."""
+        fam = self.registry.get(name)
+        if fam is None:
+            return 0.0
+        values = [child.value for _labels, child in fam.samples()]
+        return float(max(values)) if values else 0.0
+
+    def gauge_min(self, name: str, default: float = 0.0) -> float:
+        """Min of a gauge family across children (``default`` when empty)."""
+        fam = self.registry.get(name)
+        if fam is None:
+            return default
+        values = [child.value for _labels, child in fam.samples()]
+        return float(min(values)) if values else default
+
+    def counter_rate(self, name: str) -> float:
+        """Per-second increase of a counter family over the last tick.
+
+        The family is summed across children; the first tick (no
+        baseline yet) reads 0.0.
+        """
+        key = ("rate", name)
+        if key in self._cache:
+            return self._cache[key]
+        current = self.gauge_sum(name)
+        prev = self._prev.get(("counter", name))
+        self._pending[("counter", name)] = current
+        dt = self.dt
+        rate = 0.0
+        if prev is not None and dt > 0:
+            rate = max(0.0, (current - prev)) / dt
+        self._cache[key] = rate
+        return rate
+
+    def window_quantile(self, name: str, q: float) -> float:
+        """Quantile of a histogram over observations since the last tick.
+
+        Cumulative buckets (merged across children) are diffed against
+        the previous tick's snapshot; with no new observations in the
+        window the signal reads 0.0 — "no data" must not look like
+        pressure.
+        """
+        key = ("wq", name, q)
+        if key in self._cache:
+            return self._cache[key]
+        fam = self.registry.get(name)
+        value = 0.0
+        if isinstance(fam, Histogram):
+            merged: dict[float, int] = {}
+            for _labels, child in fam.samples():
+                for edge, cum in child.cumulative():
+                    merged[edge] = merged.get(edge, 0) + cum
+            current = sorted(merged.items())
+            prev = self._prev.get(("buckets", name))
+            self._pending[("buckets", name)] = current
+            if prev is not None:
+                prev_map = dict(prev)
+                window = [
+                    (edge, max(0, cum - prev_map.get(edge, 0)))
+                    for edge, cum in current
+                ]
+                if window and window[-1][1] > 0:
+                    value = histogram_quantile(window, q)
+        self._cache[key] = value
+        return value
+
+
+def _arrival_rate(reader: SignalReader) -> float:
+    """Offered-load estimate: relay + listener accept rates summed.
+
+    Exactly one of the two families moves per deployment mode (the
+    relay in simulation, the listener on real sockets), so the sum is
+    the active one's rate.
+    """
+    return reader.counter_rate("repro_stream_relay_received_total") + (
+        reader.counter_rate("repro_ingest_received_total")
+    )
+
+
+#: signal names a :class:`~repro.control.policy.LeverPolicy` may reference
+SIGNALS = {
+    "classifier_backlog": lambda r: r.gauge_value(
+        "repro_stream_classifier_backlog"
+    ),
+    "broker_lag": lambda r: r.gauge_sum("repro_broker_lag"),
+    "broker_lag_age": lambda r: r.gauge_max("repro_broker_lag_age_seconds"),
+    "fluentd_buffer_depth": lambda r: r.gauge_value(
+        "repro_stream_fluentd_buffer_depth"
+    ),
+    "arrival_rate": _arrival_rate,
+    "e2e_p99_window": lambda r: r.window_quantile(
+        "repro_e2e_latency_seconds", 0.99
+    ),
+    "quorum_write_p99_window": lambda r: r.window_quantile(
+        "repro_store_quorum_write_seconds", 0.99
+    ),
+    "slo_budget_min": lambda r: r.gauge_min(
+        "repro_slo_error_budget_remaining", default=1.0
+    ),
+}

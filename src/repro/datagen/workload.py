@@ -26,8 +26,11 @@ __all__ = [
     "ArrivalProcess",
     "PoissonArrivals",
     "BurstArrivals",
+    "SteppedArrivals",
+    "DiurnalArrivals",
     "Incident",
     "generate_stream",
+    "offered_load_events",
     "standard_simulation_events",
 ]
 
@@ -89,6 +92,95 @@ class BurstArrivals(ArrivalProcess):
         return np.asarray(out)
 
 
+@dataclass
+class SteppedArrivals(ArrivalProcess):
+    """Piecewise-constant offered load: ``(start_s, rate)`` steps.
+
+    The autoscaling bench's load driver — a step profile like
+    ``[(0, 20), (120, 200), (300, 20)]`` swings the offered rate 10×
+    with sharp edges, the hardest shape for a controller that must not
+    oscillate.  Each step's window is an independent homogeneous
+    Poisson segment, so the profile composes from
+    :class:`PoissonArrivals` semantics.
+    """
+
+    steps: Sequence[tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("steps must be non-empty")
+        starts = [s for s, _r in self.steps]
+        if starts != sorted(starts):
+            raise ValueError(f"step starts must be ascending, got {starts}")
+        if any(r < 0 for _s, r in self.steps):
+            raise ValueError("step rates must be >= 0")
+
+    def rate_at(self, t: float) -> float:
+        """Offered rate in effect at time ``t`` (0 before the first step)."""
+        rate = 0.0
+        for start, step_rate in self.steps:
+            if t < start:
+                break
+            rate = step_rate
+        return rate
+
+    def times(self, t0: float, t1: float, rng: np.random.Generator) -> np.ndarray:
+        """Arrivals across all step segments overlapping ``[t0, t1)``."""
+        edges = [s for s, _r in self.steps] + [t1]
+        chunks: list[np.ndarray] = []
+        for (start, rate), end in zip(self.steps, edges[1:]):
+            lo, hi = max(start, t0), min(end, t1)
+            if hi <= lo or rate == 0:
+                continue
+            n = rng.poisson(rate * (hi - lo))
+            chunks.append(rng.uniform(lo, hi, size=n))
+        if not chunks:
+            return np.empty(0)
+        return np.sort(np.concatenate(chunks))
+
+
+@dataclass
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal day/night load: ``base_rate ± amplitude`` over ``period_s``.
+
+    ``rate(t) = base_rate + amplitude × sin(2πt / period_s)`` — the
+    smooth counterpart to :class:`SteppedArrivals` for exercising a
+    controller against gradual drift instead of step shocks.
+    """
+
+    base_rate: float
+    amplitude: float
+    period_s: float = 86_400.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0 or self.period_s <= 0:
+            raise ValueError("base_rate and period_s must be positive")
+        if not 0 <= self.amplitude <= self.base_rate:
+            raise ValueError(
+                "amplitude must be in [0, base_rate] (rate stays >= 0), got "
+                f"amplitude={self.amplitude} base_rate={self.base_rate}"
+            )
+
+    def rate_at(self, t: float) -> float:
+        """Offered rate at time ``t``."""
+        return self.base_rate + self.amplitude * float(
+            np.sin(2.0 * np.pi * t / self.period_s)
+        )
+
+    def times(self, t0: float, t1: float, rng: np.random.Generator) -> np.ndarray:
+        """Thinned inhomogeneous-Poisson arrivals under the sinusoid."""
+        peak = self.base_rate + self.amplitude
+        out: list[float] = []
+        t = t0
+        while t < t1:
+            t += rng.exponential(1.0 / peak)
+            if t >= t1:
+                break
+            if rng.random() < self.rate_at(t) / peak:
+                out.append(t)
+        return np.asarray(out)
+
+
 @dataclass(frozen=True)
 class Incident:
     """An injected incident: a burst of one category from specific nodes.
@@ -125,6 +217,7 @@ def generate_stream(
     seed: int = 0,
     nodes_per_vendor: int = 10,
     background_mix: dict[Category, float] | None = None,
+    arrivals: ArrivalProcess | None = None,
 ) -> list[StreamEvent]:
     """Generate a timestamped labelled message stream.
 
@@ -139,6 +232,10 @@ def generate_stream(
     background_mix:
         Category mix of the background; defaults to a realistic
         noise-dominated mix (93% Unimportant, the rest spread thinly).
+    arrivals:
+        Background arrival process; overrides the constant
+        ``background_rate`` Poisson default (used by the offered-load
+        driver for stepped/diurnal profiles).
 
     Returns
     -------
@@ -163,7 +260,9 @@ def generate_stream(
     probs = probs / probs.sum()
 
     events: list[StreamEvent] = []
-    times = PoissonArrivals(background_rate).times(0.0, duration_s, rng)
+    if arrivals is None:
+        arrivals = PoissonArrivals(background_rate)
+    times = arrivals.times(0.0, duration_s, rng)
     choices = rng.choice(len(cats), size=len(times), p=probs)
     for t, ci in zip(times, choices):
         cat = cats[ci]
@@ -189,6 +288,60 @@ def generate_stream(
                 )
     events.sort(key=lambda e: e.message.timestamp)
     return events
+
+
+def offered_load_events(
+    *,
+    profile: str,
+    duration_s: float,
+    base_rate: float,
+    swing: float = 10.0,
+    seed: int = 0,
+) -> list[StreamEvent]:
+    """The autoscaling bench's load driver: a named offered-load profile.
+
+    ``profile`` selects the shape:
+
+    - ``"surge"`` — a ``swing``× step up for the middle third of the
+      run, back down for the final third (the 10× swing the control
+      plane must hold the p99 SLO across),
+    - ``"diurnal"`` — one full sinusoidal period spanning the run,
+      swinging between ``base_rate`` and ``swing × base_rate``,
+    - ``"constant"`` — plain Poisson at ``base_rate`` (the
+      anti-oscillation baseline: a correct controller goes quiet).
+
+    Pure function of its arguments, like
+    :func:`standard_simulation_events`.
+    """
+    if base_rate <= 0 or duration_s <= 0:
+        raise ValueError("base_rate and duration_s must be positive")
+    if swing < 1.0:
+        raise ValueError(f"swing must be >= 1, got {swing}")
+    arrivals: ArrivalProcess
+    if profile == "surge":
+        arrivals = SteppedArrivals([
+            (0.0, base_rate),
+            (duration_s / 3.0, base_rate * swing),
+            (2.0 * duration_s / 3.0, base_rate),
+        ])
+    elif profile == "diurnal":
+        mid = base_rate * (1.0 + swing) / 2.0
+        arrivals = DiurnalArrivals(
+            base_rate=mid,
+            amplitude=base_rate * (swing - 1.0) / 2.0,
+            period_s=duration_s,
+        )
+    elif profile == "constant":
+        arrivals = PoissonArrivals(base_rate)
+    else:
+        raise ValueError(
+            f"unknown profile {profile!r}; "
+            "known: 'surge', 'diurnal', 'constant'"
+        )
+    return generate_stream(
+        duration_s=duration_s, background_rate=base_rate,
+        seed=seed, arrivals=arrivals,
+    )
 
 
 def standard_simulation_events(

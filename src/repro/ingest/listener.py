@@ -33,6 +33,7 @@ the bottleneck.
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from dataclasses import dataclass
 
@@ -56,9 +57,11 @@ class TokenBucket:
 
     Monotonic-clock based and allocation-free on the hot path.  The
     clock is injectable so tests can drive it deterministically.
+    :meth:`set_rate` retunes the bucket in place (the control plane's
+    admission lever) without forfeiting tokens already accumulated.
     """
 
-    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock", "_lock")
 
     def __init__(self, rate: float, burst: float | None = None, *, clock=time.monotonic):
         if rate <= 0:
@@ -68,16 +71,43 @@ class TokenBucket:
         self._tokens = self.burst
         self._clock = clock
         self._last = clock()
+        self._lock = threading.Lock()
 
     def allow(self) -> bool:
         """Take one token; False when the budget is exhausted."""
-        now = self._clock()
-        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
-        self._last = now
-        if self._tokens >= 1.0:
-            self._tokens -= 1.0
-            return True
-        return False
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    def set_rate(self, rate: float, burst: float | None = None) -> None:
+        """Retune the bucket to ``rate`` tokens/s (and optionally ``burst``).
+
+        Tokens accrued so far are first settled at the *old* rate up to
+        the current clock, then carried over (clamped to the new burst),
+        so a retune never manufactures or forfeits admission budget.
+        Thread-safe against a concurrent :meth:`allow`.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            self.rate = float(rate)
+            if burst is not None:
+                self.burst = float(burst)
+            else:
+                self.burst = max(self.burst, 1.0)
+            self._tokens = min(self.burst, self._tokens)
 
 
 @dataclass

@@ -98,6 +98,17 @@ __all__ = [
     "slo_target",
     "slo_compliant",
     "slo_budget_remaining",
+    "control_ticks",
+    "control_actuations",
+    "control_setpoint",
+    "control_flips",
+    "control_brownout_level",
+    "control_shed",
+    "executor_workers",
+    "executor_resizes",
+    "executor_respawns",
+    "executor_serial_fallbacks",
+    "store_breaker_state",
     "declare_all",
 ]
 
@@ -795,6 +806,109 @@ def slo_budget_remaining(registry: MetricsRegistry | None = None) -> Gauge:
     )
 
 
+# -- control plane (closed-loop autoscaling / brownout) -----------------
+
+
+def control_ticks(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: control-loop ticks executed."""
+    return _reg(registry).counter(
+        "repro_control_ticks_total", "Control-loop ticks executed"
+    )
+
+
+def control_actuations(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: lever moves, labelled by lever and direction."""
+    return _reg(registry).counter(
+        "repro_control_actuations_total",
+        "Lever moves applied by the controller",
+        labels=("lever", "direction"),
+    )
+
+
+def control_setpoint(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: current controller setpoint per lever."""
+    return _reg(registry).gauge(
+        "repro_control_setpoint",
+        "Current value the controller holds each lever at",
+        labels=("lever",),
+    )
+
+
+def control_flips(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: direction reversals per lever (the oscillation metric)."""
+    return _reg(registry).counter(
+        "repro_control_flips_total",
+        "Actuations whose direction reversed the lever's previous move",
+        labels=("lever",),
+    )
+
+
+def control_brownout_level(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: current brownout ladder level (0 = normal … 3 = shedding)."""
+    return _reg(registry).gauge(
+        "repro_control_brownout_level",
+        "Current brownout ladder level "
+        "(0 normal, 1 shrink batches, 2 cheap classify, 3 shed at accept)",
+    )
+
+
+def control_shed(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: messages shed by brownout L3, labelled by reason."""
+    return _reg(registry).counter(
+        "repro_control_shed_total",
+        "Messages dropped at accept by the brownout ladder",
+        labels=("reason",),
+    )
+
+
+# -- executor lifecycle -------------------------------------------------
+
+
+def executor_workers(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: configured worker-process count of the sharded executor."""
+    return _reg(registry).gauge(
+        "repro_executor_workers",
+        "Configured worker-process count of the sharded executor",
+    )
+
+
+def executor_resizes(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: executor pool resizes, labelled by direction."""
+    return _reg(registry).counter(
+        "repro_executor_resizes_total",
+        "Sharded-executor pool resizes",
+        labels=("direction",),
+    )
+
+
+def executor_respawns(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: executor pool respawns after worker loss."""
+    return _reg(registry).counter(
+        "repro_executor_respawns_total",
+        "Sharded-executor pool respawns after a broken worker pool",
+    )
+
+
+def executor_serial_fallbacks(
+    registry: MetricsRegistry | None = None,
+) -> Counter:
+    """Counter: chunks degraded to in-process serial execution."""
+    return _reg(registry).counter(
+        "repro_executor_serial_fallbacks_total",
+        "Chunks executed serially in-process after pool retries failed",
+    )
+
+
+def store_breaker_state(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: per-node circuit-breaker state (0 closed, 1 half-open, 2 open)."""
+    return _reg(registry).gauge(
+        "repro_store_breaker_state",
+        "Circuit-breaker state per store node "
+        "(0 closed, 1 half-open, 2 open)",
+        labels=("node",),
+    )
+
+
 def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
     """Register every well-known family; returns the registry.
 
@@ -828,7 +942,11 @@ def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
         broker_partition_stalls, trace_sampled, e2e_latency_seconds,
         broker_queue_age_seconds, broker_lag_age_seconds,
         poll_to_flush_seconds, wal_fsync_seconds, slo_value, slo_target,
-        slo_compliant, slo_budget_remaining,
+        slo_compliant, slo_budget_remaining, control_ticks,
+        control_actuations, control_setpoint, control_flips,
+        control_brownout_level, control_shed, executor_workers,
+        executor_resizes, executor_respawns, executor_serial_fallbacks,
+        store_breaker_state,
     ):
         factory(registry)
     return registry

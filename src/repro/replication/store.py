@@ -36,12 +36,18 @@ from __future__ import annotations
 import time
 from collections import Counter as _Counter
 from collections.abc import Sequence
+from functools import partial
 
 from repro.core.message import Severity, SyslogMessage
 from repro.core.taxonomy import Category
 from repro.faults.plan import SITE_NODE_DOWN, SITE_NODE_SLOW, SITE_PARTITION
 from repro.obs.propagation import carried, record_hop
-from repro.replication.health import BREAKER_CLOSED, CircuitBreaker
+from repro.replication.health import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
 from repro.replication.node import StoreNode
 from repro.replication.placement import ShardPlacement
 from repro.stream.opensearch import DateHistogramBucket, LogDocument, QueryResult
@@ -149,10 +155,12 @@ class ReplicatedLogStore:
                 failure_threshold=breaker_failures,
                 reset_timeout=breaker_reset,
                 clock=self._clock,
-                on_transition=self._on_breaker_transition,
+                on_transition=partial(self._on_breaker_transition, i),
             )
-            for _ in range(n_nodes)
+            for i in range(n_nodes)
         ]
+        #: nodes administratively drained by the control plane
+        self.quiesced: set[int] = set()
         self._versions: list[int] = []  # per global doc id
         self._hints: list[dict[int, None]] = [dict() for _ in range(n_nodes)]
         self._partitioned: set[int] = set()
@@ -182,15 +190,27 @@ class ReplicatedLogStore:
         self._m_read_repairs = wellknown.store_read_repairs(registry)
         self._m_repair_docs = wellknown.store_repair_docs(registry)
         self._m_breaker_transitions = wellknown.store_breaker_transitions(registry)
+        self._m_breaker_state = wellknown.store_breaker_state(registry)
         self._m_timeouts = wellknown.store_node_timeouts(registry)
         for i in range(n_nodes):
             self._m_node_up.set(1, node=str(i))
+            self._m_breaker_state.set(0, node=str(i))
         self._rebalance()
 
     # -- liveness ----------------------------------------------------------
 
-    def _on_breaker_transition(self, old: str, new: str) -> None:
+    #: breaker-state gauge encoding: closed < half-open < open severity
+    _BREAKER_STATE_CODE = {
+        BREAKER_CLOSED: 0,
+        BREAKER_HALF_OPEN: 1,
+        BREAKER_OPEN: 2,
+    }
+
+    def _on_breaker_transition(self, node_id: int, old: str, new: str) -> None:
         self._m_breaker_transitions.inc(state=new)
+        self._m_breaker_state.set(
+            self._BREAKER_STATE_CODE.get(new, 0), node=str(node_id)
+        )
 
     def _reachable(self, node_id: int) -> bool:
         """Can the coordinator talk to the node right now?"""
@@ -232,11 +252,57 @@ class ReplicatedLogStore:
             self._rebalance()
         return live
 
+    def quiesce_node(self, node_id: int) -> None:
+        """Administratively drain a node (the control plane's demote).
+
+        A quiesced node stays up and keeps serving reads/replica
+        writes, but stops being *preferred* as an acting primary: its
+        primaries are demoted and re-promoted onto non-quiesced owners
+        where one is reachable.  Refuses to quiesce below the quorum
+        floor — the control plane must never demote the store into
+        unavailability.
+        """
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError(f"no such node: {node_id}")
+        if node_id in self.quiesced:
+            return
+        floor = max(self.write_quorum, self.read_quorum)
+        active = len(self.nodes) - len(self.quiesced)
+        if active - 1 < floor:
+            raise ValueError(
+                f"cannot quiesce node {node_id}: would leave "
+                f"{active - 1} active nodes under the quorum floor {floor}"
+            )
+        self.quiesced.add(node_id)
+        self._rebalance()
+
+    def activate_node(self, node_id: int) -> None:
+        """Undo :meth:`quiesce_node`; the node is preferred again."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError(f"no such node: {node_id}")
+        if node_id not in self.quiesced:
+            return
+        self.quiesced.discard(node_id)
+        self._rebalance()
+
     def _rebalance(self) -> None:
-        """Reassign acting primaries: first reachable owner per shard."""
+        """Reassign acting primaries: first reachable owner per shard.
+
+        Non-quiesced owners are preferred; a shard whose reachable
+        owners are all quiesced still gets one of them as acting
+        primary — quiescing trades preference, never availability.
+        """
         for shard in range(self.n_shards):
             owners = self.placement.owners(shard)
-            acting = next((o for o in owners if self._reachable(o)), None)
+            acting = next(
+                (
+                    o for o in owners
+                    if self._reachable(o) and o not in self.quiesced
+                ),
+                None,
+            )
+            if acting is None:
+                acting = next((o for o in owners if self._reachable(o)), None)
             previous = self._primary.get(shard)
             if acting == previous:
                 continue

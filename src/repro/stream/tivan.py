@@ -60,6 +60,11 @@ class ClassifierStage:
     degraded_service_time_s:
         Simulated per-message seconds on the cheap path; defaults to
         ``service_time_s / 10``.
+    n_workers:
+        Parallel servers the stage models: a tick's simulated cost is
+        ``service_time_s × n_taken / n_workers``.  This is the control
+        plane's costed autoscaling lever — worker-seconds are billed per
+        worker regardless of utilisation.
     """
 
     service_time_s: float
@@ -68,6 +73,7 @@ class ClassifierStage:
     batch_size: int = 1
     cheap_classify_batch: Callable[[Sequence[str]], Sequence[Category]] | None = None
     degraded_service_time_s: float | None = None
+    n_workers: int = 1
 
     n_done: int = field(default=0, init=False)
     #: documents labelled by the cheap path while degraded
@@ -81,6 +87,8 @@ class ClassifierStage:
             )
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if self.degraded_service_time_s is None:
             self.degraded_service_time_s = self.service_time_s / 10.0
         elif self.degraded_service_time_s <= 0:
@@ -124,6 +132,14 @@ class IngestReport:
     broker_commits_lost: int = 0
     broker_partition_stalls: int = 0
     broker_partitions: int = 0
+    #: control-plane counters (zero when no controller is attached)
+    control_ticks: int = 0
+    control_actuations: int = 0
+    control_flips: int = 0
+    control_worker_seconds: float = 0.0
+    brownout_level: int = 0
+    brownout_changes: int = 0
+    shed_messages: int = 0
 
     @property
     def keeping_up(self) -> bool:
@@ -333,10 +349,99 @@ class TivanCluster:
         self.n_degrade_transitions = 0
         self._stage: ClassifierStage | None = None
         self._backlog_samples: list[tuple[float, int]] = []
+        #: optional closed-loop controller (see :meth:`attach_controller`)
+        self.controller = None
+        self._degraded_override = False
+        self._shed_fraction = 0.0
+        self._shed_acc = 0.0
+        self.n_shed = 0
+        self._stage_batch_baseline: int | None = None
 
     def attach_classifier(self, stage: ClassifierStage) -> None:
         """Attach the classification stage before :meth:`run`."""
         self._stage = stage
+
+    def attach_controller(self, policy=None, *, registry=None):
+        """Attach the closed-loop overload controller before :meth:`run`.
+
+        Binds the policy's levers (default:
+        :func:`repro.control.default_policy`) onto this cluster's live
+        objects and wires the brownout ladder into
+        :meth:`apply_brownout`.  Call after :meth:`attach_classifier`
+        when the policy drives stage levers.  Returns the controller.
+        """
+        from repro.control import controller_for_cluster, default_policy
+
+        if policy is None:
+            policy = default_policy()
+        self.controller = controller_for_cluster(
+            self, policy, registry=registry
+        )
+        return self.controller
+
+    # -- brownout ladder actions ---------------------------------------
+
+    def set_degraded_override(self, forced: bool) -> None:
+        """Force (or release) the cheap-classify path regardless of the
+        backlog hysteresis — brownout rung L2."""
+        self._degraded_override = bool(forced)
+
+    def set_degrade_backlog(self, value: float) -> None:
+        """Retune the degrade threshold (control lever); the recover
+        threshold follows at half to preserve the hysteresis gap."""
+        value = max(1, int(round(value)))
+        self.degrade_backlog = value
+        self.recover_backlog = value // 2
+
+    def apply_brownout(self, old_level: int, new_level: int) -> None:
+        """Apply one brownout ladder transition (rungs are absolute).
+
+        L1 shrinks the stage drain batch to a quarter of its baseline
+        (restored on full recovery), L2 forces the cheap-classify path,
+        L3 sheds a deterministic fraction of arrivals at accept.  Each
+        rung includes the ones below it, and climbing back releases
+        mitigations in reverse order.
+        """
+        stage = self._stage
+        if stage is not None:
+            if new_level >= 1:
+                if self._stage_batch_baseline is None:
+                    self._stage_batch_baseline = stage.batch_size
+                stage.batch_size = max(1, self._stage_batch_baseline // 4)
+            elif self._stage_batch_baseline is not None:
+                stage.batch_size = self._stage_batch_baseline
+                self._stage_batch_baseline = None
+        self.set_degraded_override(new_level >= 2)
+        if new_level >= 3:
+            fraction = 0.5
+            if (
+                self.controller is not None
+                and self.controller.policy.brownout is not None
+            ):
+                fraction = self.controller.policy.brownout.shed_fraction
+            self._shed_fraction = fraction
+        else:
+            self._shed_fraction = 0.0
+            self._shed_acc = 0.0
+
+    def _shed_at_accept(self) -> bool:
+        """Brownout L3's deterministic fractional drop decision.
+
+        An accumulator spreads ``shed_fraction`` evenly over arrivals
+        (no RNG — replayable), counting each drop into
+        ``repro_control_shed_total{reason="brownout"}``.
+        """
+        if self._shed_fraction <= 0.0:
+            return False
+        self._shed_acc += self._shed_fraction
+        if self._shed_acc >= 1.0:
+            self._shed_acc -= 1.0
+            self.n_shed += 1
+            from repro.obs import wellknown
+
+            wellknown.control_shed().inc(reason="brownout")
+            return True
+        return False
 
     def load_events(self, events: Sequence[StreamEvent], *, skip=()) -> None:
         """Create daemons for every host in the trace and schedule it.
@@ -386,6 +491,8 @@ class TivanCluster:
         if self._stage is not None:
             self.engine.schedule(0.0, self._classifier_tick)
         self._schedule_sampler(sample_every_s, horizon)
+        if self.controller is not None:
+            self._schedule_controller(horizon)
         if self.journal is not None and self.checkpoint_every_s is not None:
             self._schedule_checkpoint(horizon)
         self.engine.run(until=horizon)
@@ -414,6 +521,15 @@ class TivanCluster:
             classified_degraded=self._stage.n_degraded if self._stage else 0,
             degrade_transitions=self.n_degrade_transitions,
         )
+        if self.controller is not None:
+            report.control_ticks = self.controller.n_ticks
+            report.control_actuations = self.controller.total_actuations
+            report.control_flips = self.controller.total_flips
+            report.control_worker_seconds = self.controller.worker_seconds
+            if self.controller.brownout is not None:
+                report.brownout_level = self.controller.brownout.level
+                report.brownout_changes = self.controller.brownout.n_changes
+            report.shed_messages = self.n_shed
         if self.broker is not None:
             bs = self.broker.stats
             report.broker_published = bs.published
@@ -469,6 +585,8 @@ class TivanCluster:
 
     def _offer(self, message) -> bool:
         """Relay downstream: forward with the message's trace identity."""
+        if self._shed_at_accept():
+            return False
         idx = self._event_idx.get(id(message))
         ctx = self._begin_trace(message, idx)
         if self.journal is None:
@@ -482,6 +600,8 @@ class TivanCluster:
         refused publish (stalled partition) is journaled as a reject —
         a recorded disposition, never republished on resume.
         """
+        if self._shed_at_accept():
+            return False
         idx = self._event_idx.get(id(message))
         ctx = self._begin_trace(message, idx)
         if self.journal is None:
@@ -500,6 +620,28 @@ class TivanCluster:
 
         def tick() -> None:
             self.write_checkpoint()
+            if self.engine.now + every <= horizon:
+                self.engine.schedule(every, tick)
+
+        self.engine.schedule(every, tick)
+
+    def _schedule_controller(self, horizon: float) -> None:
+        """Drive the controller on the simulation clock.
+
+        The classifier-backlog gauge is refreshed immediately before
+        each controller tick so the control decision never acts on a
+        sampler-stale reading.
+        """
+        from repro.obs import wellknown
+
+        controller = self.controller
+        every = controller.policy.tick_every_s
+        backlog_gauge = wellknown.classifier_backlog(controller.reader.registry)
+
+        def tick() -> None:
+            done = self._stage.n_done if self._stage else 0
+            backlog_gauge.set(len(self.store) - done)
+            controller.tick(self.engine.now)
             if self.engine.now + every <= horizon:
                 self.engine.schedule(every, tick)
 
@@ -563,7 +705,8 @@ class TivanCluster:
                 )
                 return
             shed = (
-                self.degraded and stage.cheap_classify_batch is not None
+                (self.degraded or self._degraded_override)
+                and stage.cheap_classify_batch is not None
             )
             if shed:
                 categories = stage.cheap_classify_batch(
@@ -588,7 +731,10 @@ class TivanCluster:
             service = (
                 stage.degraded_service_time_s if shed else stage.service_time_s
             )
-            self.engine.schedule(service * take, self._classifier_tick)
+            self.engine.schedule(
+                service * take / max(1, stage.n_workers),
+                self._classifier_tick,
+            )
         else:
             # idle poll: wake up when new documents may have arrived
             self.engine.schedule(

@@ -33,7 +33,7 @@ from __future__ import annotations
 import json
 import os
 
-from conftest import emit
+from conftest import emit, write_artifact
 
 from repro.control import BrownoutPolicy, ControlPolicy, LeverPolicy
 from repro.core.taxonomy import Category
@@ -157,6 +157,16 @@ def test_autoscale_holds_slo_cheaper_than_static():
              for r in rows],
         ),
     )
+    write_artifact("autoscale", {
+        "params": {
+            "duration_s": DURATION_S,
+            "base_rate": BASE_RATE,
+            "swing": SWING,
+            "e2e_slo_s": E2E_SLO_S,
+        },
+        "rows": rows,
+    })
+    # legacy knob: the CI matrix job uploads this exact path
     out = os.environ.get("REPRO_BENCH_MATRIX_OUT")
     if out:
         with open(out, "w", encoding="utf-8") as fh:

@@ -9,7 +9,9 @@ EXPERIMENTS.md).  ``REPRO_BENCH_SCALE`` scales the corpus (default
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -37,3 +39,20 @@ def emit(title: str, body: str) -> None:
     """Print one reproduced artifact with a recognizable banner."""
     line = "=" * max(len(title) + 4, 40)
     print(f"\n{line}\n  {title}\n{line}\n{body}\n")
+
+
+def write_artifact(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json``, the machine-readable twin of a table.
+
+    Always written (CI uploads these as artifacts; local runs get them
+    for free in the working directory).  ``REPRO_BENCH_ARTIFACT_DIR``
+    relocates them.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

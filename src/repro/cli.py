@@ -289,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: unlimited)")
     p.add_argument("--burst", type=float, default=None,
                    help="token-bucket burst (default: one second of rate)")
+    p.add_argument("--per-tenant", action="store_true",
+                   help="share --rate-limit across tenants (host/app "
+                        "keys) with deficit-round-robin fairness "
+                        "instead of one first-come global bucket")
     p.add_argument("--max-line-bytes", type=_positive_int, default=8192,
                    help="oversize quarantine threshold")
     p.add_argument("--partitions", type=_positive_int, default=None,
@@ -720,18 +724,6 @@ def _run_simulation(args):
     if wal_dir is not None:
         from repro.durability import SimConfig, resume_simulation
 
-        if control_policy is not None:
-            # controller state (cooldowns, ladder counters) is not
-            # journaled, so a resumed run could not replay decisions
-            raise SystemExit(
-                "--control is incompatible with --wal-dir: controller "
-                "state is not journaled across crash and resume"
-            )
-        if load_profile != "standard":
-            raise SystemExit(
-                "--load-profile is incompatible with --wal-dir: durable "
-                "runs regenerate the standard trace from meta.json"
-            )
         if (wal_dir / "meta.json").exists():
             raise SystemExit(
                 f"{wal_dir}: already holds a durable run — resume it "
@@ -762,6 +754,15 @@ def _run_simulation(args):
                 getattr(args, "cache_size", 4096)
                 if getattr(args, "template_cache", False)
                 else None
+            ),
+            load_profile=load_profile,
+            load_swing=getattr(args, "load_swing", 10.0),
+            # the policy rides meta.json; every resume rebinds it and
+            # restores the journaled controller state (WAL "control"
+            # records), so crashed control runs keep their setpoints
+            control=(
+                control_policy.to_dict()
+                if control_policy is not None else None
             ),
         ).save(wal_dir)
         cluster, config, journal = resume_simulation(wal_dir, injector=injector)
@@ -995,6 +996,21 @@ def _cmd_listen(args) -> int:
         pipe = load_pipeline(args.model_dir)
         _attach_cache(pipe, args)
 
+    tenant_quota = None
+    rate_limit = args.rate_limit
+    if getattr(args, "per_tenant", False):
+        if args.rate_limit is None:
+            raise SystemExit(
+                "--per-tenant needs --rate-limit for the aggregate "
+                "admit rate the tenants share"
+            )
+        from repro.ingest import DeficitRoundRobin
+
+        # the fair-share quota replaces the global bucket: same
+        # aggregate budget, dealt round-robin across host/app keys
+        tenant_quota = DeficitRoundRobin(args.rate_limit, args.burst)
+        rate_limit = None
+
     broker = LogBroker(n_partitions=args.partitions)
     store = LogStore()
     listener = SyslogListener(
@@ -1002,8 +1018,9 @@ def _cmd_listen(args) -> int:
         host=args.host,
         udp_port=None if args.udp_port < 0 else args.udp_port,
         tcp_port=None if args.tcp_port < 0 else args.tcp_port,
-        rate_limit=args.rate_limit,
+        rate_limit=rate_limit,
         burst=args.burst,
+        tenant_quota=tenant_quota,
         max_line_bytes=args.max_line_bytes,
         trace_sampler=sampler,
     )
@@ -1019,14 +1036,16 @@ def _cmd_listen(args) -> int:
                     f"listen mode can only bind the 'listener_rate' "
                     f"lever, policy names {lever_policy.name!r}"
                 )
-            if listener.bucket is None:
+            # the admission valve is the global bucket or, under
+            # --per-tenant, the fair-share quota (same rate/set_rate
+            # surface — the lever retunes the aggregate budget)
+            valve = listener.bucket or listener.quota
+            if valve is None:
                 raise SystemExit(
                     "the 'listener_rate' lever needs --rate-limit to "
-                    "create the token bucket it actuates"
+                    "create the admission valve it actuates"
                 )
-            controller.bind(
-                lever_policy.name, ListenerRateActuator(listener.bucket)
-            )
+            controller.bind(lever_policy.name, ListenerRateActuator(valve))
     server = _start_ops(args)
 
     async def serve() -> None:
@@ -1119,6 +1138,11 @@ def _cmd_listen(args) -> int:
         f"parse_errors={s.parse_errors} publish_refused={s.publish_refused} "
         f"accounted={s.accounted()}"
     )
+    if listener.quota is not None:
+        print(
+            f"tenants: active={len(listener.quota)} "
+            f"tenant_shed={s.tenant_shed}"
+        )
     print(
         f"broker: partitions={len(broker.partitions)} "
         f"published={broker.stats.published} polled={broker.stats.polled} "
@@ -1135,11 +1159,12 @@ def _cmd_listen(args) -> int:
         print(line)
     if controller is not None:
         cs = controller.stats()
+        valve = listener.bucket or listener.quota
         print(
             f"control: ticks={cs['ticks']} "
             f"actuations={sum(cs['actuations'].values())} "
             f"flips={sum(cs['flips'].values())} "
-            f"rate={listener.bucket.rate:.0f}"
+            f"rate={valve.rate:.0f}"
         )
     if len(listener.dead_letters):
         print(f"dead_letters={len(listener.dead_letters)}")

@@ -31,6 +31,7 @@ from repro.control.controller import (
 from repro.control.policy import (
     BrownoutPolicy,
     ControlPolicy,
+    FeedforwardPolicy,
     LeverPolicy,
     default_listen_policy,
     default_policy,
@@ -53,6 +54,7 @@ __all__ = [
     "controller_for_cluster",
     "BrownoutPolicy",
     "ControlPolicy",
+    "FeedforwardPolicy",
     "LeverPolicy",
     "default_listen_policy",
     "default_policy",

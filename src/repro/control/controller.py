@@ -30,6 +30,7 @@ reason-labelled shed counts.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.control.actuators import Actuator
@@ -160,11 +161,18 @@ class Controller:
         self.n_ticks = 0
         #: ∫ value dt of the costed lever (the autoscaling bill)
         self.worker_seconds = 0.0
+        #: up-moves taken on the feedforward prediction alone
+        self.n_feedforward_moves = 0
         self._last_tick_s: float | None = None
+        self._ff_window: deque[tuple[float, float]] | None = None
+        if policy.feedforward is not None:
+            self._ff_window = deque(maxlen=policy.feedforward.window_ticks)
         self._m_ticks = wellknown.control_ticks(registry)
         self._m_actuations = wellknown.control_actuations(registry)
         self._m_setpoint = wellknown.control_setpoint(registry)
         self._m_flips = wellknown.control_flips(registry)
+        self._m_ff_rate = wellknown.control_feedforward_rate(registry)
+        self._m_ff_moves = wellknown.control_feedforward_moves(registry)
 
     # -- wiring --------------------------------------------------------
 
@@ -198,7 +206,7 @@ class Controller:
         # advance for signals actually read, and the shrink guard reads
         # the arrival rate lazily — without priming, its first-ever read
         # has no baseline, sees 0.0 demand, and waves the shrink through
-        SIGNALS["arrival_rate"](reader)
+        arrival = SIGNALS["arrival_rate"](reader)
         self.n_ticks += 1
         self._m_ticks.inc()
         if self._last_tick_s is not None:
@@ -206,22 +214,72 @@ class Controller:
             for lever in self.levers.values():
                 if lever.policy.costed:
                     self.worker_seconds += lever.value * dt
+        ff_boost = self._feedforward(now, arrival)
         for lever in self.levers.values():
-            self._evaluate(lever, now)
+            self._evaluate(lever, now, ff_boost=ff_boost)
         if self.brownout is not None:
             self.brownout.update(self._overloaded(reader))
         reader.finish_tick()
         self._last_tick_s = now
 
-    def _evaluate(self, lever: Lever, now: float) -> None:
+    def _feedforward(self, now: float, arrival: float) -> bool:
+        """Append the offered-load sample; True when a surge is predicted.
+
+        Fits a least-squares slope over the full sample window and
+        extrapolates ``horizon_s`` ahead; fires only with a full window
+        (the first samples after start/resume ramp from a missing
+        baseline and would fake a slope) and a positive current rate.
+        """
+        if self._ff_window is None:
+            return False
+        ff = self.policy.feedforward
+        assert ff is not None
+        if arrival <= 0:
+            # no baseline yet (first tick after start/resume) or a dead
+            # feed — a zero sample in the window would fake the very
+            # ramp this term exists to predict
+            self._m_ff_rate.set(arrival)
+            return False
+        self._ff_window.append((now, arrival))
+        if len(self._ff_window) < ff.window_ticks:
+            self._m_ff_rate.set(arrival)
+            return False
+        points = list(self._ff_window)
+        t0 = points[0][0]
+        xs = [t - t0 for t, _ in points]
+        ys = [rate for _, rate in points]
+        n = len(points)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        var_x = sum((x - mean_x) ** 2 for x in xs)
+        if var_x <= 0:
+            self._m_ff_rate.set(arrival)
+            return False
+        slope = sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        ) / var_x
+        predicted = max(0.0, ys[-1] + slope * ff.horizon_s)
+        self._m_ff_rate.set(predicted)
+        return predicted >= arrival * ff.min_gain
+
+    def _evaluate(
+        self, lever: Lever, now: float, *, ff_boost: bool = False
+    ) -> None:
         pol = lever.policy
         pressure = SIGNALS[pol.signal](self.reader)
         pressure_dir = "up" if pol.pressure_up else "down"
         relief_dir = "down" if pol.pressure_up else "up"
-        if pressure > pol.high:
+        # feedforward pre-positions capacity levers only: an additive
+        # up-move ahead of the reactive signal, never a relief move
+        boosted = ff_boost and pol.pressure_up and pressure <= pol.high
+        if pressure > pol.high or boosted:
             lever.quiet_ticks = 0
             if now - lever.last_move_s >= pol.cooldown_s:
+                before = lever.n_actuations
                 self._move(lever, pressure_dir, now)
+                if boosted and lever.n_actuations > before:
+                    self.n_feedforward_moves += 1
+                    self._m_ff_moves.inc(lever=pol.name)
         elif pressure < pol.low:
             lever.quiet_ticks += 1
             if (
@@ -292,7 +350,113 @@ class Controller:
             "brownout_level": self.brownout.level if self.brownout else 0,
             "brownout_changes": self.brownout.n_changes if self.brownout else 0,
             "worker_seconds": self.worker_seconds,
+            "feedforward_moves": self.n_feedforward_moves,
         }
+
+    # -- durable state -------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The controller's complete decision state as a JSON-safe dict.
+
+        This is the payload of the ``"control"`` WAL record the cluster
+        journals after every tick: per-lever setpoints and hysteresis
+        (cooldown clocks, quiet ticks, direction, actuation/flip
+        counts), ladder rung and its enter/exit counters, the costed
+        integral, the feedforward sample window, and the signal
+        reader's window baselines.  ``restore_state`` on a freshly
+        bound controller reproduces the dead process's control loop
+        exactly — same levers, same rung, same pending hysteresis.
+        """
+        state: dict = {
+            "n_ticks": self.n_ticks,
+            "worker_seconds": self.worker_seconds,
+            "feedforward_moves": self.n_feedforward_moves,
+            "last_tick_s": self._last_tick_s,
+            "levers": {
+                name: {
+                    "value": lever.value,
+                    # JSON has no -inf literal worth relying on; None
+                    # marks "never moved" instead
+                    "last_move_s": (
+                        None if lever.last_move_s == float("-inf")
+                        else lever.last_move_s
+                    ),
+                    "quiet_ticks": lever.quiet_ticks,
+                    "last_direction": lever.last_direction,
+                    "n_actuations": lever.n_actuations,
+                    "n_flips": lever.n_flips,
+                }
+                for name, lever in self.levers.items()
+            },
+            "brownout": None,
+            "feedforward_window": (
+                None if self._ff_window is None
+                else [[t, rate] for t, rate in self._ff_window]
+            ),
+            "reader": self.reader.export_window(),
+        }
+        if self.brownout is not None:
+            state["brownout"] = {
+                "level": self.brownout.level,
+                "n_changes": self.brownout.n_changes,
+                "over_ticks": self.brownout._over_ticks,
+                "ok_ticks": self.brownout._ok_ticks,
+            }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate a journaled :meth:`export_state` snapshot.
+
+        Restored setpoints are *repositioned* through the actuators
+        (the rebuilt cluster starts at cold defaults) without counting
+        as actuations — the journaled ``n_actuations``/``n_flips`` are
+        restored verbatim, which is what the crash harness's
+        zero-duplicate-actuations assertion checks.  Ladder restore
+        re-applies the rung's mitigation via ``on_change`` (rungs are
+        absolute) without advancing ``n_changes``.
+        """
+        self.n_ticks = int(state["n_ticks"])
+        self.worker_seconds = float(state["worker_seconds"])
+        self.n_feedforward_moves = int(state.get("feedforward_moves", 0))
+        last_tick = state.get("last_tick_s")
+        self._last_tick_s = None if last_tick is None else float(last_tick)
+        for name, lever_state in state.get("levers", {}).items():
+            lever = self.levers.get(name)
+            if lever is None:
+                continue  # policy lost this lever between generations
+            value = float(lever_state["value"])
+            if value != lever.value:
+                lever.actuator.apply(value)
+            lever.value = value
+            last_move = lever_state.get("last_move_s")
+            lever.last_move_s = (
+                float("-inf") if last_move is None else float(last_move)
+            )
+            lever.quiet_ticks = int(lever_state.get("quiet_ticks", 0))
+            lever.last_direction = lever_state.get("last_direction")
+            lever.n_actuations = int(lever_state.get("n_actuations", 0))
+            lever.n_flips = int(lever_state.get("n_flips", 0))
+            self._m_setpoint.set(value, lever=name)
+        brownout_state = state.get("brownout")
+        if brownout_state is not None and self.brownout is not None:
+            ladder = self.brownout
+            level = int(brownout_state["level"])
+            if level != ladder.level:
+                old, ladder.level = ladder.level, level
+                if ladder.on_change is not None:
+                    ladder.on_change(old, level)
+            ladder.n_changes = int(brownout_state.get("n_changes", 0))
+            ladder._over_ticks = int(brownout_state.get("over_ticks", 0))
+            ladder._ok_ticks = int(brownout_state.get("ok_ticks", 0))
+            ladder._m_level.set(level)
+        window = state.get("feedforward_window")
+        if window is not None and self._ff_window is not None:
+            self._ff_window.clear()
+            for t, rate in window:
+                self._ff_window.append((float(t), float(rate)))
+        reader_state = state.get("reader")
+        if reader_state is not None:
+            self.reader.restore_window(reader_state)
 
 
 def controller_for_cluster(cluster, policy: ControlPolicy, *, registry=None):

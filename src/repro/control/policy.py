@@ -23,6 +23,7 @@ from repro.control.signals import SIGNALS
 __all__ = [
     "LeverPolicy",
     "BrownoutPolicy",
+    "FeedforwardPolicy",
     "ControlPolicy",
     "default_policy",
     "default_listen_policy",
@@ -199,6 +200,56 @@ class BrownoutPolicy:
 
 
 @dataclass(frozen=True)
+class FeedforwardPolicy:
+    """Predictive pre-positioning from the offered-load window.
+
+    The controller keeps the last ``window_ticks`` arrival-rate samples
+    and fits a least-squares slope through them; when the extrapolated
+    rate ``horizon_s`` ahead exceeds ``min_gain`` × the current rate,
+    capacity levers (``pressure_up=True``) are allowed to take their
+    additive up-step *before* the reactive signal crosses ``high`` —
+    the diurnal/surge ramp is met with capacity already in place.
+
+    Feedforward only ever accelerates provisioning: it never triggers a
+    relief move, it still respects per-lever cooldowns, and under
+    constant in-capacity load the fitted slope is flat so it never
+    fires — which is how it preserves the anti-oscillation guarantee
+    (the hypothesis suite pins this down).
+    """
+
+    window_ticks: int = 12
+    horizon_s: float = 30.0
+    min_gain: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.window_ticks < 3:
+            raise ValueError(
+                f"window_ticks must be >= 3, got {self.window_ticks}"
+            )
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be > 0, got {self.horizon_s}")
+        if self.min_gain <= 1.0:
+            raise ValueError(f"min_gain must be > 1, got {self.min_gain}")
+
+    def to_dict(self) -> dict:
+        """The JSON form ``load_policy_file`` reads back."""
+        return {
+            "window_ticks": self.window_ticks,
+            "horizon_s": self.horizon_s,
+            "min_gain": self.min_gain,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FeedforwardPolicy":
+        """Build a feedforward policy from its JSON dict form."""
+        return cls(
+            window_ticks=int(data.get("window_ticks", 12)),
+            horizon_s=float(data.get("horizon_s", 30.0)),
+            min_gain=float(data.get("min_gain", 1.2)),
+        )
+
+
+@dataclass(frozen=True)
 class ControlPolicy:
     """One complete controller configuration (the ``--control-policy`` file).
 
@@ -213,6 +264,7 @@ class ControlPolicy:
     levers: tuple[LeverPolicy, ...] = ()
     brownout: BrownoutPolicy | None = field(default_factory=BrownoutPolicy)
     utilization_cap: float = 0.8
+    feedforward: FeedforwardPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.tick_every_s <= 0:
@@ -234,12 +286,16 @@ class ControlPolicy:
             "utilization_cap": self.utilization_cap,
             "levers": [lv.to_dict() for lv in self.levers],
             "brownout": self.brownout.to_dict() if self.brownout else None,
+            "feedforward": (
+                self.feedforward.to_dict() if self.feedforward else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ControlPolicy":
         """Build a control policy from its JSON dict form."""
         brownout = data.get("brownout")
+        feedforward = data.get("feedforward")
         return cls(
             tick_every_s=float(data.get("tick_every_s", 5.0)),
             utilization_cap=float(data.get("utilization_cap", 0.8)),
@@ -249,6 +305,10 @@ class ControlPolicy:
             brownout=(
                 BrownoutPolicy.from_dict(brownout)
                 if brownout is not None else None
+            ),
+            feedforward=(
+                FeedforwardPolicy.from_dict(feedforward)
+                if feedforward is not None else None
             ),
         )
 

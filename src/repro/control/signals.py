@@ -127,6 +127,43 @@ class SignalReader:
         self._cache[key] = rate
         return rate
 
+    # -- durable state -------------------------------------------------
+
+    def export_window(self) -> dict:
+        """JSON-safe snapshot of the window baselines (for the WAL).
+
+        Captures the previous-tick counter values and cumulative bucket
+        snapshots plus the previous tick time, so a resumed controller's
+        first post-crash tick diffs against the same baseline the dead
+        process would have — rates and windowed quantiles survive the
+        crash instead of reading 0.0.
+        """
+        counters: dict[str, float] = {}
+        buckets: dict[str, list] = {}
+        for key, value in self._prev.items():
+            kind, name = key
+            if kind == "counter":
+                counters[name] = value
+            elif kind == "buckets":
+                buckets[name] = [[edge, cum] for edge, cum in value]
+        return {
+            "prev_now": self._prev_now,
+            "counters": counters,
+            "buckets": buckets,
+        }
+
+    def restore_window(self, data: dict) -> None:
+        """Reinstate window baselines exported by :meth:`export_window`."""
+        prev_now = data.get("prev_now")
+        self._prev_now = None if prev_now is None else float(prev_now)
+        self._prev = {}
+        for name, value in data.get("counters", {}).items():
+            self._prev[("counter", name)] = float(value)
+        for name, snapshot in data.get("buckets", {}).items():
+            self._prev[("buckets", name)] = [
+                (float(edge), int(cum)) for edge, cum in snapshot
+            ]
+
     def window_quantile(self, name: str, q: float) -> float:
         """Quantile of a histogram over observations since the last tick.
 

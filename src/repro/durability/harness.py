@@ -54,6 +54,13 @@ def child_main(argv: list[str] | None = None) -> int:
 
         injector = FaultInjector(FaultPlan.from_file(args.crash_plan))
     cluster, config, journal = resume_simulation(args.wal_dir, injector=injector)
+    # captured before the run: the restored control state this child
+    # woke up with — the crash harness asserts it equals what the dead
+    # generation journaled (setpoint equality, no duplicate actuations)
+    control_at_resume = (
+        cluster.controller.export_state()
+        if cluster.controller is not None else None
+    )
     horizon = max(config.duration_s + 30.0, cluster.engine.now)
     report = cluster.run(horizon)
     conservation = reconcile(journal.state, report.produced)
@@ -67,6 +74,9 @@ def child_main(argv: list[str] | None = None) -> int:
         "relay_dropped": report.relay_dropped,
         "conservation": asdict(conservation),
     }
+    if cluster.controller is not None:
+        payload["control_at_resume"] = control_at_resume
+        payload["control"] = cluster.controller.stats()
     if config.trace_sample > 0:
         payload["traces"] = _trace_report(config)
     (args.wal_dir / REPORT_FILENAME).write_text(

@@ -63,9 +63,11 @@ __all__ = [
 
 #: WAL record kinds the journal writes (one per buffer transition;
 #: ``requeue`` is broker-mode recovery returning polled-but-uncommitted
-#: events to the broker)
+#: events to the broker; ``control`` is the controller's post-tick
+#: decision state — setpoints, ladder rung, hysteresis — newest wins)
 RECORD_KINDS = (
     "accept", "reject", "evict", "flush", "abandon", "dead_new", "requeue",
+    "control",
 )
 
 META_FILENAME = "meta.json"
@@ -108,6 +110,11 @@ class JournalState:
     #: carried by flush/abandon records — the durable commit log that
     #: outlives the broker's in-memory committed offsets
     offsets: dict = field(default_factory=dict)
+    #: latest journaled controller decision state (``control`` records;
+    #: None when the run has no controller) — resume rebinds the policy
+    #: and restores this verbatim, so crashed control runs keep their
+    #: setpoints, ladder rung, and hysteresis instead of cold defaults
+    control: dict | None = None
 
     def apply(self, record: WalRecord) -> None:
         """Apply one WAL record; no-op when already applied."""
@@ -159,6 +166,9 @@ class JournalState:
                 entry = self._take(event)
                 if entry is not None:
                     self.seen.discard(event)
+        elif kind == "control":
+            # full post-tick snapshot, so newest-wins is the whole story
+            self.control = data["state"]
         else:
             raise ValueError(f"unknown WAL record kind {kind!r}")
 
@@ -185,6 +195,7 @@ class JournalState:
             "rejected": list(self.rejected),
             "evicted": list(self.evicted),
             "offsets": dict(self.offsets),
+            "control": self.control,
         }
 
     @classmethod
@@ -201,6 +212,8 @@ class JournalState:
                 str(p): int(o)
                 for p, o in (payload.get("offsets") or {}).items()
             },
+            # absent in pre-control checkpoints
+            control=payload.get("control"),
         )
         state.seen = (
             {e for e, _m in state.buffer}
@@ -322,6 +335,19 @@ class StreamJournal:
         self._barrier_commit("requeue", {"events": events})
         return len(events)
 
+    def control_state(self, state: dict) -> None:
+        """Journal the controller's post-tick decision state.
+
+        One ``control`` record per tick, carrying the complete
+        :meth:`~repro.control.controller.Controller.export_state`
+        snapshot — setpoint moves, ladder transitions, and cooldown/
+        hold state are all inside it, and newest-wins replay makes the
+        record trivially idempotent.  A write barrier like any other
+        non-accept record, so the control decision is totally ordered
+        against the message dispositions it reacted to.
+        """
+        self._barrier_commit("control", {"state": state})
+
     def flush_pending(self) -> None:
         """Write barrier: group-commit any pending accepts to the WAL.
 
@@ -409,11 +435,28 @@ class SimConfig:
     #: pipeline (None = no cache); exact memoization, so a resumed run
     #: classifies identically with or without it
     template_cache: int | None = None
+    #: offered-load shape ("standard", "surge", "diurnal", "constant");
+    #: all profiles are pure functions of (duration, rate, swing, seed),
+    #: so any of them is a regenerable durable trace
+    load_profile: str = "standard"
+    load_swing: float = 10.0
+    #: serialized ControlPolicy (``ControlPolicy.to_dict``); resume
+    #: rebinds it and restores the journaled controller state, which is
+    #: what makes ``--control`` + ``--wal-dir`` legal
+    control: dict | None = None
 
     def events(self):
         """Regenerate the deterministic trace this config describes."""
-        from repro.datagen.workload import standard_simulation_events
+        from repro.datagen.workload import (
+            offered_load_events,
+            standard_simulation_events,
+        )
 
+        if self.load_profile != "standard":
+            return offered_load_events(
+                profile=self.load_profile, duration_s=self.duration_s,
+                base_rate=self.rate, swing=self.load_swing, seed=self.seed,
+            )
         return standard_simulation_events(
             duration_s=self.duration_s, background_rate=self.rate,
             seed=self.seed, incident=self.incident,
@@ -729,6 +772,17 @@ def resume_simulation(wal_dir: str | Path, *, injector=None):
     cluster.relay.n_received = stats.accepted + stats.rejected + dead_overflow
     cluster.relay.n_forwarded = stats.accepted
     cluster.relay.n_dropped = stats.rejected + dead_overflow
+
+    # -- rebind + restore the controller (after the metrics restore, so
+    # the journaled setpoint/ladder gauges are not clobbered) ------------
+    if config.control is not None:
+        from repro.control import ControlPolicy
+
+        controller = cluster.attach_controller(
+            ControlPolicy.from_dict(config.control)
+        )
+        if state.control is not None:
+            controller.restore_state(state.control)
 
     cluster.load_events(events, skip=state.seen)
     return cluster, config, journal

@@ -26,11 +26,13 @@ from repro.ingest.broker import (
     host_partitioner,
 )
 from repro.ingest.listener import ListenerStats, SyslogListener, TokenBucket
+from repro.ingest.quota import DeficitRoundRobin
 
 __all__ = [
     "BrokerRecord",
     "BrokerStats",
     "ConsumerGroup",
+    "DeficitRoundRobin",
     "ListenerStats",
     "LogBroker",
     "Partition",

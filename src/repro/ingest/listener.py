@@ -17,11 +17,17 @@ The accept path, in order, is:
 3. **size cap** — oversize lines are quarantined to the DLQ;
 4. **parse** — unparseable lines are quarantined to the DLQ with the
    parser's reason string;
-5. **publish** — a stalled-partition refusal is quarantined too.
+5. per-tenant **fair-share quota** — when a
+   :class:`~repro.ingest.quota.DeficitRoundRobin` is attached, the
+   parsed message's host/app key draws from its tenant's deficit; a
+   saturating tenant is shed (``tenant_shed``, reason ``fair_share``)
+   without starving compliant ones (the key needs a parsed message,
+   which is why this gate sits after parse);
+6. **publish** — a stalled-partition refusal is quarantined too.
 
 No branch is silent: every received line ends in exactly one of
-``accepted``, ``shed``, ``accept_dropped``, ``oversize``,
-``parse_errors`` or ``publish_refused`` (see
+``accepted``, ``shed``, ``tenant_shed``, ``accept_dropped``,
+``oversize``, ``parse_errors`` or ``publish_refused`` (see
 :meth:`ListenerStats.accounted`).
 
 Metrics are synchronised to the registry in batches (every
@@ -40,6 +46,7 @@ from dataclasses import dataclass
 from repro.faults.dlq import DeadLetterQueue
 from repro.faults.plan import SITE_ACCEPT_DROP, FaultInjector
 from repro.ingest.broker import LogBroker
+from repro.ingest.quota import DeficitRoundRobin
 from repro.obs import wellknown
 from repro.stream.rfc import MAX_LINE_BYTES, safe_parse_line
 
@@ -118,6 +125,7 @@ class ListenerStats:
     received_tcp: int = 0
     accepted: int = 0
     shed: int = 0
+    tenant_shed: int = 0
     accept_dropped: int = 0
     oversize: int = 0
     parse_errors: int = 0
@@ -130,8 +138,9 @@ class ListenerStats:
     def accounted(self) -> bool:
         """The no-silent-loss check: bins sum back to received."""
         return self.received == (
-            self.accepted + self.shed + self.accept_dropped
-            + self.oversize + self.parse_errors + self.publish_refused
+            self.accepted + self.shed + self.tenant_shed
+            + self.accept_dropped + self.oversize
+            + self.parse_errors + self.publish_refused
         )
 
 
@@ -156,6 +165,12 @@ class SyslogListener:
     rate_limit, burst:
         Accept-time token-bucket budget in messages/second; ``None``
         disables shedding.
+    tenant_quota:
+        Optional :class:`~repro.ingest.quota.DeficitRoundRobin`: parsed
+        messages draw admission from their tenant's (host/app) fair
+        share instead of a first-come free-for-all; over-quota lines
+        land in ``tenant_shed`` with per-tenant reason-labelled
+        counters.  Composes with (or replaces) the global bucket.
     max_line_bytes:
         Size cap; longer input is quarantined, not truncated.
     on_message:
@@ -175,6 +190,7 @@ class SyslogListener:
         tcp_port: int | None = 0,
         rate_limit: float | None = None,
         burst: float | None = None,
+        tenant_quota: DeficitRoundRobin | None = None,
         max_line_bytes: int = MAX_LINE_BYTES,
         fault_injector: FaultInjector | None = None,
         dead_letters: DeadLetterQueue | None = None,
@@ -199,6 +215,7 @@ class SyslogListener:
             if trace_sampler is not None else float("inf")
         )
         self.bucket = TokenBucket(rate_limit, burst, clock=clock) if rate_limit else None
+        self.quota = tenant_quota
         self.stats = ListenerStats()
         self.udp_address: tuple[str, int] | None = None
         self.tcp_address: tuple[str, int] | None = None
@@ -214,6 +231,14 @@ class SyslogListener:
         self._m_parse_errors = wellknown.ingest_parse_errors(registry)
         self._m_oversize = wellknown.ingest_oversize(registry)
         self._m_publish_refused = wellknown.ingest_publish_refused(registry)
+        self._m_tenant_received = wellknown.ingest_tenant_received(registry)
+        self._m_tenant_accepted = wellknown.ingest_tenant_accepted(registry)
+        self._m_tenant_shed = wellknown.ingest_tenant_shed(registry)
+        self._m_tenants_active = wellknown.ingest_tenants_active(registry)
+        # per-tenant [received, accepted, shed] deltas, flushed with the
+        # batched sync — per-line labelled increments would be the
+        # hot-path bottleneck the batching exists to avoid
+        self._tenant_pending: dict[str, list[int]] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -325,6 +350,17 @@ class SyslogListener:
                 transport="udp" if udp else "tcp",
             )
             return
+        if self.quota is not None:
+            tenant = f"{message.hostname}/{message.app}"
+            pending = self._tenant_pending.get(tenant)
+            if pending is None:
+                pending = self._tenant_pending[tenant] = [0, 0, 0]
+            pending[0] += 1
+            if not self.quota.allow(tenant):
+                stats.tenant_shed += 1
+                pending[2] += 1
+                return
+            pending[1] += 1
         stats.accepted += 1
         ctx = None
         # keyed by the accept ordinal: deterministic under a fixed
@@ -378,5 +414,18 @@ class SyslogListener:
             delta = getattr(s, attr) - getattr(prev, attr)
             if delta:
                 metric.inc(delta)
+        if self._tenant_pending:
+            for tenant, (received, accepted, shed) in self._tenant_pending.items():
+                if received:
+                    self._m_tenant_received.inc(received, tenant=tenant)
+                if accepted:
+                    self._m_tenant_accepted.inc(accepted, tenant=tenant)
+                if shed:
+                    self._m_tenant_shed.inc(
+                        shed, tenant=tenant, reason="fair_share"
+                    )
+            self._tenant_pending.clear()
+        if self.quota is not None:
+            self._m_tenants_active.set(len(self.quota))
         self._synced = ListenerStats(**vars(s))
         self._since_sync = 0

@@ -1,0 +1,186 @@
+"""Per-tenant fair-share admission: a deficit-round-robin quota.
+
+The listener's original token bucket is a single global valve: one
+abusive sender draining it starves every compliant tenant behind the
+same socket.  :class:`DeficitRoundRobin` replaces it with max-min
+fairness over tenants (the host/app key of each parsed message):
+
+- tokens accrue into one global pool at ``rate`` per second (capped at
+  ``burst``), exactly like the bucket — the *aggregate* admit rate is
+  unchanged;
+- the pool is dealt to tenants round-robin, one ``quantum`` per visit,
+  so every active tenant draws an equal share of the refill;
+- each tenant spends its own deficit to admit lines, and a tenant's
+  deficit is capped at its fair share of the burst — an idle tenant
+  cannot hoard, and whatever it declines flows to the others
+  (work-conserving: a lone tenant still gets the full rate).
+
+A tenant sending under its fair share therefore keeps a positive
+deficit and admits everything; a saturating tenant exhausts its own
+deficit and is shed without touching anyone else's.  The structure is
+the classic DRR scheduler (Shreedhar & Varghese) applied to admission
+instead of dequeueing.
+
+Like :class:`~repro.ingest.listener.TokenBucket` the clock is injected
+and all state transitions happen under one lock, so tests drive it
+deterministically and the listener's event loop and the controller's
+``set_rate`` actuations can race safely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["DeficitRoundRobin"]
+
+
+class DeficitRoundRobin:
+    """Fair-share admission quota over dynamically discovered tenants.
+
+    Parameters
+    ----------
+    rate:
+        Aggregate admit rate across all tenants, tokens (lines) per
+        second.
+    burst:
+        Token capacity of the global pool (default: ``rate``); also
+        sets the per-tenant deficit cap at ``burst / n_tenants``
+        (never below ``quantum``).
+    quantum:
+        Tokens dealt per tenant per round-robin visit.  One line costs
+        one token, so the default of 1.0 keeps the deal granular.
+    max_tenants:
+        Tracked-tenant bound; admitting a new tenant beyond it evicts
+        the least-recently-seen one (its unspent deficit returns to
+        the pool).
+    clock:
+        Monotonic time source (injected in tests and simulations).
+    """
+
+    __slots__ = (
+        "rate",
+        "burst",
+        "quantum",
+        "max_tenants",
+        "_pool",
+        "_last",
+        "_clock",
+        "_lock",
+        "_deficits",
+        "_ring",
+        "_last_seen",
+    )
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        *,
+        quantum: float = 1.0,
+        max_tenants: int = 1024,
+        clock=time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        if max_tenants < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else rate)
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {self.burst}")
+        self.quantum = float(quantum)
+        self.max_tenants = int(max_tenants)
+        self._pool = self.burst
+        self._clock = clock
+        self._last = clock()
+        self._lock = threading.Lock()
+        self._deficits: dict[str, float] = {}
+        self._ring: deque[str] = deque()
+        self._last_seen: dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._deficits)
+
+    def allow(self, tenant: str) -> bool:
+        """True to admit one line for ``tenant``, False to shed it."""
+        with self._lock:
+            now = self._clock()
+            self._settle(now)
+            self._last_seen[tenant] = now
+            if tenant not in self._deficits:
+                self._admit_tenant(tenant)
+            if self._deficits[tenant] < 1.0 and self._pool >= self.quantum:
+                self._distribute()
+            if self._deficits[tenant] >= 1.0:
+                self._deficits[tenant] -= 1.0
+                return True
+            return False
+
+    def set_rate(self, rate: float, burst: float | None = None) -> None:
+        """Retarget the aggregate rate; unspent tokens are preserved.
+
+        Mirrors ``TokenBucket.set_rate`` so the controller's
+        ``listener_rate`` lever drives either admission mechanism: the
+        pool settles at the old rate up to now, then refills at the new
+        one (clamped into the possibly-changed burst).
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        with self._lock:
+            self._settle(self._clock())
+            self.rate = float(rate)
+            if burst is not None:
+                if burst <= 0:
+                    raise ValueError(f"burst must be positive, got {burst}")
+                self.burst = float(burst)
+            self._pool = min(self._pool, self.burst)
+
+    def snapshot(self) -> dict[str, float]:
+        """Current per-tenant deficits (for the ops surface)."""
+        with self._lock:
+            return dict(self._deficits)
+
+    # -- internals (call with the lock held) ----------------------------
+
+    def _settle(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._pool = min(self.burst, self._pool + elapsed * self.rate)
+        self._last = now
+
+    def _admit_tenant(self, tenant: str) -> None:
+        if len(self._deficits) >= self.max_tenants:
+            stale = min(self._ring, key=lambda t: self._last_seen.get(t, 0.0))
+            self._pool = min(
+                self.burst, self._pool + self._deficits.pop(stale)
+            )
+            self._ring.remove(stale)
+            self._last_seen.pop(stale, None)
+        self._deficits[tenant] = 0.0
+        self._ring.append(tenant)
+
+    def _distribute(self) -> None:
+        """Deal the pool round-robin, one quantum per tenant per visit.
+
+        Stops when the pool cannot fund another quantum or a full pass
+        grants nothing (every tenant at its fair-share cap).
+        """
+        n = len(self._ring)
+        if n == 0:
+            return
+        cap = max(self.quantum, self.burst / n)
+        stalled = 0
+        while self._pool >= self.quantum and stalled < n:
+            tenant = self._ring[0]
+            self._ring.rotate(-1)
+            take = min(self.quantum, cap - self._deficits[tenant], self._pool)
+            if take <= 0:
+                stalled += 1
+                continue
+            stalled = 0
+            self._deficits[tenant] += take
+            self._pool -= take

@@ -125,6 +125,7 @@ _PANEL_SECTIONS = (
     ("broker", ("repro_broker_",)),
     ("store", ("repro_store_",)),
     ("durability", ("repro_wal_", "repro_checkpoint_")),
+    ("control", ("repro_control_",)),
     ("faults", ("repro_faults_",)),
     ("e2e + slo", ("repro_e2e_", "repro_trace_", "repro_slo_")),
 )
@@ -148,7 +149,8 @@ def render_metrics_panel(source, *, title: str = "metrics") -> str:
     count/mean and interpolated p50/p95/p99.
 
     Families are grouped into subsystem sections (pipeline, stream,
-    ingest, broker, store, durability, faults, e2e + slo) by their
+    ingest, broker, store, durability, control, faults, e2e + slo) by
+    their
     wellknown name prefix; names outside the scheme land in ``other``.
     Section headers are omitted when everything is unprefixed, so
     ad-hoc registries render as a flat panel.

@@ -11,6 +11,9 @@ the ``--metrics-port`` flag on ``repro-syslog listen`` and
   is re-evaluated so burn gauges are current as of the scrape.
 - ``GET /health`` — JSON liveness: ``{"status": "ok", "uptime_seconds",
   "traces"}``.
+- ``GET /control`` — JSON control-plane summary (per-lever setpoints,
+  ladder rung, shed-by-reason, feedforward prediction, per-tenant
+  admission table), assembled from the wellknown metric families.
 - ``GET /trace`` — JSON index of finished traces (id, hop count, span).
 - ``GET /trace/<id>`` — the hop waterfall for one trace, as text.
 
@@ -66,6 +69,11 @@ class _Handler(BaseHTTPRequestHandler):
                     "uptime_seconds": time.time() - ops.started_at,
                     "traces": len(ops.tracer.traces()),
                 }))
+            elif path == "/control":
+                self._send(
+                    200, "application/json",
+                    json.dumps(ops.control_summary(), sort_keys=True),
+                )
             elif path == "/trace":
                 self._send(200, "application/json", json.dumps(ops.trace_index()))
             elif path.startswith("/trace/"):
@@ -133,6 +141,69 @@ class OpsServer:
         registry = self.registry
         wellknown.declare_all(registry)
         return registry.to_prometheus()
+
+    def control_summary(self) -> dict:
+        """The ``/control`` body: the live control plane, from metrics.
+
+        Everything here is read back out of the wellknown control and
+        tenant families, so the endpoint works for any controlled
+        process — ``simulate --control``, ``listen --control``, or a
+        replayed snapshot — without a handle on the controller object:
+        per-lever setpoints/actuations/flips, the brownout ladder rung,
+        shed counts by reason, the feedforward prediction, and the
+        per-tenant admission table.
+        """
+        registry = self.registry
+
+        def rows(name: str) -> list[tuple[dict, float]]:
+            fam = registry.get(name)
+            if fam is None:
+                return []
+            return [(labels, child.value) for labels, child in fam.samples()]
+
+        levers: dict[str, dict] = {}
+        for labels, value in rows("repro_control_setpoint"):
+            lever = labels.get("lever", "")
+            levers.setdefault(lever, {})["setpoint"] = value
+        for labels, value in rows("repro_control_actuations_total"):
+            entry = levers.setdefault(labels.get("lever", ""), {})
+            entry["actuations"] = entry.get("actuations", 0.0) + value
+        for labels, value in rows("repro_control_flips_total"):
+            levers.setdefault(labels.get("lever", ""), {})["flips"] = value
+        for labels, value in rows("repro_control_feedforward_moves_total"):
+            levers.setdefault(
+                labels.get("lever", ""), {}
+            )["feedforward_moves"] = value
+
+        tenants: dict[str, dict] = {}
+        for labels, value in rows("repro_ingest_tenant_received_total"):
+            tenants.setdefault(labels.get("tenant", ""), {})["received"] = value
+        for labels, value in rows("repro_ingest_tenant_accepted_total"):
+            tenants.setdefault(labels.get("tenant", ""), {})["accepted"] = value
+        for labels, value in rows("repro_ingest_tenant_shed_total"):
+            entry = tenants.setdefault(labels.get("tenant", ""), {})
+            shed = entry.setdefault("shed", {})
+            reason = labels.get("reason", "")
+            shed[reason] = shed.get(reason, 0.0) + value
+
+        def scalar(name: str) -> float:
+            total = 0.0
+            for _labels, value in rows(name):
+                total += value
+            return total
+
+        return {
+            "ticks": scalar("repro_control_ticks_total"),
+            "levers": levers,
+            "brownout_level": scalar("repro_control_brownout_level"),
+            "shed": {
+                labels.get("reason", ""): value
+                for labels, value in rows("repro_control_shed_total")
+            },
+            "feedforward_rate": scalar("repro_control_feedforward_rate"),
+            "tenants": tenants,
+            "tenants_active": scalar("repro_ingest_tenants_active"),
+        }
 
     def trace_index(self) -> list[dict]:
         """The ``/trace`` body: one summary row per known trace."""

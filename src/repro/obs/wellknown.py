@@ -80,6 +80,10 @@ __all__ = [
     "ingest_parse_errors",
     "ingest_oversize",
     "ingest_publish_refused",
+    "ingest_tenant_received",
+    "ingest_tenant_accepted",
+    "ingest_tenant_shed",
+    "ingest_tenants_active",
     "broker_published",
     "broker_publish_refused",
     "broker_polled",
@@ -104,6 +108,8 @@ __all__ = [
     "control_flips",
     "control_brownout_level",
     "control_shed",
+    "control_feedforward_rate",
+    "control_feedforward_moves",
     "executor_workers",
     "executor_resizes",
     "executor_respawns",
@@ -647,6 +653,41 @@ def ingest_publish_refused(registry: MetricsRegistry | None = None) -> Counter:
     )
 
 
+def ingest_tenant_received(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: parsed lines per tenant (host/app admission key)."""
+    return _reg(registry).counter(
+        "repro_ingest_tenant_received_total",
+        "Parsed wire lines per tenant (host/app admission key)",
+        labels=("tenant",),
+    )
+
+
+def ingest_tenant_accepted(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: lines admitted through the per-tenant fair-share quota."""
+    return _reg(registry).counter(
+        "repro_ingest_tenant_accepted_total",
+        "Wire lines admitted through the per-tenant fair-share quota",
+        labels=("tenant",),
+    )
+
+
+def ingest_tenant_shed(registry: MetricsRegistry | None = None) -> Counter:
+    """Counter: per-tenant quota drops, labelled by reason."""
+    return _reg(registry).counter(
+        "repro_ingest_tenant_shed_total",
+        "Wire lines shed by the per-tenant admission quota",
+        labels=("tenant", "reason"),
+    )
+
+
+def ingest_tenants_active(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: tenants currently tracked by the admission quota."""
+    return _reg(registry).gauge(
+        "repro_ingest_tenants_active",
+        "Tenants currently tracked by the deficit-round-robin quota",
+    )
+
+
 def broker_published(registry: MetricsRegistry | None = None) -> Counter:
     """Counter: records appended to broker partitions."""
     return _reg(registry).counter(
@@ -861,6 +902,27 @@ def control_shed(registry: MetricsRegistry | None = None) -> Counter:
     )
 
 
+def control_feedforward_rate(registry: MetricsRegistry | None = None) -> Gauge:
+    """Gauge: feedforward-predicted offered load at the horizon."""
+    return _reg(registry).gauge(
+        "repro_control_feedforward_rate",
+        "Offered-load rate the feedforward term predicts at its horizon "
+        "(msgs/s; tracks the current rate while the window warms up)",
+    )
+
+
+def control_feedforward_moves(
+    registry: MetricsRegistry | None = None,
+) -> Counter:
+    """Counter: up-moves taken on the feedforward prediction alone."""
+    return _reg(registry).counter(
+        "repro_control_feedforward_moves_total",
+        "Capacity up-moves taken on the feedforward surge prediction "
+        "before the reactive signal crossed its high watermark",
+        labels=("lever",),
+    )
+
+
 # -- executor lifecycle -------------------------------------------------
 
 
@@ -937,6 +999,8 @@ def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
         store_repair_docs, store_breaker_transitions, store_node_timeouts,
         ingest_received, ingest_accepted, ingest_shed, ingest_accept_dropped,
         ingest_parse_errors, ingest_oversize, ingest_publish_refused,
+        ingest_tenant_received, ingest_tenant_accepted, ingest_tenant_shed,
+        ingest_tenants_active,
         broker_published, broker_publish_refused, broker_polled,
         broker_commits, broker_commits_lost, broker_lag, broker_partitions,
         broker_partition_stalls, trace_sampled, e2e_latency_seconds,
@@ -944,7 +1008,8 @@ def declare_all(registry: MetricsRegistry | None = None) -> MetricsRegistry:
         poll_to_flush_seconds, wal_fsync_seconds, slo_value, slo_target,
         slo_compliant, slo_budget_remaining, control_ticks,
         control_actuations, control_setpoint, control_flips,
-        control_brownout_level, control_shed, executor_workers,
+        control_brownout_level, control_shed, control_feedforward_rate,
+        control_feedforward_moves, executor_workers,
         executor_resizes, executor_respawns, executor_serial_fallbacks,
         store_breaker_state,
     ):

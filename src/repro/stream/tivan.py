@@ -630,7 +630,10 @@ class TivanCluster:
 
         The classifier-backlog gauge is refreshed immediately before
         each controller tick so the control decision never acts on a
-        sampler-stale reading.
+        sampler-stale reading.  On durable runs every tick's complete
+        decision state is journaled as a ``control`` WAL record right
+        after it is taken — a SIGKILL between ticks resumes with the
+        setpoints, ladder rung, and hysteresis the dead process held.
         """
         from repro.obs import wellknown
 
@@ -642,6 +645,8 @@ class TivanCluster:
             done = self._stage.n_done if self._stage else 0
             backlog_gauge.set(len(self.store) - done)
             controller.tick(self.engine.now)
+            if self.journal is not None:
+                self.journal.control_state(controller.export_state())
             if self.engine.now + every <= horizon:
                 self.engine.schedule(every, tick)
 

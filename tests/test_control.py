@@ -31,6 +31,7 @@ from repro.control import (
     ControlPolicy,
     Controller,
     ExecutorWorkersActuator,
+    FeedforwardPolicy,
     LeverPolicy,
     ListenerRateActuator,
     SignalReader,
@@ -386,7 +387,7 @@ class TestAimdMechanics:
 class TestAntiOscillation:
     SERVICE_S = 0.04  # one worker drains 25 msg/s
 
-    def _run(self, rate, initial_queue, ticks=240):
+    def _run(self, rate, initial_queue, ticks=240, feedforward=False):
         """Closed loop over a fluid queue model; returns the controller.
 
         Each 1 s tick the queue grows by the offered rate and drains at
@@ -402,6 +403,10 @@ class TestAntiOscillation:
                 up_step=1, down_factor=0.5, cooldown_s=0.0, hold_ticks=2,
                 costed=True,
             ),),
+            feedforward=(
+                FeedforwardPolicy(window_ticks=4, horizon_s=5.0)
+                if feedforward else None
+            ),
         )
         controller = Controller(policy, registry=reg)
         stage = SimpleNamespace(n_workers=1, service_time_s=self.SERVICE_S)
@@ -439,6 +444,63 @@ class TestAntiOscillation:
         # under 0.8 × 25 msg/s one worker suffices; relief must reach it
         controller, lever, counts = self._run(rate, 0, ticks=60)
         assert lever.value == 1
+
+    @given(
+        rate=st.integers(min_value=1, max_value=150),
+        initial_queue=st.integers(min_value=0, max_value=2000),
+    )
+    def test_feedforward_preserves_the_guarantee(self, rate, initial_queue):
+        """Feedforward armed, constant load: the same silence.
+
+        A flat offered-load window fits a zero slope, so the predictor
+        never fires — the anti-oscillation property must hold with the
+        feedforward term switched on, with zero feedforward moves.
+        """
+        controller, lever, counts = self._run(
+            rate, initial_queue, feedforward=True
+        )
+        assert counts[-1] == counts[len(counts) // 2], (
+            f"feedforward broke convergence: {counts[-10:]}"
+        )
+        assert controller.n_feedforward_moves == 0
+        capacity = lever.value / self.SERVICE_S
+        assert capacity >= rate
+
+    def test_feedforward_prepositions_ahead_of_the_ramp(self):
+        """A steady ramp triggers up-moves before backlog crosses high."""
+        reg = MetricsRegistry()
+        policy = ControlPolicy(
+            tick_every_s=1.0, utilization_cap=0.8, brownout=None,
+            levers=(LeverPolicy(
+                name="stage_workers", signal="classifier_backlog",
+                high=50.0, low=10.0, min_value=1, max_value=8,
+                up_step=1, down_factor=0.5, cooldown_s=0.0, hold_ticks=2,
+                costed=True,
+            ),),
+            feedforward=FeedforwardPolicy(window_ticks=4, horizon_s=5.0),
+        )
+        controller = Controller(policy, registry=reg)
+        stage = SimpleNamespace(n_workers=1, service_time_s=0.04)
+        lever = controller.bind("stage_workers", StageWorkersActuator(stage))
+        backlog = wellknown.classifier_backlog(reg)
+        received = wellknown.relay_received(reg)
+        queue = 0.0
+        first_ff_move = first_high = None
+        for t in range(30):
+            rate = 10.0 + 8.0 * t  # the diurnal morning ramp
+            received.inc(rate)
+            queue = max(0.0, queue + rate - stage.n_workers / 0.04)
+            backlog.set(queue)
+            if queue > 50.0 and first_high is None:
+                first_high = t
+            controller.tick(float(t))
+            if controller.n_feedforward_moves > 0 and first_ff_move is None:
+                first_ff_move = t
+        assert controller.n_feedforward_moves > 0
+        # capacity moved before the reactive signal ever crossed high
+        assert first_ff_move is not None
+        assert first_high is None or first_ff_move < first_high
+        assert lever.value > 1
 
     def test_surge_and_recovery_flips_once(self):
         # a backlog spike forces a climb; once it drains, 35 msg/s fits
@@ -919,6 +981,12 @@ class TestControlFamiliesDeclared:
             "repro_control_flips_total",
             "repro_control_brownout_level",
             "repro_control_shed_total",
+            "repro_control_feedforward_rate",
+            "repro_control_feedforward_moves_total",
+            "repro_ingest_tenant_received_total",
+            "repro_ingest_tenant_accepted_total",
+            "repro_ingest_tenant_shed_total",
+            "repro_ingest_tenants_active",
             "repro_executor_workers",
             "repro_executor_resizes_total",
             "repro_executor_respawns_total",

@@ -439,6 +439,50 @@ class TestOpsServer:
         assert status == 200
         assert "ingest.accept" in body and "broker.publish" in body
 
+    def test_control_endpoint(self, ops):
+        wellknown.control_ticks(None).inc(9)
+        wellknown.control_setpoint(None).set(6.0, lever="stage_workers")
+        wellknown.control_actuations(None).inc(
+            4, lever="stage_workers", direction="up"
+        )
+        wellknown.control_flips(None).inc(1, lever="stage_workers")
+        wellknown.control_feedforward_moves(None).inc(
+            2, lever="stage_workers"
+        )
+        wellknown.control_brownout_level(None).set(2)
+        wellknown.control_shed(None).inc(7, reason="brownout")
+        wellknown.control_feedforward_rate(None).set(42.0)
+        wellknown.ingest_tenant_received(None).inc(10, tenant="db02/sshd")
+        wellknown.ingest_tenant_accepted(None).inc(6, tenant="db02/sshd")
+        wellknown.ingest_tenant_shed(None).inc(
+            4, tenant="db02/sshd", reason="fair_share"
+        )
+        wellknown.ingest_tenants_active(None).set(1)
+        status, body = _http_get(f"http://127.0.0.1:{ops.port}/control")
+        assert status == 200
+        summary = json.loads(body)
+        assert summary["ticks"] == 9.0
+        lever = summary["levers"]["stage_workers"]
+        assert lever == {
+            "setpoint": 6.0, "actuations": 4.0, "flips": 1.0,
+            "feedforward_moves": 2.0,
+        }
+        assert summary["brownout_level"] == 2.0
+        assert summary["shed"] == {"brownout": 7.0}
+        assert summary["feedforward_rate"] == 42.0
+        assert summary["tenants"]["db02/sshd"] == {
+            "received": 10.0, "accepted": 6.0,
+            "shed": {"fair_share": 4.0},
+        }
+        assert summary["tenants_active"] == 1.0
+
+    def test_control_endpoint_empty_registry_is_benign(self, ops):
+        status, body = _http_get(f"http://127.0.0.1:{ops.port}/control")
+        assert status == 200
+        summary = json.loads(body)
+        assert summary["levers"] == {}
+        assert summary["tenants"] == {}
+
     def test_unknown_routes_404(self, ops):
         assert _http_get(f"http://127.0.0.1:{ops.port}/trace/feed")[0] == 404
         assert _http_get(f"http://127.0.0.1:{ops.port}/nope")[0] == 404
